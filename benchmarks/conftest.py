@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper table/figure has one benchmark that regenerates it via its
+experiment harness and prints the resulting rows, so ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction run.  Experiments are
+executed once per benchmark (they are minutes-long at paper scale, so the
+benches default to the scaled-down configurations described in
+``repro.experiments.common``).
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+
+#: Scale used by the benchmark suite.  Override with
+#: ``REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only`` to run the
+#: full paper-sized sweeps.
+import os
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Experiment scale the benchmarks run at."""
+    return BENCH_SCALE
+
+
+def run_experiment(benchmark, experiment_name: str, scale: str, **kwargs):
+    """Run one experiment harness under pytest-benchmark and print its table."""
+    module = importlib.import_module(f"repro.experiments.{experiment_name}")
+    table = benchmark.pedantic(lambda: module.run(scale, **kwargs),
+                               rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    return table

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Ablations of Sailor design choices (DESIGN.md).
+
+Runs the corresponding experiment harness (``repro.experiments.ablations``) once
+and prints the table the paper reports.  See EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from conftest import run_experiment
+
+
+def test_bench_ablations(benchmark, bench_scale):
+    table = run_experiment(benchmark, "ablations", bench_scale)
+    assert table.rows

@@ -1,0 +1,115 @@
+"""Micro-benchmarks of the core library primitives.
+
+Unlike the per-figure benchmarks (which regenerate the paper's tables once),
+these run the hot paths of the library -- profiling, plan evaluation, the
+reference simulator, the DP solver and the full planner -- for several
+rounds, so `pytest-benchmark` reports meaningful statistics.  They are the
+numbers to watch when optimising the planner (paper Tables 1-3 all hinge on
+planner latency).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.core.plan import ParallelizationPlan
+from repro.core.planner import SailorPlanner
+from repro.core.simulator import (
+    MemoryEstimator,
+    ReferenceSimulator,
+    SailorSimulator,
+    build_environment,
+)
+from repro.hardware.topology import ClusterTopology
+from repro.models.catalog import get_model
+from repro.models.spec import TrainingJobSpec
+from repro.profiler.compute import ComputeProfiler
+from repro.hardware.gpus import get_gpu
+from repro.runtime.comm_groups import build_rank_topology
+
+
+@pytest.fixture(scope="module")
+def job():
+    return TrainingJobSpec(model=get_model("OPT-350M"), global_batch_size=512)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": 8, "n1-standard-v100-4": 8})
+
+
+@pytest.fixture(scope="module")
+def env(job, topology):
+    return build_environment(job, topology)
+
+
+@pytest.fixture(scope="module")
+def plan(job):
+    return ParallelizationPlan.homogeneous(job, "a2-highgpu-4g",
+                                           pipeline_parallel=4, data_parallel=4,
+                                           tensor_parallel=2, microbatch_size=2)
+
+
+def test_bench_profile_one_gpu_type(benchmark, job):
+    """Simulated single-node profiling of one GPU type (section 4.1)."""
+    profiler = ComputeProfiler()
+    gpu = get_gpu("A100-40")
+    profile = benchmark(lambda: profiler.profile(job, gpu,
+                                                 microbatch_sizes=[1, 2, 4, 8],
+                                                 tensor_parallel_degrees=[1, 2, 4]))
+    assert profile.layer_times
+
+
+def test_bench_environment_build(benchmark, job, topology):
+    """Full profiling pass: every GPU type + every network pair."""
+    env = benchmark(lambda: build_environment(job, topology))
+    assert env.profiles.gpu_types()
+
+
+def test_bench_simulator_evaluate(benchmark, env, plan):
+    """One plan evaluation (memory + timing + cost) -- the planner inner loop."""
+    simulator = SailorSimulator(env)
+    evaluation = benchmark(lambda: simulator.evaluate(plan))
+    assert evaluation.is_valid
+
+
+def test_bench_memory_estimator(benchmark, env, plan):
+    """Per-worker peak-memory estimation for a 32-GPU plan."""
+    estimator = MemoryEstimator(env)
+    peaks = benchmark(lambda: estimator.stage_peaks(plan))
+    assert len(peaks) == plan.pipeline_parallel
+
+
+def test_bench_reference_simulator(benchmark, env, plan):
+    """Event-driven 1F1B reference simulation of one iteration."""
+    reference = ReferenceSimulator(env)
+    measured = benchmark(lambda: reference.measure(plan))
+    assert measured.iteration_time_s > 0
+
+
+def test_bench_comm_group_construction(benchmark, plan):
+    """Building the heterogeneous rank topology of a 32-GPU plan."""
+    groups = benchmark(lambda: build_rank_topology(plan))
+    assert groups.world_size == plan.total_gpus
+
+
+def test_bench_planner_homogeneous_32_a100(benchmark, job):
+    """Sailor planner end-to-end on 32 homogeneous A100s (Table 1 row)."""
+    topology = ClusterTopology.homogeneous("a2-highgpu-4g", 8)
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, Objective.max_throughput()),
+        rounds=3, iterations=1)
+    assert result.found
+
+
+def test_bench_planner_heterogeneous_64_gpus(benchmark, job, topology, env):
+    """Sailor planner end-to-end on 32 A100 + 32 V100 (Figure 8 small point)."""
+    planner = SailorPlanner(env)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, Objective.max_throughput()),
+        rounds=1, iterations=1)
+    assert result.found

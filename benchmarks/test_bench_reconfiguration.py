@@ -1,0 +1,13 @@
+"""Benchmark regenerating Section 5.5: reconfiguration overhead breakdown.
+
+Runs the corresponding experiment harness (``repro.experiments.reconfiguration``) once
+and prints the table the paper reports.  See EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from conftest import run_experiment
+
+
+def test_bench_reconfiguration(benchmark, bench_scale):
+    table = run_experiment(benchmark, "reconfiguration", bench_scale)
+    assert table.rows

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 3: Sailor search-time breakdown.
+
+Runs the corresponding experiment harness (``repro.experiments.table3``) once
+and prints the table the paper reports.  See EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from conftest import run_experiment
+
+
+def test_bench_table3(benchmark, bench_scale):
+    table = run_experiment(benchmark, "table3", bench_scale)
+    assert table.rows

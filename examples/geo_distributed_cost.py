@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Geo-distributed planning under a budget.
+
+Scenario: A100s are scarce in every single zone, but you can get 32 of them
+in each of three zones spread over two regions.  This example shows how the
+planner trades throughput against the cost of inter-zone / inter-region
+traffic, and how budget and throughput constraints change the chosen plan
+(paper sections 4.2.3 and 5.2.3-5.2.4).
+
+Run with:  python examples/geo_distributed_cost.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterTopology,
+    Objective,
+    SailorPlanner,
+    TrainingJobSpec,
+    build_environment,
+    get_model,
+)
+
+
+ZONES = {
+    "us-central1-a": {"a2-highgpu-4g": 8},   # 32 A100
+    "us-central1-b": {"a2-highgpu-4g": 8},   # 32 A100 (same region)
+    "us-west1-a": {"a2-highgpu-4g": 8},      # 32 A100 (different region)
+}
+
+
+def describe(result, label: str) -> None:
+    if not result.found:
+        print(f"{label:35s} -> no feasible plan")
+        return
+    ev = result.evaluation
+    zones = ", ".join(result.plan.zones())
+    print(f"{label:35s} -> {ev.throughput_iters_per_s:6.3f} iters/s  "
+          f"{ev.cost_per_iteration_usd:6.3f} USD/iter  "
+          f"{result.plan.total_gpus:3d} GPUs  zones: {zones}")
+
+
+def main() -> None:
+    job = TrainingJobSpec(model=get_model("GPT-Neo-2.7B"),
+                          global_batch_size=2048, sequence_length=2048)
+    topology = ClusterTopology(nodes=ZONES)
+    print("Resource pool:")
+    print(topology.describe())
+    print()
+
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+
+    # 1. Pure throughput: the planner decides whether the extra region is
+    #    worth the slow inter-region links.
+    describe(planner.plan(job, topology, Objective.max_throughput()),
+             "max throughput")
+
+    # 2. Maximum throughput under a budget ceiling per iteration.
+    describe(planner.plan(job, topology,
+                          Objective.max_throughput(max_cost_per_iteration_usd=3.0)),
+             "max throughput, <= 3.0 USD/iter")
+
+    # 3. Minimum cost subject to a throughput floor.
+    describe(planner.plan(job, topology,
+                          Objective.min_cost(min_throughput_iters_per_s=0.02)),
+             "min cost, >= 0.02 iters/s")
+
+    # 4. What happens if only the remote region is available?  (e.g. the
+    #    primary region lost capacity)
+    remote_only = topology.restricted_to_zones(["us-west1-a"])
+    describe(planner.plan(job, remote_only, Objective.max_throughput()),
+             "max throughput, us-west1 only")
+
+
+if __name__ == "__main__":
+    main()

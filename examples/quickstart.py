@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: plan a training job on whatever GPUs are available.
+
+This walks the full Sailor workflow from the paper's Figure 4:
+
+1. describe the training job (model + hyperparameters);
+2. describe what resources you *could* get (quotas) and what is actually
+   available right now (topology);
+3. profile the job and the network (simulated profiler);
+4. ask the planner for the best resource allocation + parallelization plan;
+5. inspect the plan and the simulator's estimates.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterTopology,
+    Objective,
+    SailorPlanner,
+    SailorSimulator,
+    TrainingJobSpec,
+    build_environment,
+    get_model,
+)
+
+
+def main() -> None:
+    # 1. The training job: OPT-350M, global batch of 2048 sequences of 2048
+    #    tokens, Adam -- the paper's main workload.
+    job = TrainingJobSpec(model=get_model("OPT-350M"), global_batch_size=2048,
+                          sequence_length=2048, optimizer="adam")
+    print(f"Training job: {job.model} (batch {job.global_batch_size})")
+
+    # 2. What is available right now: 4 A100 nodes and 8 V100 nodes in one
+    #    zone (the situation Figure 1 motivates -- not enough A100s alone).
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": 4,          # 16x A100-40GB
+        "n1-standard-v100-4": 8,     # 32x V100-16GB
+    })
+    print("\nAvailable resources:")
+    print(topology.describe())
+
+    # 3. Profile the job on every available GPU type and fit network curves.
+    env = build_environment(job, topology)
+
+    # 4. Plan for maximum throughput.
+    planner = SailorPlanner(env)
+    result = planner.plan(job, topology, Objective.max_throughput())
+    if not result.found:
+        raise SystemExit("no valid plan found for this topology")
+
+    print(f"\nPlanner finished in {result.search_time_s:.2f}s "
+          f"({result.candidates_evaluated} candidates, "
+          f"{result.oom_plans_generated} OOM plans)")
+    print("\nChosen plan:")
+    print(result.plan.describe())
+
+    # 5. What the simulator predicts for this plan.
+    evaluation = SailorSimulator(env).evaluate(result.plan)
+    print(f"\nEstimated iteration time : {evaluation.iteration_time_s:.2f} s")
+    print(f"Estimated throughput     : {evaluation.throughput_iters_per_s:.3f} iters/s")
+    print(f"Estimated cost           : {evaluation.cost_per_iteration_usd:.3f} USD/iteration")
+    print(f"Peak memory per stage    : "
+          + ", ".join(f"{m / 2**30:.1f} GiB"
+                      for m in evaluation.peak_memory_bytes_per_stage))
+
+    # Compare against using only the A100 pool.
+    a100_only = topology.restricted_to_gpu("A100-40")
+    homogeneous = planner.plan(job, a100_only, Objective.max_throughput())
+    if homogeneous.found:
+        speedup = (evaluation.throughput_iters_per_s
+                   / homogeneous.evaluation.throughput_iters_per_s)
+        print(f"\nUsing the V100s too is {speedup:.2f}x faster than A100-only "
+              f"({homogeneous.evaluation.throughput_iters_per_s:.3f} iters/s).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Baseline planners.
+
+Reimplementations of the planners the paper compares against (Table 1 and
+section 5), sharing a unified API (:class:`BaselinePlanner`) so they can be
+swapped into the experiment harnesses.  Each baseline reproduces the search
+strategy *and* the characteristic estimation behaviour the paper attributes
+to it (e.g. AMP ignores memory, Varuna only searches 2D parallelism and
+underestimates memory, FlashFlex ranks by theoretical FLOPS, Metis searches
+exhaustively and is slow, DTFM only partitions a given plan across zones by
+communication volume).
+
+| Planner    | Recommends allocation | Heterogeneous GPUs | Multi-zone |
+|------------|----------------------|--------------------|------------|
+| Piper      | no                   | no                 | no         |
+| Varuna     | no                   | no                 | no         |
+| AMP        | no                   | yes                | no         |
+| Metis      | no                   | yes                | no         |
+| FlashFlex  | yes                  | yes                | no         |
+| Galvatron  | no                   | no                 | no         |
+| Aceso      | no                   | no                 | no         |
+| Oobleck    | no                   | no                 | no         |
+| DTFM       | no                   | no                 | yes        |
+| Sailor     | yes                  | yes                | yes        |
+"""
+
+from repro.baselines.base import BaselinePlanner, CandidatePlan, get_baseline, list_baselines
+from repro.baselines.estimators import (
+    BaselineEstimator,
+    IgnoreMemoryEstimator,
+    UniformStageEstimator,
+    TheoreticalFlopsEstimator,
+)
+from repro.baselines.piper import PiperPlanner
+from repro.baselines.varuna import VarunaPlanner
+from repro.baselines.amp import AMPPlanner
+from repro.baselines.metis import MetisPlanner
+from repro.baselines.flashflex import FlashFlexPlanner
+from repro.baselines.galvatron import GalvatronPlanner
+from repro.baselines.aceso import AcesoPlanner
+from repro.baselines.oobleck import OobleckPlanner
+from repro.baselines.dtfm import DTFMPlanner
+
+__all__ = [
+    "BaselinePlanner",
+    "CandidatePlan",
+    "get_baseline",
+    "list_baselines",
+    "BaselineEstimator",
+    "IgnoreMemoryEstimator",
+    "UniformStageEstimator",
+    "TheoreticalFlopsEstimator",
+    "PiperPlanner",
+    "VarunaPlanner",
+    "AMPPlanner",
+    "MetisPlanner",
+    "FlashFlexPlanner",
+    "GalvatronPlanner",
+    "AcesoPlanner",
+    "OobleckPlanner",
+    "DTFMPlanner",
+]

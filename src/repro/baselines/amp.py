@@ -1,0 +1,51 @@
+"""AMP (Li et al., 2022).
+
+Heterogeneity-aware automatic model-parallel planner.  Characteristics
+reproduced from the paper's comparison:
+
+* searches uniform 3D parallelism degrees only (no per-stage heterogeneity),
+  while allowing replicas to land on different GPU types;
+* does not model the training memory footprint at all, so it proposes many
+  plans that OOM (bold counts in Figures 8-10);
+* does not model stragglers correctly, so its throughput drops in
+  heterogeneous clusters even though it nominally supports them;
+* moderate search time (tens of seconds at 128+ GPUs).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePlanner, CandidatePlan, register_baseline
+from repro.baselines.estimators import BaselineEstimator, EstimatorFlags
+from repro.core.objectives import Objective
+from repro.hardware.topology import ClusterTopology
+from repro.models.spec import TrainingJobSpec
+
+
+@register_baseline
+class AMPPlanner(BaselinePlanner):
+    """Uniform-degree planner that is heterogeneity-aware but memory-blind."""
+
+    name = "amp"
+    parallelism = "3D"
+    recommends_allocation = False
+    supports_heterogeneous = True
+    supports_multizone = False
+
+    def build_estimator(self) -> BaselineEstimator:
+        return BaselineEstimator(self.env, EstimatorFlags(
+            models_memory=False,
+            models_stragglers=False,
+            uses_theoretical_flops=False,
+            models_p2p_communication=True,
+            models_dp_sync=True,
+            models_embedding_and_head=False,
+            message_size_aware_bandwidth=False,
+        ))
+
+    def ranked_plans(self, job: TrainingJobSpec, topology: ClusterTopology,
+                     objective: Objective) -> list[CandidatePlan]:
+        plans = self.enumerate_uniform_plans(job, topology,
+                                             allow_mixed_types=True)
+        candidates = [self.candidate_from_plan(plan, objective)
+                      for plan in plans]
+        return self._sort_candidates(candidates, objective)

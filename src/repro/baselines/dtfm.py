@@ -1,0 +1,186 @@
+"""DTFM (Yuan et al., 2023) -- decentralized / geo-distributed training.
+
+DTFM does not pick parallelism degrees itself: given a (DP, PP) plan it
+assigns the workers to the available zones and regions so as to minimise the
+time spent in data- and pipeline-parallel communication.  Following the
+paper's methodology, we exhaustively generate all homogeneous 2D plans and
+apply DTFM's partitioning to each one.  Characteristics reproduced:
+
+* multi-zone / multi-region support, but no heterogeneous GPU types and no
+  tensor parallelism (2D);
+* a cost function based purely on communication volume/time, which ranks
+  candidate plans suboptimally (section 5.2.3);
+* it spreads work over *all* available regions even when an extra region
+  adds cost without adding throughput;
+* no memory footprint estimation, so it OOMs on large models (Figure 12
+  discussion);
+* exhaustive search, so hundreds of seconds for large clusters.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePlanner, CandidatePlan, register_baseline
+from repro.baselines.estimators import BaselineEstimator, EstimatorFlags
+from repro.core.objectives import Objective
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.hardware.nodes import get_node_type
+from repro.hardware.topology import ClusterTopology
+from repro.models.partition import uniform_partition
+from repro.models.spec import TrainingJobSpec
+
+
+@register_baseline
+class DTFMPlanner(BaselinePlanner):
+    """Communication-aware zone assignment for given 2D plans."""
+
+    name = "dtfm"
+    parallelism = "2D"
+    recommends_allocation = False
+    supports_heterogeneous = False
+    supports_multizone = True
+
+    def build_estimator(self) -> BaselineEstimator:
+        return BaselineEstimator(self.env, EstimatorFlags(
+            models_memory=False,
+            models_stragglers=False,
+            uses_theoretical_flops=False,
+            models_p2p_communication=True,
+            models_dp_sync=True,
+            models_embedding_and_head=False,
+            message_size_aware_bandwidth=False,
+        ))
+
+    # -- search --------------------------------------------------------------------
+
+    def ranked_plans(self, job: TrainingJobSpec, topology: ClusterTopology,
+                     objective: Objective) -> list[CandidatePlan]:
+        node_types = self.usable_node_types(topology)
+        zones = topology.zones
+        pools = self._node_pools(topology, node_types, zones)
+        total_nodes = sum(c for _, _, c in pools)
+        if total_nodes == 0:
+            return []
+
+        # DTFM partitions *given* plans, so the exhaustive generation feeds it
+        # plans that use (nearly) all of the fixed allocation it received.
+        total_gpus = sum(c * get_node_type(t).gpus_per_node for _, t, c in pools)
+        candidates: list[CandidatePlan] = []
+        for pp in self.pipeline_candidates(job, total_nodes):
+            partitions = uniform_partition(job.model, pp) \
+                if pp <= job.model.num_layers else None
+            if partitions is None:
+                continue
+            for mbs in self.microbatch_candidates(job):
+                max_dp = self._max_uniform_dp(pools, 1, pp)
+                for dp in self._dp_candidates(job, mbs, max_dp):
+                    if pp * dp < 0.75 * total_gpus:
+                        continue  # the given plan must use the allocation
+                    plan = self._assign_zones(job, partitions, pools, pp, dp, mbs)
+                    if plan is None:
+                        continue
+                    candidate = self.candidate_from_plan(plan, objective)
+                    # DTFM ranks by communication time only.
+                    candidate = CandidatePlan(
+                        plan=candidate.plan,
+                        estimated_iteration_time_s=self._communication_time(plan),
+                        estimated_peak_memory_bytes=None,
+                        estimated_cost_usd=candidate.estimated_cost_usd)
+                    candidates.append(candidate)
+                    if len(candidates) >= self.limits.max_candidates:
+                        return self._sort_candidates(candidates, objective)
+        return self._sort_candidates(candidates, objective)
+
+    # -- DTFM specifics ----------------------------------------------------------------
+
+    def _communication_time(self, plan: ParallelizationPlan) -> float:
+        """DTFM's objective: time spent in DP + PP communication only."""
+        p2p = 0.0
+        chain = plan.pipeline(0)
+        for i in range(len(chain) - 1):
+            p2p += 2.0 * self.estimator.p2p_time(plan, chain[i], chain[i + 1])
+        p2p *= plan.num_microbatches
+        sync = max((self.estimator.sync_time(plan, s) for s in plan.stages),
+                   default=0.0)
+        return p2p + sync
+
+    def _assign_zones(self, job: TrainingJobSpec, partitions, pools,
+                      pp: int, dp: int, mbs: int) -> ParallelizationPlan | None:
+        """Spread pipelines across *all* zones (DTFM's partitioning habit).
+
+        Each data-parallel pipeline is placed in one zone (keeping pipeline
+        communication local) and pipelines are distributed round-robin over
+        every zone that has capacity, which matches DTFM's tendency to use
+        all available regions.
+        """
+        remaining = {(z, t): c for z, t, c in pools}
+        zone_order = sorted({z for z, _, _ in pools})
+        if not zone_order:
+            return None
+
+        # replicas[stage][d]
+        replicas: list[list[StageReplica | None]] = [
+            [None] * dp for _ in range(pp)]
+        open_slots: dict[tuple[str, str], int] = {}
+        zone_index = 0
+        for d in range(dp):
+            # Pick the next zone with any remaining capacity.
+            chosen = None
+            for offset in range(len(zone_order)):
+                zone = zone_order[(zone_index + offset) % len(zone_order)]
+                has_capacity = any(
+                    remaining.get((zone, t), 0) > 0 or open_slots.get((zone, t), 0) > 0
+                    for _, t, _ in pools)
+                if has_capacity:
+                    chosen = zone
+                    zone_index = (zone_index + offset + 1) % len(zone_order)
+                    break
+            if chosen is None:
+                return None
+            for stage_idx in range(pp):
+                placed = False
+                for zone, node_type, _ in pools:
+                    if zone != chosen:
+                        continue
+                    key = (zone, node_type)
+                    if open_slots.get(key, 0) >= 1:
+                        open_slots[key] -= 1
+                        replicas[stage_idx][d] = StageReplica(
+                            node_type=node_type, tensor_parallel=1, zone=zone)
+                        placed = True
+                        break
+                    if remaining.get(key, 0) > 0:
+                        remaining[key] -= 1
+                        open_slots[key] = get_node_type(node_type).gpus_per_node - 1
+                        replicas[stage_idx][d] = StageReplica(
+                            node_type=node_type, tensor_parallel=1, zone=zone)
+                        placed = True
+                        break
+                if not placed:
+                    # Fall back to any zone with capacity (pipeline spills).
+                    for zone, node_type, _ in pools:
+                        key = (zone, node_type)
+                        if open_slots.get(key, 0) >= 1:
+                            open_slots[key] -= 1
+                        elif remaining.get(key, 0) > 0:
+                            remaining[key] -= 1
+                            open_slots[key] = get_node_type(node_type).gpus_per_node - 1
+                        else:
+                            continue
+                        replicas[stage_idx][d] = StageReplica(
+                            node_type=node_type, tensor_parallel=1, zone=zone)
+                        placed = True
+                        break
+                if not placed:
+                    return None
+
+        stages = []
+        for stage_idx in range(pp):
+            stage_replicas = [r for r in replicas[stage_idx] if r is not None]
+            if len(stage_replicas) != dp:
+                return None
+            stages.append(StageConfig(partition=partitions[stage_idx],
+                                      replicas=stage_replicas))
+        try:
+            return ParallelizationPlan(job=job, stages=stages, microbatch_size=mbs)
+        except ValueError:
+            return None

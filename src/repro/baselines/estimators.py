@@ -1,0 +1,250 @@
+"""Estimators used by the baseline planners.
+
+The paper's central observation (sections 3.2 / 5.1) is that prior planners
+rank candidate plans with estimators that ignore important effects:
+
+* memory: some ignore the footprint entirely (AMP), some omit optimizer
+  state / activations / communication buffers (Varuna, Oobleck), some assume
+  a uniform footprint across stages and workers (Piper, FlashFlex, Metis);
+* time: some assume homogeneous GPUs (Piper, Varuna, Aceso, Galvatron),
+  some use theoretical peak FLOPS instead of profiles (FlashFlex), some
+  mis-model heterogeneous network bandwidth (Metis).
+
+:class:`BaselineEstimator` implements a configurable estimator whose flags
+select which effects are modelled; each baseline instantiates it with the
+flag combination the paper attributes to that system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives import ring_allreduce_time
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.core.simulator.environment import SimulationEnvironment
+from repro.hardware.gpus import get_gpu
+from repro.hardware.network import LinkClass
+
+
+@dataclass
+class EstimatorFlags:
+    """Which effects a baseline's estimator models."""
+
+    models_memory: bool = True
+    include_optimizer_state: bool = True
+    include_activations: bool = True
+    include_framework_overhead: bool = False
+    uniform_stage_memory: bool = False
+    per_stage_in_flight: bool = True
+
+    models_stragglers: bool = True
+    uses_theoretical_flops: bool = False
+    models_p2p_communication: bool = True
+    models_dp_sync: bool = True
+    message_size_aware_bandwidth: bool = True
+    #: Whether the estimator accounts for the embedding and LM-head/loss
+    #: compute of the first/last stage.  Most prior planners model the model
+    #: as a stack of identical transformer blocks and ignore both, which
+    #: under-estimates the last (straggler) stage.
+    models_embedding_and_head: bool = True
+
+
+class BaselineEstimator:
+    """Configurable iteration-time / memory estimator for baselines."""
+
+    def __init__(self, env: SimulationEnvironment, flags: EstimatorFlags) -> None:
+        self.env = env
+        self.flags = flags
+
+    # -- time ---------------------------------------------------------------
+
+    def _reference_replica(self, plan: ParallelizationPlan) -> StageReplica:
+        """The replica whose GPU type a homogeneity-assuming estimator uses.
+
+        Planners that assume homogeneous clusters profile one GPU type and
+        apply it everywhere; on a mixed cluster that is the (fastest) type of
+        the first replica they see, which is how they end up ignoring the
+        forward/backward differences between GPU generations (Figure 6).
+        """
+        return plan.stages[0].replicas[0]
+
+    def replica_compute_time(self, plan: ParallelizationPlan, stage: StageConfig,
+                             replica: StageReplica) -> float:
+        """Per-microbatch forward+backward time of a replica."""
+        if not self.flags.models_stragglers:
+            reference = self._reference_replica(plan)
+            if reference.gpu_type != replica.gpu_type:
+                capped_tp = min(replica.tensor_parallel,
+                                reference.node_spec.gpus_per_node)
+                replica = StageReplica(node_type=reference.node_type,
+                                       tensor_parallel=capped_tp,
+                                       zone=replica.zone)
+        mbs, tp = plan.microbatch_size, replica.tensor_parallel
+        model = plan.job.model
+        if self.flags.uses_theoretical_flops:
+            gpu = get_gpu(replica.gpu_type)
+            flops = (model.layer_forward_flops(mbs, plan.job.sequence_length)
+                     + model.layer_backward_flops(mbs, plan.job.sequence_length))
+            flops *= stage.partition.num_layers
+            if stage.partition.has_lm_head and self.flags.models_embedding_and_head:
+                flops += 3.0 * model.lm_head_forward_flops(mbs, plan.job.sequence_length)
+            return flops / tp / gpu.peak_flops
+        profile = self.env.job_profile(replica)
+        layer = profile.layer(mbs, tp)
+        total = stage.partition.num_layers * layer.fwd_bwd_s
+        if self.flags.models_embedding_and_head:
+            if stage.partition.has_embedding:
+                total += profile.embedding(mbs, tp).fwd_bwd_s
+            if stage.partition.has_lm_head:
+                total += profile.head(mbs, tp).fwd_bwd_s
+        return total
+
+    def stage_time(self, plan: ParallelizationPlan, stage: StageConfig) -> float:
+        """Per-microbatch stage time; straggler-aware only when configured."""
+        times = [self.replica_compute_time(plan, stage, r) for r in stage.replicas]
+        if self.flags.models_stragglers:
+            return max(times)
+        # Straggler-oblivious estimators implicitly assume every replica runs
+        # as fast as the first (homogeneous) one.
+        return times[0]
+
+    def _transfer_time(self, sender: StageReplica, receiver: StageReplica,
+                       message_bytes: float) -> float:
+        if self.flags.message_size_aware_bandwidth:
+            link = self.env.link_between(sender, receiver)
+            return link.transfer_time(message_bytes)
+        # Flat-bandwidth estimators assume the nominal datacenter bandwidth of
+        # the link class, ignoring both the message-size dependence and the
+        # per-node NIC limits (this is how planners "fail to fully capture the
+        # heterogeneous network bandwidth between nodes").
+        from repro.hardware.network import DEFAULT_LINKS
+
+        link_class = self.env.link_class(sender.zone, receiver.zone)
+        nominal = DEFAULT_LINKS[link_class]
+        return message_bytes / nominal.bandwidth_bytes_per_s
+
+    def p2p_time(self, plan: ParallelizationPlan, sender: StageReplica,
+                 receiver: StageReplica) -> float:
+        """Boundary-activation transfer time between two stages."""
+        if not self.flags.models_p2p_communication:
+            return 0.0
+        profile = self.env.job_profile(sender)
+        message = profile.boundary_bytes[plan.microbatch_size]
+        return self._transfer_time(sender, receiver, message)
+
+    def sync_time(self, plan: ParallelizationPlan, stage: StageConfig) -> float:
+        """Gradient all-reduce time of a stage's data-parallel group."""
+        if not self.flags.models_dp_sync or stage.data_parallel == 1:
+            return 0.0
+        stage_params = stage.partition.stage_params(plan.job.model)
+        message = max(stage_params / r.tensor_parallel * 2.0 for r in stage.replicas)
+        replicas = stage.replicas
+        sample = replicas[0]
+        other = replicas[1] if len(replicas) > 1 else replicas[0]
+        return ring_allreduce_time(
+            message, stage.data_parallel,
+            lambda m: self._transfer_time(sample, other, m))
+
+    def estimate_iteration_time(self, plan: ParallelizationPlan) -> float:
+        """Seconds per iteration under this baseline's assumptions."""
+        num_microbatches = plan.num_microbatches
+        stage_times = [self.stage_time(plan, s) for s in plan.stages]
+        straggler = max(stage_times)
+        p2p = 0.0
+        if self.flags.models_p2p_communication:
+            chain = plan.pipeline(0)
+            for i in range(len(chain) - 1):
+                p2p += 2.0 * self.p2p_time(plan, chain[i], chain[i + 1])
+        pipeline = sum(stage_times) + (num_microbatches - 1) * straggler + p2p
+        sync = max((self.sync_time(plan, s) for s in plan.stages), default=0.0)
+        return pipeline + sync
+
+    def estimate_throughput(self, plan: ParallelizationPlan) -> float:
+        """Iterations per second under this baseline's assumptions."""
+        t = self.estimate_iteration_time(plan)
+        return 1.0 / t if t > 0 else 0.0
+
+    # -- memory --------------------------------------------------------------
+
+    def estimate_stage_memory(self, plan: ParallelizationPlan,
+                              stage: StageConfig) -> float | None:
+        """Peak bytes per worker of one stage (``None`` = not modelled)."""
+        if not self.flags.models_memory:
+            return None
+        job = plan.job
+        model = job.model
+
+        if self.flags.uniform_stage_memory:
+            params = model.total_params / plan.pipeline_parallel
+        else:
+            params = stage.partition.stage_params(model)
+
+        tp = max(1, min(r.tensor_parallel for r in stage.replicas))
+        if self.flags.include_optimizer_state:
+            bytes_per_param = job.bytes_per_param
+        else:
+            # Weights + gradients only (fp16).
+            bytes_per_param = 4.0
+        model_bytes = params / tp * bytes_per_param
+
+        activation_bytes = 0.0
+        if self.flags.include_activations:
+            profile = self.env.job_profile(stage.replicas[0])
+            per_layer = profile.activations(plan.microbatch_size, tp)
+            layers = (model.num_layers / plan.pipeline_parallel
+                      if self.flags.uniform_stage_memory
+                      else stage.partition.num_layers)
+            if self.flags.per_stage_in_flight:
+                in_flight = max(1, min(plan.num_microbatches,
+                                       plan.pipeline_parallel - stage.stage_index))
+            else:
+                in_flight = 1
+            activation_bytes = in_flight * layers * per_layer
+
+        overhead = 1.5 * (1024 ** 3) if self.flags.include_framework_overhead else 0.0
+        return model_bytes + activation_bytes + overhead
+
+    def estimate_peak_memory(self, plan: ParallelizationPlan) -> list[float] | None:
+        """Per-stage peak bytes, or ``None`` when memory is not modelled."""
+        if not self.flags.models_memory:
+            return None
+        out = []
+        for stage in plan.stages:
+            estimate = self.estimate_stage_memory(plan, stage)
+            out.append(estimate if estimate is not None else 0.0)
+        return out
+
+    def plan_fits(self, plan: ParallelizationPlan) -> bool:
+        """OOM check under this baseline's memory model.
+
+        Estimators that do not model memory accept every plan.
+        """
+        peaks = self.estimate_peak_memory(plan)
+        if peaks is None:
+            return True
+        for stage, peak in zip(plan.stages, peaks):
+            for replica in stage.replicas:
+                if peak > get_gpu(replica.gpu_type).memory_bytes:
+                    return False
+        return True
+
+
+# -- convenience factories ----------------------------------------------------
+
+def IgnoreMemoryEstimator(env: SimulationEnvironment) -> BaselineEstimator:
+    """Estimator that does not model memory at all (AMP-style)."""
+    return BaselineEstimator(env, EstimatorFlags(
+        models_memory=False, models_stragglers=False))
+
+
+def UniformStageEstimator(env: SimulationEnvironment) -> BaselineEstimator:
+    """Estimator that assumes uniform per-stage memory (Piper/FlashFlex-style)."""
+    return BaselineEstimator(env, EstimatorFlags(
+        uniform_stage_memory=True, per_stage_in_flight=False))
+
+
+def TheoreticalFlopsEstimator(env: SimulationEnvironment) -> BaselineEstimator:
+    """Estimator using theoretical peak FLOPS (FlashFlex-style)."""
+    return BaselineEstimator(env, EstimatorFlags(
+        uses_theoretical_flops=True, uniform_stage_memory=True,
+        per_stage_in_flight=False))

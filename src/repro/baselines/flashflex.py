@@ -1,0 +1,72 @@
+"""FlashFlex (Yan et al., 2024).
+
+Accommodates LLM training over heterogeneous GPUs and, unlike most
+baselines, chooses how many of the available GPUs to use.  Characteristics
+reproduced from the paper's comparison:
+
+* short search time (~seconds);
+* ranks candidates using the *theoretical* peak FLOPS of each GPU, so its
+  runtime estimates are far off (69% error in Figure 6) and its plans are
+  suboptimal;
+* prefers small tensor-parallel degrees and small microbatch sizes and uses
+  unnecessarily many pipeline stages, which hurts throughput and raises cost
+  (Figures 8 and 10);
+* assumes a uniform memory footprint across stages, so it fails to find
+  valid plans for large models (the X entries of Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePlanner, CandidatePlan, register_baseline
+from repro.baselines.estimators import BaselineEstimator, EstimatorFlags
+from repro.core.objectives import Objective
+from repro.hardware.topology import ClusterTopology
+from repro.models.spec import TrainingJobSpec
+
+
+@register_baseline
+class FlashFlexPlanner(BaselinePlanner):
+    """Theoretical-FLOPS-driven planner for heterogeneous clusters."""
+
+    name = "flashflex"
+    parallelism = "3D"
+    recommends_allocation = True
+    supports_heterogeneous = True
+    supports_multizone = False
+
+    def build_estimator(self) -> BaselineEstimator:
+        return BaselineEstimator(self.env, EstimatorFlags(
+            models_memory=True,
+            include_optimizer_state=True,
+            include_activations=True,
+            include_framework_overhead=False,
+            uniform_stage_memory=True,
+            per_stage_in_flight=False,
+            models_stragglers=True,
+            uses_theoretical_flops=True,
+            models_p2p_communication=False,
+            models_dp_sync=True,
+            message_size_aware_bandwidth=False,
+        ))
+
+    def ranked_plans(self, job: TrainingJobSpec, topology: ClusterTopology,
+                     objective: Objective) -> list[CandidatePlan]:
+        # FlashFlex favours low TP degrees and small microbatches.
+        plans = self.enumerate_uniform_plans(
+            job, topology, tensor_parallel_degrees=[1, 2],
+            allow_mixed_types=True)
+        candidates = []
+        for plan in plans:
+            if plan.microbatch_size > 2:
+                continue
+            if not self.estimator.plan_fits(plan):
+                continue
+            candidates.append(self.candidate_from_plan(plan, objective))
+        ranked = self._sort_candidates(candidates, objective)
+        # Because the FLOPS-only estimate barely penalises deep pipelines,
+        # FlashFlex breaks ties towards plans that use more stages and more
+        # of the available GPUs.
+        ranked.sort(key=lambda c: (c.estimated_iteration_time_s,
+                                   -c.plan.pipeline_parallel,
+                                   -c.plan.total_gpus))
+        return ranked

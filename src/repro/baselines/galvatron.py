@@ -1,0 +1,58 @@
+"""Galvatron (Miao et al., VLDB 2022).
+
+Automatic parallelism planner for transformer training on homogeneous
+clusters, combining dynamic programming over layers with a cost model.
+Characteristics reproduced from the paper's comparison:
+
+* search time of tens of seconds;
+* homogeneous assumptions (single GPU type, no zones);
+* per-stage memory modelling that tracks parameters and activations but not
+  framework overheads or in-flight microbatch growth, so its estimates are
+  optimistic for early pipeline stages.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePlanner, CandidatePlan, register_baseline
+from repro.baselines.estimators import BaselineEstimator, EstimatorFlags
+from repro.core.objectives import Objective
+from repro.hardware.topology import ClusterTopology
+from repro.models.spec import TrainingJobSpec
+
+
+@register_baseline
+class GalvatronPlanner(BaselinePlanner):
+    """Homogeneous 3D planner with a layer-wise cost model."""
+
+    name = "galvatron"
+    parallelism = "3D"
+    recommends_allocation = False
+    supports_heterogeneous = False
+    supports_multizone = False
+
+    def build_estimator(self) -> BaselineEstimator:
+        return BaselineEstimator(self.env, EstimatorFlags(
+            models_memory=True,
+            include_optimizer_state=True,
+            include_activations=True,
+            include_framework_overhead=False,
+            uniform_stage_memory=False,
+            per_stage_in_flight=False,
+            models_stragglers=False,
+            uses_theoretical_flops=False,
+            models_p2p_communication=True,
+            models_dp_sync=True,
+            models_embedding_and_head=False,
+            message_size_aware_bandwidth=True,
+        ))
+
+    def ranked_plans(self, job: TrainingJobSpec, topology: ClusterTopology,
+                     objective: Objective) -> list[CandidatePlan]:
+        plans = self.enumerate_uniform_plans(job, topology,
+                                             allow_mixed_types=False)
+        candidates = []
+        for plan in plans:
+            if not self.estimator.plan_fits(plan):
+                continue
+            candidates.append(self.candidate_from_plan(plan, objective))
+        return self._sort_candidates(candidates, objective)

@@ -1,0 +1,58 @@
+"""Varuna (Athlur et al., EuroSys 2022).
+
+Targets commodity clusters with data + pipeline parallelism only (no tensor
+parallelism).  Characteristics reproduced from the paper's comparison:
+
+* very fast exhaustive search over (PP, DP, microbatch size);
+* no tensor parallelism, which limits its search space (it fails to find
+  valid plans for some models in Figure 7);
+* memory estimation that omits optimizer state and communication buffers,
+  so it recommends configurations that OOM when deployed (section 1 / 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePlanner, CandidatePlan, register_baseline
+from repro.baselines.estimators import BaselineEstimator, EstimatorFlags
+from repro.core.objectives import Objective
+from repro.hardware.topology import ClusterTopology
+from repro.models.spec import TrainingJobSpec
+
+
+@register_baseline
+class VarunaPlanner(BaselinePlanner):
+    """2D (DP x PP) planner with an optimistic memory model."""
+
+    name = "varuna"
+    parallelism = "2D"
+    recommends_allocation = False
+    supports_heterogeneous = False
+    supports_multizone = False
+
+    def build_estimator(self) -> BaselineEstimator:
+        return BaselineEstimator(self.env, EstimatorFlags(
+            models_memory=True,
+            include_optimizer_state=False,
+            include_activations=True,
+            include_framework_overhead=False,
+            uniform_stage_memory=False,
+            per_stage_in_flight=False,
+            models_stragglers=False,
+            uses_theoretical_flops=False,
+            models_p2p_communication=True,
+            models_dp_sync=True,
+            models_embedding_and_head=False,
+            message_size_aware_bandwidth=False,
+        ))
+
+    def ranked_plans(self, job: TrainingJobSpec, topology: ClusterTopology,
+                     objective: Objective) -> list[CandidatePlan]:
+        plans = self.enumerate_uniform_plans(
+            job, topology, tensor_parallel_degrees=[1],
+            allow_mixed_types=False)
+        candidates = []
+        for plan in plans:
+            if not self.estimator.plan_fits(plan):
+                continue
+            candidates.append(self.candidate_from_plan(plan, objective))
+        return self._sort_candidates(candidates, objective)

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Installs as ``sailor-repro`` and exposes the library's main workflows:
+
+* ``sailor-repro catalog``     -- list known GPUs, node types and models;
+* ``sailor-repro plan``        -- plan a job on a described topology and
+  optionally write the chosen plan to JSON;
+* ``sailor-repro simulate``    -- evaluate a saved plan (memory, time, cost);
+* ``sailor-repro experiment``  -- regenerate one of the paper's tables/figures.
+
+Examples::
+
+    sailor-repro plan --model OPT-350M \
+        --nodes us-central1-a:a2-highgpu-4g:4 \
+        --nodes us-central1-a:n1-standard-v100-4:8 \
+        --objective throughput --output plan.json
+
+    sailor-repro simulate --plan plan.json
+
+    sailor-repro experiment figure8 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.core.objectives import Objective
+from repro.core.planner import SailorPlanner
+from repro.core.serialization import plan_from_json, plan_to_json, result_to_json
+from repro.core.simulator import SailorSimulator, build_environment
+from repro.hardware.gpus import list_gpus
+from repro.hardware.nodes import get_node_type, list_node_types
+from repro.hardware.topology import ClusterTopology
+from repro.models.catalog import get_model, list_models
+from repro.models.spec import TrainingJobSpec
+
+
+EXPERIMENT_NAMES = (
+    "figure1", "figure2", "figure3", "table1", "figure5", "figure6",
+    "figure7", "figure8", "figure9", "figure10", "figure11", "figure12",
+    "figure13", "figure14", "table2", "table3", "scalability",
+    "reconfiguration", "ablations",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="sailor-repro",
+        description="Sailor reproduction: plan, simulate and reproduce experiments.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    catalog = subparsers.add_parser(
+        "catalog", help="list known GPUs, node types and models")
+    catalog.add_argument("--kind", choices=["gpus", "nodes", "models", "all"],
+                         default="all")
+
+    plan = subparsers.add_parser("plan", help="plan a training job")
+    plan.add_argument("--model", default="OPT-350M",
+                      help="model name from the catalog (default: OPT-350M)")
+    plan.add_argument("--global-batch-size", type=int, default=2048)
+    plan.add_argument("--sequence-length", type=int, default=2048)
+    plan.add_argument("--nodes", action="append", required=True,
+                      metavar="ZONE:NODE_TYPE:COUNT",
+                      help="available nodes, e.g. us-central1-a:a2-highgpu-4g:4 "
+                           "(repeatable)")
+    plan.add_argument("--objective", choices=["throughput", "cost"],
+                      default="throughput")
+    plan.add_argument("--max-cost", type=float, default=None,
+                      help="budget ceiling in USD per iteration")
+    plan.add_argument("--min-throughput", type=float, default=None,
+                      help="throughput floor in iterations per second")
+    plan.add_argument("--output", default=None,
+                      help="write the chosen plan (JSON) to this file")
+    plan.add_argument("--result-output", default=None,
+                      help="write the full planner result (JSON) to this file")
+
+    simulate = subparsers.add_parser("simulate", help="evaluate a saved plan")
+    simulate.add_argument("--plan", required=True, help="plan JSON file")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=EXPERIMENT_NAMES)
+    experiment.add_argument("--scale", choices=["tiny", "small", "paper"],
+                            default="small")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def parse_nodes(specs: list[str]) -> ClusterTopology:
+    """Parse repeated ``zone:node_type:count`` arguments into a topology."""
+    nodes: dict[str, dict[str, int]] = {}
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise SystemExit(f"invalid --nodes value {spec!r}; "
+                             "expected ZONE:NODE_TYPE:COUNT")
+        zone, node_type, count_text = parts
+        try:
+            get_node_type(node_type)
+        except KeyError as exc:
+            raise SystemExit(str(exc)) from None
+        try:
+            count = int(count_text)
+        except ValueError:
+            raise SystemExit(f"invalid node count {count_text!r}") from None
+        nodes.setdefault(zone, {})[node_type] = \
+            nodes.get(zone, {}).get(node_type, 0) + count
+    return ClusterTopology(nodes=nodes)
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    if args.kind in ("gpus", "all"):
+        print("GPUs:")
+        for gpu in list_gpus():
+            print(f"  {gpu.name:<14} {gpu.memory_gb:5.0f} GiB  "
+                  f"{gpu.peak_tflops:6.0f} TFLOP/s  ({gpu.generation})")
+    if args.kind in ("nodes", "all"):
+        print("Node types:")
+        for node in list_node_types():
+            print(f"  {node.name:<22} {node.gpus_per_node}x {node.gpu.name:<12} "
+                  f"{node.nic_bw_gbps:5.0f} Gbit/s NIC")
+    if args.kind in ("models", "all"):
+        print("Models:")
+        for model in list_models():
+            print(f"  {model.name:<16} {model.num_layers:3d} layers  "
+                  f"hidden {model.hidden_size:5d}  "
+                  f"{model.total_params / 1e6:8.0f}M params")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    try:
+        model = get_model(args.model)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    job = TrainingJobSpec(model=model, global_batch_size=args.global_batch_size,
+                          sequence_length=args.sequence_length)
+    topology = parse_nodes(args.nodes)
+    print("Planning for topology:")
+    print(topology.describe())
+
+    env = build_environment(job, topology)
+    if args.objective == "throughput":
+        objective = Objective.max_throughput(
+            max_cost_per_iteration_usd=args.max_cost)
+    else:
+        objective = Objective.min_cost(
+            min_throughput_iters_per_s=args.min_throughput)
+
+    result = SailorPlanner(env).plan(job, topology, objective)
+    print(f"\nsearch time: {result.search_time_s:.2f}s  "
+          f"candidates: {result.candidates_evaluated}")
+    if not result.found:
+        print("no valid plan found within the constraints")
+        return 1
+
+    print(result.plan.describe())
+    evaluation = result.evaluation
+    print(f"\nestimated throughput: {evaluation.throughput_iters_per_s:.3f} iters/s")
+    print(f"estimated cost      : {evaluation.cost_per_iteration_usd:.3f} USD/iteration")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(plan_to_json(result.plan))
+        print(f"plan written to {args.output}")
+    if args.result_output:
+        with open(args.result_output, "w", encoding="utf-8") as handle:
+            handle.write(result_to_json(result))
+        print(f"planner result written to {args.result_output}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    with open(args.plan, encoding="utf-8") as handle:
+        plan = plan_from_json(handle.read())
+    topology = _topology_for_plan(plan)
+    env = build_environment(plan.job, topology)
+    evaluation = SailorSimulator(env).evaluate(plan)
+    print(plan.describe())
+    print(f"\niteration time : {evaluation.iteration_time_s:.2f} s")
+    print(f"throughput     : {evaluation.throughput_iters_per_s:.3f} iters/s")
+    print(f"cost           : {evaluation.cost_per_iteration_usd:.3f} USD/iteration")
+    print(f"valid (no OOM) : {evaluation.is_valid}")
+    print("peak memory    : " + ", ".join(
+        f"{m / 2**30:.1f} GiB" for m in evaluation.peak_memory_bytes_per_stage))
+    return 0 if evaluation.is_valid else 1
+
+
+def _topology_for_plan(plan) -> ClusterTopology:
+    """Smallest topology that contains the plan (for profiling purposes)."""
+    allocation = plan.resource_allocation()
+    nodes: dict[str, dict[str, int]] = {}
+    for (zone, node_type), count in allocation.nodes.items():
+        nodes.setdefault(zone, {})[node_type] = count
+    return ClusterTopology(nodes=nodes)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    table = module.run(args.scale)
+    print(table.to_text())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "catalog": cmd_catalog,
+        "plan": cmd_plan,
+        "simulate": cmd_simulate,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,407 @@
+"""Per-stage resource assignment via dynamic programming (paper Listing 1).
+
+Given a pipeline depth ``P``, a data-parallel degree ``D``, a microbatch size
+and the per-(stage, node type) tensor-parallel candidates, the solver walks
+the stages front to back.  For each stage it enumerates *resource combos*
+(ways to place the stage's ``D`` replicas on the remaining nodes of one
+region, possibly mixing node types -- heuristic H5 keeps a stage's
+data-parallel group inside one region), recurses on the remaining stages and
+remaining resources, and keeps the combination minimising the projected
+iteration time
+
+``T = sum_i t_i + (Nb - 1) * max_i t_i + max_i sync_i``
+
+(or the projected cost when the objective is cost minimisation).  Results
+are memoised on ``(stage, remaining resources, remaining budget)``.
+
+When a budget constraint is present, the solver follows the paper's
+straggler-approximation loop: it first assumes the current stage is the
+pipeline straggler to estimate the budget left for the remaining stages,
+solves them, and re-iterates with the discovered straggler when the
+assumption was wrong (section 4.2.3).  This is what makes budget-constrained
+searches slower (Table 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.collectives import ring_allreduce_time
+from repro.core.objectives import OptimizationGoal
+from repro.core.simulator.environment import SimulationEnvironment
+from repro.hardware.network import LinkClass
+from repro.hardware.nodes import get_node_type
+from repro.models.partition import LayerPartition
+from repro.models.spec import TrainingJobSpec
+
+
+#: Type alias: remaining nodes keyed by (zone, node type).
+ResourceMap = dict[tuple[str, str], int]
+
+
+@dataclass(frozen=True)
+class StageOption:
+    """One way to host replicas of a stage: a (zone, node type, TP) choice."""
+
+    zone: str
+    node_type: str
+    tensor_parallel: int
+
+    @property
+    def gpus_per_node(self) -> int:
+        return get_node_type(self.node_type).gpus_per_node
+
+    @property
+    def replicas_per_node(self) -> int:
+        """How many replicas of this option fit on one node."""
+        return max(1, self.gpus_per_node // self.tensor_parallel)
+
+    def nodes_needed(self, replicas: int) -> int:
+        """Whole nodes needed to host ``replicas`` replicas."""
+        return math.ceil(replicas / self.replicas_per_node)
+
+
+@dataclass
+class StageAssignment:
+    """Resources given to one stage: replica counts per option."""
+
+    stage_index: int
+    placements: list[tuple[StageOption, int]]
+    compute_time_s: float
+    sync_time_s: float
+    cost_rate_usd_per_s: float
+
+    @property
+    def nodes_used(self) -> dict[tuple[str, str], int]:
+        """Whole nodes consumed, keyed by (zone, node type)."""
+        out: dict[tuple[str, str], int] = {}
+        for option, count in self.placements:
+            key = (option.zone, option.node_type)
+            out[key] = out.get(key, 0) + option.nodes_needed(count)
+        return out
+
+    @property
+    def total_replicas(self) -> int:
+        return sum(count for _, count in self.placements)
+
+    @property
+    def zones(self) -> list[str]:
+        return sorted({opt.zone for opt, _ in self.placements})
+
+
+@dataclass
+class DPSolution:
+    """Best assignment found for a suffix of the pipeline."""
+
+    assignments: list[StageAssignment]
+    max_stage_time_s: float
+    sum_stage_time_s: float
+    max_sync_time_s: float
+    cost_rate_usd_per_s: float
+
+    def projected_iteration_time(self, num_microbatches: int) -> float:
+        """Iteration-time estimate the DP optimises."""
+        return (self.sum_stage_time_s
+                + (num_microbatches - 1) * self.max_stage_time_s
+                + self.max_sync_time_s)
+
+    def projected_cost(self, num_microbatches: int) -> float:
+        """Cost estimate (compute only) the DP uses under budget constraints."""
+        return self.cost_rate_usd_per_s * self.projected_iteration_time(num_microbatches)
+
+    @property
+    def straggler_stage(self) -> int:
+        """Index (within the suffix) of the slowest stage."""
+        best = 0
+        for i, assignment in enumerate(self.assignments):
+            if assignment.compute_time_s > self.assignments[best].compute_time_s:
+                best = i
+        return best
+
+
+@dataclass
+class DPSolverConfig:
+    """Knobs bounding the DP search."""
+
+    max_combos_per_stage: int = 16
+    max_mixed_types_per_stage: int = 2
+    split_fractions: tuple[float, ...] = (0.25, 0.5, 0.75)
+    max_budget_iterations: int = 4
+
+
+class DPSolver:
+    """Solves the per-stage resource-assignment problem for one (P, D, mbs)."""
+
+    def __init__(self, env: SimulationEnvironment, job: TrainingJobSpec,
+                 partitions: list[LayerPartition],
+                 tp_options_per_stage: list[dict[str, list[int]]],
+                 microbatch_size: int, data_parallel: int,
+                 num_microbatches: int,
+                 goal: OptimizationGoal = OptimizationGoal.MAX_THROUGHPUT,
+                 config: DPSolverConfig | None = None) -> None:
+        self.env = env
+        self.job = job
+        self.partitions = partitions
+        self.tp_options_per_stage = tp_options_per_stage
+        self.microbatch_size = microbatch_size
+        self.data_parallel = data_parallel
+        self.num_microbatches = num_microbatches
+        self.goal = goal
+        self.config = config or DPSolverConfig()
+        self._stage_time_cache: dict[tuple[int, str, int], float] = {}
+        self._memo: dict[tuple, DPSolution | None] = {}
+        self.nodes_explored = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def solve(self, resources: ResourceMap,
+              budget_per_iteration: float | None = None) -> DPSolution | None:
+        """Assign resources to every stage; ``None`` when nothing fits."""
+        self._memo.clear()
+        usable = {key: count for key, count in resources.items() if count > 0}
+        return self._solve(0, usable, budget_per_iteration)
+
+    # -- stage metrics -----------------------------------------------------------
+
+    def stage_compute_time(self, stage_index: int, node_type: str,
+                           tensor_parallel: int) -> float:
+        """Per-microbatch forward+backward time of a stage on one option."""
+        key = (stage_index, node_type, tensor_parallel)
+        cached = self._stage_time_cache.get(key)
+        if cached is not None:
+            return cached
+        partition = self.partitions[stage_index]
+        gpu_type = get_node_type(node_type).gpu.name
+        profile = self.env.profiles.job_profile(gpu_type)
+        layer = profile.layer(self.microbatch_size, tensor_parallel)
+        total = partition.num_layers * layer.fwd_bwd_s
+        if partition.has_embedding:
+            total += profile.embedding(self.microbatch_size, tensor_parallel).fwd_bwd_s
+        if partition.has_lm_head:
+            total += profile.head(self.microbatch_size, tensor_parallel).fwd_bwd_s
+        self._stage_time_cache[key] = total
+        return total
+
+    def stage_sync_time(self, stage_index: int,
+                        placements: list[tuple[StageOption, int]]) -> float:
+        """Approximate gradient all-reduce time of a stage's replicas."""
+        if self.data_parallel == 1:
+            return 0.0
+        partition = self.partitions[stage_index]
+        stage_params = partition.stage_params(self.job.model)
+        message = max(stage_params / opt.tensor_parallel * 2.0
+                      for opt, _ in placements)
+        zones = sorted({opt.zone for opt, _ in placements})
+        node_types = sorted({opt.node_type for opt, _ in placements})
+        if len(zones) == 1:
+            link_class = LinkClass.INTRA_ZONE
+        else:
+            link_class = self.env.link_class(zones[0], zones[-1])
+        profile = self.env.profiles.network_profile(
+            node_types[0], node_types[-1], link_class)
+        return ring_allreduce_time(message, self.data_parallel, profile.transfer_time)
+
+    def stage_cost_rate(self, placements: list[tuple[StageOption, int]]) -> float:
+        """USD per second of the whole nodes a stage occupies."""
+        total = 0.0
+        for option, count in placements:
+            spec = get_node_type(option.node_type)
+            nodes = option.nodes_needed(count)
+            total += (nodes * spec.gpus_per_node
+                      * self.env.prices.gpu_price_per_second(spec.gpu.name))
+        return total
+
+    # -- combo generation ---------------------------------------------------------
+
+    def _options_for_stage(self, stage_index: int,
+                           resources: ResourceMap) -> list[tuple[StageOption, int]]:
+        """All (option, max replicas) pairs available for a stage."""
+        tp_options = self.tp_options_per_stage[stage_index]
+        options: list[tuple[StageOption, int]] = []
+        for (zone, node_type), count in resources.items():
+            if count <= 0 or node_type not in tp_options:
+                continue
+            for tp in tp_options[node_type]:
+                option = StageOption(zone=zone, node_type=node_type, tensor_parallel=tp)
+                max_replicas = count * option.replicas_per_node
+                if max_replicas >= 1:
+                    options.append((option, max_replicas))
+        return options
+
+    def _split_counts(self, total: int) -> list[int]:
+        """Coarse split points for mixing two options within one stage."""
+        if total < 2:
+            return []
+        points = {1, total - 1}
+        for fraction in self.config.split_fractions:
+            k = int(round(total * fraction))
+            if 1 <= k <= total - 1:
+                points.add(k)
+        return sorted(points)
+
+    def generate_combos(self, stage_index: int,
+                        resources: ResourceMap) -> list[list[tuple[StageOption, int]]]:
+        """Resource combos able to host the stage's ``D`` replicas.
+
+        Honours H5: every combo stays within a single region.  Combos are
+        ranked by the stage compute time they imply (cost rate for the cost
+        objective) and truncated to ``max_combos_per_stage``.
+        """
+        needed = self.data_parallel
+        options = self._options_for_stage(stage_index, resources)
+        by_region: dict[str, list[tuple[StageOption, int]]] = {}
+        for option, max_replicas in options:
+            by_region.setdefault(self.env.region_of(option.zone), []).append(
+                (option, max_replicas))
+
+        combos: list[list[tuple[StageOption, int]]] = []
+        for region_options in by_region.values():
+            # Single-option combos.
+            for option, max_replicas in region_options:
+                if max_replicas >= needed:
+                    combos.append([(option, needed)])
+            # Two-option combos (heterogeneous stage or two zones).
+            if self.config.max_mixed_types_per_stage >= 2 and needed >= 2:
+                for (opt_a, max_a), (opt_b, max_b) in itertools.combinations(
+                        region_options, 2):
+                    if opt_a.zone == opt_b.zone and opt_a.node_type == opt_b.node_type:
+                        continue
+                    for k in self._split_counts(needed):
+                        if k <= max_a and (needed - k) <= max_b:
+                            combos.append([(opt_a, k), (opt_b, needed - k)])
+
+        def combo_key(placements: list[tuple[StageOption, int]]) -> float:
+            if self.goal is OptimizationGoal.MIN_COST:
+                return self.stage_cost_rate(placements)
+            return max(self.stage_compute_time(stage_index, opt.node_type,
+                                               opt.tensor_parallel)
+                       for opt, _ in placements)
+
+        combos.sort(key=combo_key)
+        return combos[:self.config.max_combos_per_stage]
+
+    # -- recursion ------------------------------------------------------------------
+
+    @staticmethod
+    def _canonical(resources: ResourceMap) -> tuple:
+        return tuple(sorted((k, v) for k, v in resources.items() if v > 0))
+
+    @staticmethod
+    def _subtract(resources: ResourceMap,
+                  nodes_used: dict[tuple[str, str], int]) -> ResourceMap | None:
+        remaining = dict(resources)
+        for key, used in nodes_used.items():
+            have = remaining.get(key, 0)
+            if used > have:
+                return None
+            remaining[key] = have - used
+        return remaining
+
+    def _assignment_for(self, stage_index: int,
+                        placements: list[tuple[StageOption, int]]) -> StageAssignment:
+        compute = max(self.stage_compute_time(stage_index, opt.node_type,
+                                              opt.tensor_parallel)
+                      for opt, _ in placements)
+        sync = self.stage_sync_time(stage_index, placements)
+        cost_rate = self.stage_cost_rate(placements)
+        return StageAssignment(stage_index=stage_index, placements=placements,
+                               compute_time_s=compute, sync_time_s=sync,
+                               cost_rate_usd_per_s=cost_rate)
+
+    def _better(self, candidate: DPSolution, incumbent: DPSolution | None) -> bool:
+        if incumbent is None:
+            return True
+        nb = self.num_microbatches
+        if self.goal is OptimizationGoal.MIN_COST:
+            return candidate.projected_cost(nb) < incumbent.projected_cost(nb)
+        return (candidate.projected_iteration_time(nb)
+                < incumbent.projected_iteration_time(nb))
+
+    def _solve(self, stage_index: int, resources: ResourceMap,
+               budget: float | None) -> DPSolution | None:
+        key = (stage_index, self._canonical(resources),
+               None if budget is None else round(budget, 6))
+        if key in self._memo:
+            return self._memo[key]
+        self.nodes_explored += 1
+
+        best: DPSolution | None = None
+        combos = self.generate_combos(stage_index, resources)
+        is_last = stage_index == len(self.partitions) - 1
+
+        for placements in combos:
+            assignment = self._assignment_for(stage_index, placements)
+
+            if is_last:
+                solution = DPSolution(
+                    assignments=[assignment],
+                    max_stage_time_s=assignment.compute_time_s,
+                    sum_stage_time_s=assignment.compute_time_s,
+                    max_sync_time_s=assignment.sync_time_s,
+                    cost_rate_usd_per_s=assignment.cost_rate_usd_per_s,
+                )
+                if budget is not None and solution.projected_cost(self.num_microbatches) > budget:
+                    continue
+                if self._better(solution, best):
+                    best = solution
+                continue
+
+            remaining = self._subtract(resources, assignment.nodes_used)
+            if remaining is None:
+                continue
+
+            candidate = self._solve_suffix(stage_index, assignment, remaining, budget)
+            if candidate is not None and self._better(candidate, best):
+                best = candidate
+
+        self._memo[key] = best
+        return best
+
+    def _solve_suffix(self, stage_index: int, assignment: StageAssignment,
+                      remaining: ResourceMap,
+                      budget: float | None) -> DPSolution | None:
+        """Combine one stage assignment with the best suffix solution.
+
+        Implements the straggler-approximation loop of section 4.2.3 when a
+        budget is present: assume the current stage is the straggler, compute
+        the remaining budget, solve the suffix, and retry with the discovered
+        straggler when the assumption turns out wrong.
+        """
+        nb = self.num_microbatches
+
+        if budget is None:
+            suffix = self._solve(stage_index + 1, remaining, None)
+            if suffix is None:
+                return None
+            return self._combine(assignment, suffix)
+
+        assumed_straggler = assignment.compute_time_s
+        for _ in range(self.config.max_budget_iterations):
+            stage_cost = assignment.cost_rate_usd_per_s * nb * assumed_straggler
+            remaining_budget = budget - stage_cost
+            if remaining_budget <= 0:
+                return None
+            suffix = self._solve(stage_index + 1, remaining, remaining_budget)
+            if suffix is None:
+                return None
+            combined = self._combine(assignment, suffix)
+            if combined.projected_cost(nb) > budget:
+                return None
+            actual_straggler = combined.max_stage_time_s
+            if actual_straggler <= assumed_straggler + 1e-12:
+                return combined
+            assumed_straggler = actual_straggler
+        return combined
+
+    @staticmethod
+    def _combine(assignment: StageAssignment, suffix: DPSolution) -> DPSolution:
+        return DPSolution(
+            assignments=[assignment] + suffix.assignments,
+            max_stage_time_s=max(assignment.compute_time_s, suffix.max_stage_time_s),
+            sum_stage_time_s=assignment.compute_time_s + suffix.sum_stage_time_s,
+            max_sync_time_s=max(assignment.sync_time_s, suffix.max_sync_time_s),
+            cost_rate_usd_per_s=(assignment.cost_rate_usd_per_s
+                                 + suffix.cost_rate_usd_per_s),
+        )

@@ -1,0 +1,250 @@
+"""The Sailor planner (paper section 4.2).
+
+Jointly selects a *resource allocation* (which nodes, of which type, in
+which zones) and a *job parallelization plan* (pipeline depth, per-stage
+tensor-parallel degrees per GPU type, shared data-parallel degree,
+microbatch size) that optimises the user's objective under optional
+constraints.  The search combines:
+
+* the pruning heuristics H1-H6 (:mod:`repro.core.heuristics`),
+* the per-stage dynamic program (:mod:`repro.core.dp_solver`), and
+* the Sailor simulator for the final accuracy check of each candidate
+  (:mod:`repro.core.simulator`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.dp_solver import DPSolver, DPSolverConfig, DPSolution, StageOption
+from repro.core.heuristics import (
+    ConsolidatedTopology,
+    HeuristicConfig,
+    consolidate_zones,
+    data_parallel_candidates,
+    microbatch_candidates,
+    min_tp_per_stage,
+    pipeline_parallel_candidates,
+    tp_options_for_stage,
+)
+from repro.core.objectives import Objective, OptimizationGoal
+from repro.core.plan import (
+    ParallelizationPlan,
+    PlanEvaluation,
+    PlannerResult,
+    StageConfig,
+    StageReplica,
+)
+from repro.core.simulator import SailorSimulator, SimulationEnvironment
+from repro.hardware.nodes import get_node_type
+from repro.hardware.topology import ClusterTopology
+from repro.models.partition import uniform_partition
+from repro.models.spec import TrainingJobSpec
+
+
+@dataclass
+class PlannerConfig:
+    """Configuration of the Sailor planner search."""
+
+    heuristics: HeuristicConfig = field(default_factory=HeuristicConfig)
+    dp_config: DPSolverConfig = field(default_factory=DPSolverConfig)
+    #: Stop exploring further data-parallel degrees after this many
+    #: consecutive non-improving candidates (H3/H4 early stop).
+    dp_patience: int = 1
+    #: Optional wall-clock limit for one planning call, in seconds.
+    time_limit_s: float | None = None
+
+
+class SailorPlanner:
+    """Joint resource-allocation + parallelization-plan search."""
+
+    name = "sailor"
+
+    def __init__(self, env: SimulationEnvironment,
+                 config: PlannerConfig | None = None) -> None:
+        self.env = env
+        self.config = config or PlannerConfig()
+        self.simulator = SailorSimulator(env)
+
+    # -- public API -------------------------------------------------------------
+
+    def plan(self, job: TrainingJobSpec, topology: ClusterTopology,
+             objective: Objective | None = None) -> PlannerResult:
+        """Search for the best plan on the currently-available topology."""
+        objective = objective or Objective.max_throughput()
+        start = time.perf_counter()
+        heuristics = self.config.heuristics
+
+        consolidated = consolidate_zones(topology, heuristics)
+        resources = self._resource_map(consolidated.topology)
+        total_nodes = sum(resources.values())
+
+        best_plan: ParallelizationPlan | None = None
+        best_eval: PlanEvaluation | None = None
+        candidates_evaluated = 0
+        oom_plans = 0
+        maximize_throughput = objective.goal is OptimizationGoal.MAX_THROUGHPUT
+        budget = objective.constraint.max_cost_per_iteration_usd
+
+        for pp in pipeline_parallel_candidates(job, total_nodes, heuristics):
+            if self._timed_out(start):
+                break
+            partitions = uniform_partition(job.model, pp)
+            for mbs in microbatch_candidates(job, heuristics):
+                if self._timed_out(start):
+                    break
+                tp_req = min_tp_per_stage(
+                    job, partitions, consolidated.topology.node_types(), mbs,
+                    num_microbatches_in_flight_cap=pp, env=self.env,
+                    config=heuristics)
+                if any(not per_stage for per_stage in tp_req):
+                    continue  # some stage fits on no available GPU type
+                tp_options = [tp_options_for_stage(per_stage, heuristics)
+                              for per_stage in tp_req]
+
+                max_dp = self._max_data_parallel(resources, tp_options, pp)
+                dp_candidates = data_parallel_candidates(
+                    job, mbs, max_dp, maximize_throughput=maximize_throughput,
+                    config=heuristics)
+
+                stale = 0
+                best_score_this_branch: float | None = None
+                for dp in dp_candidates:
+                    if self._timed_out(start):
+                        break
+                    num_microbatches = job.num_microbatches(dp, mbs)
+                    solver = DPSolver(
+                        env=self.env, job=job, partitions=partitions,
+                        tp_options_per_stage=tp_options, microbatch_size=mbs,
+                        data_parallel=dp, num_microbatches=num_microbatches,
+                        goal=objective.goal, config=self.config.dp_config)
+                    solution = solver.solve(resources, budget_per_iteration=budget)
+                    if solution is None:
+                        continue
+
+                    plan = self._build_plan(job, partitions, mbs, solution,
+                                            consolidated)
+                    if plan is None:
+                        continue
+                    evaluation = self.simulator.evaluate(plan)
+                    candidates_evaluated += 1
+                    if not evaluation.is_valid:
+                        oom_plans += 1
+                        continue
+                    meets = objective.constraint.satisfied_by(
+                        evaluation, total_gpus=plan.total_gpus)
+
+                    score = objective.score(evaluation)
+                    if meets and objective.better(evaluation, best_eval):
+                        best_plan, best_eval = plan, evaluation
+
+                    # H3/H4 early stop within this (P, mbs) branch.
+                    if heuristics.ordered_data_parallel:
+                        if (best_score_this_branch is not None
+                                and score <= best_score_this_branch + 1e-12):
+                            stale += 1
+                            if stale > self.config.dp_patience:
+                                break
+                        else:
+                            stale = 0
+                        if best_score_this_branch is None or score > best_score_this_branch:
+                            best_score_this_branch = score
+
+        return PlannerResult(
+            plan=best_plan,
+            evaluation=best_eval,
+            search_time_s=time.perf_counter() - start,
+            planner_name=self.name,
+            candidates_evaluated=candidates_evaluated,
+            oom_plans_generated=oom_plans,
+        )
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _timed_out(self, start: float) -> bool:
+        limit = self.config.time_limit_s
+        return limit is not None and (time.perf_counter() - start) > limit
+
+    @staticmethod
+    def _resource_map(topology: ClusterTopology) -> dict[tuple[str, str], int]:
+        resources: dict[tuple[str, str], int] = {}
+        for zone, per_type in topology.nodes.items():
+            for node_type, count in per_type.items():
+                if count > 0:
+                    resources[(zone, node_type)] = count
+        return resources
+
+    @staticmethod
+    def _max_data_parallel(resources: dict[tuple[str, str], int],
+                           tp_options: list[dict[str, list[int]]],
+                           pipeline_parallel: int) -> int:
+        """Upper bound on the data-parallel degree the resources allow."""
+        # Replica capacity of the whole pool for the cheapest (smallest TP)
+        # option of each node type, divided across the pipeline stages.
+        total_replica_slots = 0
+        for (zone, node_type), count in resources.items():
+            spec = get_node_type(node_type)
+            min_tp = min((min(opts[node_type]) for opts in tp_options
+                          if node_type in opts), default=None)
+            if min_tp is None:
+                continue
+            total_replica_slots += count * (spec.gpus_per_node // min_tp)
+        return max(0, total_replica_slots // max(1, pipeline_parallel))
+
+    def _build_plan(self, job: TrainingJobSpec, partitions, microbatch_size: int,
+                    solution: DPSolution,
+                    consolidated: ConsolidatedTopology) -> ParallelizationPlan | None:
+        """Materialise a DP solution into a plan on the *real* zones (H6)."""
+        # Remaining real nodes per (zone, node type), shared across stages.
+        remaining: dict[tuple[str, str], int] = {}
+        for pseudo, members in consolidated.members.items():
+            for zone, node_type, count in members:
+                key = (zone, node_type)
+                remaining[key] = remaining.get(key, 0) + count
+
+        stages: list[StageConfig] = []
+        for partition, assignment in zip(partitions, solution.assignments):
+            replicas: list[StageReplica] = []
+            for option, count in assignment.placements:
+                placed = self._place_replicas(option, count, consolidated, remaining)
+                if placed is None:
+                    return None
+                replicas.extend(placed)
+            stages.append(StageConfig(partition=partition, replicas=replicas))
+        try:
+            return ParallelizationPlan(job=job, stages=stages,
+                                       microbatch_size=microbatch_size)
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _place_replicas(option: StageOption, count: int,
+                        consolidated: ConsolidatedTopology,
+                        remaining: dict[tuple[str, str], int],
+                        ) -> list[StageReplica] | None:
+        """Spread ``count`` replicas of one option over real zones' nodes."""
+        real_zones = consolidated.real_zones(option.zone, option.node_type)
+        if not real_zones:
+            real_zones = [(option.zone, remaining.get((option.zone, option.node_type), 0))]
+        replicas: list[StageReplica] = []
+        open_zone: str | None = None
+        open_slots = 0
+        per_node = get_node_type(option.node_type).gpus_per_node
+        for _ in range(count):
+            if open_slots < option.tensor_parallel:
+                # Open a new node in a real zone that still has capacity.
+                open_zone = None
+                for zone, _quota in real_zones:
+                    if remaining.get((zone, option.node_type), 0) > 0:
+                        remaining[(zone, option.node_type)] -= 1
+                        open_zone = zone
+                        open_slots = per_node
+                        break
+                if open_zone is None:
+                    return None
+            replicas.append(StageReplica(node_type=option.node_type,
+                                         tensor_parallel=option.tensor_parallel,
+                                         zone=open_zone))
+            open_slots -= option.tensor_parallel
+        return replicas

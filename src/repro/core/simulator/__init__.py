@@ -1,0 +1,37 @@
+"""Sailor simulator: memory footprint, iteration time and cost estimation.
+
+The planner calls the simulator to evaluate candidate plans without
+deploying them (paper section 4.3).  The package splits the estimation into:
+
+* :mod:`repro.core.simulator.environment` -- the bundle of profiles, cloud
+  layout and prices every estimator needs.
+* :mod:`repro.core.simulator.memory` -- per-worker peak memory footprint and
+  OOM detection.
+* :mod:`repro.core.simulator.timing` -- 1F1B iteration-time estimation with
+  straggler effects.
+* :mod:`repro.core.simulator.cost` -- USD per iteration (compute + egress).
+* :mod:`repro.core.simulator.evaluator` -- the :class:`SailorSimulator`
+  facade combining the three.
+* :mod:`repro.core.simulator.reference` -- a fine-grained event-driven
+  reference simulator standing in for "real hardware" measurements.
+"""
+
+from repro.core.simulator.environment import SimulationEnvironment, build_environment
+from repro.core.simulator.memory import MemoryEstimator, MemoryBreakdown
+from repro.core.simulator.timing import TimingEstimator, TimingBreakdown
+from repro.core.simulator.cost import CostEstimator, CostBreakdown
+from repro.core.simulator.evaluator import SailorSimulator
+from repro.core.simulator.reference import ReferenceSimulator
+
+__all__ = [
+    "SimulationEnvironment",
+    "build_environment",
+    "MemoryEstimator",
+    "MemoryBreakdown",
+    "TimingEstimator",
+    "TimingBreakdown",
+    "CostEstimator",
+    "CostBreakdown",
+    "SailorSimulator",
+    "ReferenceSimulator",
+]

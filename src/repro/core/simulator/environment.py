@@ -1,0 +1,120 @@
+"""Simulation environment: everything an estimator needs besides the plan.
+
+Bundles the profile store (per-GPU-type job profiles and fitted network
+curves), the cloud layout (zone-to-region mapping) and the price catalog,
+plus helpers to resolve the link between two stage replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import StageReplica
+from repro.hardware.network import LinkClass, NetworkModel
+from repro.hardware.nodes import get_node_type, list_node_types
+from repro.hardware.pricing import PriceCatalog, default_price_catalog
+from repro.hardware.topology import ClusterTopology, default_cloud_layout
+from repro.models.spec import TrainingJobSpec
+from repro.profiler.compute import ComputeProfiler
+from repro.profiler.network import NetworkProfiler
+from repro.profiler.profiles import JobProfile, NetworkProfile, ProfileStore
+
+
+@dataclass
+class SimulationEnvironment:
+    """Profiles + cloud layout + prices used by all estimators."""
+
+    profiles: ProfileStore
+    zone_to_region: dict[str, str] = field(default_factory=default_cloud_layout)
+    prices: PriceCatalog = field(default_factory=default_price_catalog)
+
+    def region_of(self, zone: str) -> str:
+        """Region a zone belongs to (GCP naming fallback)."""
+        return self.zone_to_region.get(zone, zone.rsplit("-", 1)[0])
+
+    def link_class(self, zone_a: str, zone_b: str) -> LinkClass:
+        """Locality class of traffic between two zones."""
+        if zone_a == zone_b:
+            return LinkClass.INTRA_ZONE
+        if self.region_of(zone_a) == self.region_of(zone_b):
+            return LinkClass.INTER_ZONE
+        return LinkClass.INTER_REGION
+
+    def job_profile(self, replica: StageReplica) -> JobProfile:
+        """Job profile of the GPU type a replica runs on."""
+        return self.profiles.job_profile(replica.gpu_type)
+
+    def link_between(self, replica_a: StageReplica,
+                     replica_b: StageReplica) -> NetworkProfile:
+        """Fitted network curve for traffic between two replicas."""
+        link_class = self.link_class(replica_a.zone, replica_b.zone)
+        return self.profiles.network_profile(
+            replica_a.node_type, replica_b.node_type, link_class)
+
+    def link_for_replicas(self, replicas: list[StageReplica]) -> NetworkProfile:
+        """Worst (slowest) pairwise link among a group of replicas.
+
+        Used to bound the data-parallel all-reduce of a stage whose replicas
+        span nodes, zones or regions.
+        """
+        if not replicas:
+            raise ValueError("need at least one replica")
+        if len(replicas) == 1:
+            return self.link_between(replicas[0], replicas[0])
+        worst: NetworkProfile | None = None
+        worst_bw = float("inf")
+        probe = 64 * 1024 * 1024  # 64 MiB, a typical gradient bucket
+        for i, a in enumerate(replicas):
+            for b in replicas[i + 1:]:
+                profile = self.link_between(a, b)
+                bw = profile.bandwidth(probe)
+                if bw < worst_bw:
+                    worst, worst_bw = profile, bw
+        assert worst is not None
+        return worst
+
+
+def build_environment(job: TrainingJobSpec,
+                      topology: ClusterTopology,
+                      *,
+                      microbatch_sizes: list[int] | None = None,
+                      noise_std: float = 0.0,
+                      seed: int = 0,
+                      prices: PriceCatalog | None = None,
+                      network: NetworkModel | None = None) -> SimulationEnvironment:
+    """Profile a job on every GPU type of a topology and bundle the result.
+
+    This is the convenience entry point examples and experiments use: it runs
+    the (simulated) job profiler once per GPU type present in ``topology`` and
+    the network profiler over every node-type pair, exactly like the real
+    Sailor profiler would (section 4.1).
+    """
+    network = network or topology.network
+    store = ProfileStore()
+    compute_profiler = ComputeProfiler(noise_std=noise_std, seed=seed)
+
+    node_types = [get_node_type(t) for t in topology.node_types()]
+    if not node_types:
+        node_types = list_node_types()
+
+    # One job profile per GPU type, covering every TP degree any node type
+    # with that GPU supports (e.g. both 4-GPU and 8-GPU A100 nodes).
+    tp_by_gpu: dict[str, set[int]] = {}
+    gpu_specs = {}
+    for node in node_types:
+        gpu_specs[node.gpu.name] = node.gpu
+        tp_by_gpu.setdefault(node.gpu.name, set()).update(node.valid_tp_degrees)
+    for gpu_name, gpu in gpu_specs.items():
+        store.add_job_profile(compute_profiler.profile(
+            job, gpu,
+            microbatch_sizes=microbatch_sizes,
+            tensor_parallel_degrees=sorted(tp_by_gpu[gpu_name])))
+
+    network_profiler = NetworkProfiler(network, noise_std=noise_std, seed=seed + 1)
+    network_profiler.profile_all_pairs(node_types, store=store)
+
+    return SimulationEnvironment(
+        profiles=store,
+        zone_to_region=dict(topology.zone_to_region),
+        prices=prices or default_price_catalog(),
+    )

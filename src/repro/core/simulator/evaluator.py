@@ -1,0 +1,66 @@
+"""The Sailor simulator facade.
+
+Combines memory, timing and cost estimation into a single
+:meth:`SailorSimulator.evaluate` call that the planner (and the baselines,
+when asked to use Sailor's estimator) invokes for every candidate plan.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import ParallelizationPlan, PlanEvaluation
+from repro.core.simulator.cost import CostEstimator
+from repro.core.simulator.environment import SimulationEnvironment
+from repro.core.simulator.memory import MemoryEstimator
+from repro.core.simulator.timing import TimingEstimator
+
+
+class SailorSimulator:
+    """Estimates memory footprint, iteration time and cost of a plan."""
+
+    def __init__(self, env: SimulationEnvironment) -> None:
+        self.env = env
+        self.memory = MemoryEstimator(env)
+        self.timing = TimingEstimator(env)
+        self.cost = CostEstimator(env)
+
+    def evaluate(self, plan: ParallelizationPlan,
+                 *, check_memory: bool = True) -> PlanEvaluation:
+        """Evaluate a plan: validity (OOM), iteration time, and cost.
+
+        ``check_memory=False`` skips the OOM check (used by estimator-error
+        experiments that want timing for configurations known to fit).
+        """
+        oom_stages = self.memory.oom_stages(plan) if check_memory else []
+        stage_peaks = self.memory.stage_peaks(plan)
+
+        timing = self.timing.breakdown(plan)
+        iteration_time = timing.iteration_time_s
+        cost = self.cost.breakdown(plan, iteration_time)
+
+        return PlanEvaluation(
+            iteration_time_s=iteration_time,
+            throughput_iters_per_s=(1.0 / iteration_time if iteration_time > 0 else 0.0),
+            cost_per_iteration_usd=cost.total_usd,
+            peak_memory_bytes_per_stage=stage_peaks,
+            is_valid=not oom_stages,
+            oom_stages=oom_stages,
+            compute_cost_usd=cost.compute_usd,
+            communication_cost_usd=cost.communication_usd,
+            pipeline_time_s=timing.pipeline_time_s,
+            sync_time_s=timing.sync_time_s,
+            update_time_s=timing.update_time_s,
+            straggler_stage=timing.straggler_stage,
+        )
+
+    def iteration_time(self, plan: ParallelizationPlan) -> float:
+        """Convenience: seconds per iteration."""
+        return self.timing.iteration_time(plan)
+
+    def throughput(self, plan: ParallelizationPlan) -> float:
+        """Convenience: iterations per second."""
+        t = self.iteration_time(plan)
+        return 1.0 / t if t > 0 else 0.0
+
+    def peak_memory_gb(self, plan: ParallelizationPlan) -> list[float]:
+        """Convenience: per-stage peak memory in GiB."""
+        return [p / (1024 ** 3) for p in self.memory.stage_peaks(plan)]

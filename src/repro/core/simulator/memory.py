@@ -1,0 +1,159 @@
+"""Per-worker peak-memory estimation and OOM detection.
+
+The paper's memory model (section 4.3) is
+
+``M_peak = M_model + M_activation``
+
+where ``M_model`` covers parameter, gradient, optimizer-state and
+communication-buffer copies (``num_params * mul_factor * dtype_size``) and
+``M_activation`` covers saved activations, both of which depend on the
+worker's stage index, layer partition, tensor-parallel degree and microbatch
+size.  Unlike most prior planners, memory is computed *per worker*, because
+the footprint differs across stages (in-flight microbatches under 1F1B) and
+across GPU types (different TP degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.core.simulator.environment import SimulationEnvironment
+from repro.hardware.gpus import get_gpu
+
+
+#: Fixed per-GPU overhead: CUDA context, NCCL buffers, framework state.
+FRAMEWORK_OVERHEAD_BYTES: float = 1.5 * (1024 ** 3)
+
+#: Multiplicative allowance for allocator fragmentation on activations.
+FRAGMENTATION_FACTOR: float = 1.05
+
+#: Fraction of the device memory usable by the training job.
+USABLE_MEMORY_FRACTION: float = 0.97
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Peak memory of one worker (one GPU of one stage replica), in bytes."""
+
+    model_bytes: float
+    activation_bytes: float
+    overhead_bytes: float
+    capacity_bytes: float
+
+    @property
+    def peak_bytes(self) -> float:
+        """Total peak footprint."""
+        return self.model_bytes + self.activation_bytes + self.overhead_bytes
+
+    @property
+    def fits(self) -> bool:
+        """True when the footprint fits in the usable device memory."""
+        return self.peak_bytes <= self.capacity_bytes * USABLE_MEMORY_FRACTION
+
+    @property
+    def utilization(self) -> float:
+        """Peak footprint as a fraction of device capacity."""
+        if self.capacity_bytes <= 0:
+            return float("inf")
+        return self.peak_bytes / self.capacity_bytes
+
+
+class MemoryEstimator:
+    """Estimates the peak memory footprint of every worker of a plan."""
+
+    def __init__(self, env: SimulationEnvironment) -> None:
+        self.env = env
+
+    # -- per-replica --------------------------------------------------------
+
+    def replica_memory(self, plan: ParallelizationPlan, stage: StageConfig,
+                       replica: StageReplica) -> MemoryBreakdown:
+        """Peak memory of one worker of ``replica`` (all TP ranks are equal)."""
+        job = plan.job
+        model = job.model
+        tp = replica.tensor_parallel
+        gpu = get_gpu(replica.gpu_type)
+        profile = self.env.job_profile(replica)
+
+        stage_params = stage.partition.stage_params(model)
+        model_bytes = (stage_params / tp) * job.bytes_per_param
+
+        # 1F1B keeps (P - stage_index) microbatches of activations in flight,
+        # bounded by the number of microbatches the pipeline processes.
+        num_microbatches = plan.num_microbatches
+        in_flight = min(num_microbatches,
+                        plan.pipeline_parallel - stage.stage_index)
+        in_flight = max(1, in_flight)
+
+        per_layer_act = profile.activations(plan.microbatch_size, tp)
+        boundary = profile.boundary_bytes[plan.microbatch_size]
+        if job.activation_checkpointing:
+            # Only boundary activations are kept; one layer is rematerialised.
+            act_per_microbatch = (stage.partition.num_layers * boundary
+                                  + per_layer_act)
+        else:
+            act_per_microbatch = (stage.partition.num_layers * per_layer_act
+                                  + boundary)
+        activation_bytes = in_flight * act_per_microbatch * FRAGMENTATION_FACTOR
+
+        return MemoryBreakdown(
+            model_bytes=model_bytes,
+            activation_bytes=activation_bytes,
+            overhead_bytes=FRAMEWORK_OVERHEAD_BYTES,
+            capacity_bytes=float(gpu.memory_bytes),
+        )
+
+    # -- per-plan -----------------------------------------------------------
+
+    def stage_peaks(self, plan: ParallelizationPlan) -> list[float]:
+        """Worst-case peak bytes per stage (max over that stage's replicas)."""
+        peaks = []
+        for stage in plan.stages:
+            peaks.append(max(self.replica_memory(plan, stage, replica).peak_bytes
+                             for replica in stage.replicas))
+        return peaks
+
+    def oom_stages(self, plan: ParallelizationPlan) -> list[int]:
+        """Stage indices with at least one worker that does not fit."""
+        out = []
+        for stage in plan.stages:
+            for replica in stage.replicas:
+                if not self.replica_memory(plan, stage, replica).fits:
+                    out.append(stage.stage_index)
+                    break
+        return out
+
+    def plan_fits(self, plan: ParallelizationPlan) -> bool:
+        """True when no worker of the plan runs out of memory."""
+        return not self.oom_stages(plan)
+
+    # -- planner helpers ------------------------------------------------------
+
+    def min_tensor_parallel(self, plan_job, partition, gpu_type: str,
+                            microbatch_size: int, num_microbatches_in_flight: int,
+                            available_tp_degrees: list[int]) -> int | None:
+        """Smallest TP degree on ``gpu_type`` that avoids OOM for a stage.
+
+        This is the precomputation behind heuristic H2.  Returns ``None``
+        when no available degree fits.
+        """
+        gpu = get_gpu(gpu_type)
+        profile = self.env.profiles.job_profile(gpu_type)
+        stage_params = partition.stage_params(plan_job.model)
+        capacity = gpu.memory_bytes * USABLE_MEMORY_FRACTION
+        for tp in sorted(available_tp_degrees):
+            if not profile.has(microbatch_size, tp):
+                continue
+            model_bytes = (stage_params / tp) * plan_job.bytes_per_param
+            per_layer_act = profile.activations(microbatch_size, tp)
+            boundary = profile.boundary_bytes[microbatch_size]
+            if plan_job.activation_checkpointing:
+                act = partition.num_layers * boundary + per_layer_act
+            else:
+                act = partition.num_layers * per_layer_act + boundary
+            act_bytes = num_microbatches_in_flight * act * FRAGMENTATION_FACTOR
+            peak = model_bytes + act_bytes + FRAMEWORK_OVERHEAD_BYTES
+            if peak <= capacity:
+                return tp
+        return None

@@ -1,0 +1,224 @@
+"""Fine-grained reference simulator (ground-truth stand-in).
+
+The paper validates estimator accuracy against real hardware (Figures 3, 5,
+6, 10, 11).  Without GPUs, this module provides the measurement target: an
+event-driven 1F1B simulation at per-microbatch granularity that models
+effects the analytic estimators approximate or ignore:
+
+* exact pipeline bubbles (dependency-driven schedule instead of the
+  ``(Nb - 1) * straggler`` closed form),
+* partial overlap of gradient synchronisation with the backward pass,
+* extra memory consumers (temporary workspaces, allocator fragmentation,
+  larger framework overhead), and
+* per-kernel jitter.
+
+Estimator error for any planner is then ``|estimate - reference| / reference``,
+which is how the estimation-error experiments are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import ParallelizationPlan, PlanEvaluation
+from repro.core.simulator.cost import CostEstimator
+from repro.core.simulator.environment import SimulationEnvironment
+from repro.core.simulator.memory import MemoryEstimator
+from repro.core.simulator.timing import TimingEstimator
+
+
+#: Fraction of the data-parallel all-reduce hidden under backward compute.
+DEFAULT_SYNC_OVERLAP = 0.30
+
+#: Ground-truth memory accounting differs slightly from the analytic model.
+REFERENCE_FRAGMENTATION = 1.10
+REFERENCE_OVERHEAD_BYTES = 1.8 * (1024 ** 3)
+
+
+@dataclass(frozen=True)
+class _Op:
+    """One forward or backward pass of one microbatch on one stage."""
+
+    stage: int
+    microbatch: int
+    kind: str  # "fwd" or "bwd"
+
+
+class ReferenceSimulator:
+    """Event-driven 1F1B simulator used as the "real hardware" reference."""
+
+    def __init__(self, env: SimulationEnvironment, *, seed: int = 0,
+                 sync_overlap: float = DEFAULT_SYNC_OVERLAP,
+                 jitter_std: float = 0.01) -> None:
+        if not 0.0 <= sync_overlap < 1.0:
+            raise ValueError("sync_overlap must be in [0, 1)")
+        self.env = env
+        self.sync_overlap = sync_overlap
+        self.jitter_std = jitter_std
+        self._rng = np.random.default_rng(seed)
+        self._timing = TimingEstimator(env)
+        self._memory = MemoryEstimator(env)
+        self._cost = CostEstimator(env)
+
+    # -- public API ---------------------------------------------------------
+
+    def measure(self, plan: ParallelizationPlan) -> PlanEvaluation:
+        """Run the reference simulation and report measured numbers."""
+        pipeline_times = [self._simulate_pipeline(plan, d)
+                          for d in range(plan.data_parallel)]
+        pipeline_time = max(pipeline_times)
+
+        sync = max(self._timing.stage_sync_time(plan, s) for s in plan.stages)
+        sync *= (1.0 - self.sync_overlap)
+        update = max(self._timing.replica_update_time(plan, stage, replica)
+                     for stage in plan.stages for replica in stage.replicas)
+        iteration_time = pipeline_time + sync + update
+
+        peaks = self.peak_memory(plan)
+        cost = self._cost.breakdown(plan, iteration_time)
+        oom = [i for i, (peak, stage) in enumerate(zip(peaks, plan.stages))
+               if any(peak > r.node_spec.gpu.memory_bytes for r in stage.replicas)]
+
+        return PlanEvaluation(
+            iteration_time_s=iteration_time,
+            throughput_iters_per_s=1.0 / iteration_time if iteration_time > 0 else 0.0,
+            cost_per_iteration_usd=cost.total_usd,
+            peak_memory_bytes_per_stage=peaks,
+            is_valid=not oom,
+            oom_stages=oom,
+            compute_cost_usd=cost.compute_usd,
+            communication_cost_usd=cost.communication_usd,
+            pipeline_time_s=pipeline_time,
+            sync_time_s=sync,
+            update_time_s=update,
+        )
+
+    def peak_memory(self, plan: ParallelizationPlan) -> list[float]:
+        """Measured per-stage peak memory (bytes, max over replicas)."""
+        peaks = []
+        for stage in plan.stages:
+            stage_peak = 0.0
+            for replica in stage.replicas:
+                breakdown = self._memory.replica_memory(plan, stage, replica)
+                profile = self.env.job_profile(replica)
+                workspace = 2.0 * profile.boundary_bytes[plan.microbatch_size]
+                activations = breakdown.activation_bytes / 1.05  # undo analytic factor
+                peak = (breakdown.model_bytes
+                        + activations * REFERENCE_FRAGMENTATION
+                        + REFERENCE_OVERHEAD_BYTES
+                        + workspace)
+                stage_peak = max(stage_peak, peak)
+            peaks.append(stage_peak)
+        return peaks
+
+    # -- 1F1B event simulation ------------------------------------------------
+
+    def _jitter(self) -> float:
+        if self.jitter_std <= 0:
+            return 1.0
+        return float(max(0.8, self._rng.normal(1.0, self.jitter_std)))
+
+    def _simulate_pipeline(self, plan: ParallelizationPlan,
+                           data_parallel_index: int) -> float:
+        num_stages = plan.pipeline_parallel
+        num_microbatches = plan.num_microbatches
+        chain = plan.pipeline(data_parallel_index)
+
+        fwd_time: list[float] = []
+        bwd_time: list[float] = []
+        for stage, replica in zip(plan.stages, chain):
+            profile = self.env.job_profile(replica)
+            mbs, tp = plan.microbatch_size, replica.tensor_parallel
+            layer = profile.layer(mbs, tp)
+            fwd = stage.partition.num_layers * layer.forward_s
+            bwd = stage.partition.num_layers * layer.backward_s
+            if stage.partition.has_embedding:
+                fwd += profile.embedding(mbs, tp).forward_s
+                bwd += profile.embedding(mbs, tp).backward_s
+            if stage.partition.has_lm_head:
+                fwd += profile.head(mbs, tp).forward_s
+                bwd += profile.head(mbs, tp).backward_s
+            fwd_time.append(fwd)
+            bwd_time.append(bwd)
+
+        p2p = [0.0] * max(0, num_stages - 1)
+        for i in range(num_stages - 1):
+            p2p[i] = self._timing.p2p_time(plan, chain[i], chain[i + 1])
+
+        schedules = [self._stage_schedule(i, num_stages, num_microbatches)
+                     for i in range(num_stages)]
+
+        finish: dict[_Op, float] = {}
+        stage_free = [0.0] * num_stages
+        pointers = [0] * num_stages
+        total_ops = sum(len(s) for s in schedules)
+        scheduled = 0
+
+        while scheduled < total_ops:
+            progress = False
+            for i in range(num_stages):
+                while pointers[i] < len(schedules[i]):
+                    op = schedules[i][pointers[i]]
+                    ready = self._ready_time(op, finish, p2p, num_stages)
+                    if ready is None:
+                        break
+                    duration = (fwd_time[i] if op.kind == "fwd" else bwd_time[i])
+                    duration *= self._jitter()
+                    start = max(stage_free[i], ready)
+                    finish[op] = start + duration
+                    stage_free[i] = finish[op]
+                    pointers[i] += 1
+                    scheduled += 1
+                    progress = True
+            if not progress:
+                raise RuntimeError("1F1B schedule deadlocked (internal error)")
+
+        return max(stage_free)
+
+    @staticmethod
+    def _stage_schedule(stage: int, num_stages: int,
+                        num_microbatches: int) -> list[_Op]:
+        """1F1B op order for one stage: warm-up fwds, steady 1F1B, cool-down."""
+        warmup = min(num_stages - stage - 1, num_microbatches)
+        ops: list[_Op] = []
+        for m in range(warmup):
+            ops.append(_Op(stage, m, "fwd"))
+        next_fwd = warmup
+        next_bwd = 0
+        remaining = num_microbatches - warmup
+        for _ in range(remaining):
+            ops.append(_Op(stage, next_fwd, "fwd"))
+            next_fwd += 1
+            ops.append(_Op(stage, next_bwd, "bwd"))
+            next_bwd += 1
+        while next_bwd < num_microbatches:
+            ops.append(_Op(stage, next_bwd, "bwd"))
+            next_bwd += 1
+        return ops
+
+    @staticmethod
+    def _ready_time(op: _Op, finish: dict[_Op, float], p2p: list[float],
+                    num_stages: int) -> float | None:
+        """Earliest time an op's cross-stage dependency is satisfied.
+
+        Returns ``None`` when the dependency has not been scheduled yet.
+        """
+        if op.kind == "fwd":
+            if op.stage == 0:
+                return 0.0
+            dep = _Op(op.stage - 1, op.microbatch, "fwd")
+            if dep not in finish:
+                return None
+            return finish[dep] + p2p[op.stage - 1]
+        # backward
+        if op.stage == num_stages - 1:
+            dep = _Op(op.stage, op.microbatch, "fwd")
+            if dep not in finish:
+                return None
+            return finish[dep]
+        dep = _Op(op.stage + 1, op.microbatch, "bwd")
+        if dep not in finish:
+            return None
+        return finish[dep] + p2p[op.stage]

@@ -1,0 +1,184 @@
+"""Iteration-time estimation under the 1F1B pipeline schedule.
+
+Follows the paper (section 4.3): one iteration is a full pass over the
+global batch and its time is
+
+``T_iter = max_d(T_pp_d) + T_sync + T_update``
+
+where ``T_pp_d`` is the time of data-parallel pipeline ``d`` (warm-up +
+steady phase bounded by the straggler stage + cool-down, plus inter-stage
+activation/gradient transfers), ``T_sync`` is the gradient all-reduce at the
+end of the iteration (worst stage), and ``T_update`` the optimizer step.
+Heterogeneity in GPU generations, interconnects and placements enters through
+the per-GPU-type profiles and per-link fitted bandwidth curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collectives import hierarchical_allreduce_time, ring_allreduce_time
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.core.simulator.environment import SimulationEnvironment
+from repro.hardware.network import LinkClass
+
+
+@dataclass
+class TimingBreakdown:
+    """Detailed timing of one simulated iteration (all values in seconds)."""
+
+    pipeline_times_s: list[float]
+    stage_compute_s: list[float]
+    stage_sync_s: list[float]
+    update_time_s: float
+    p2p_times_s: list[float] = field(default_factory=list)
+    straggler_stage: int = 0
+
+    @property
+    def pipeline_time_s(self) -> float:
+        """Slowest pipeline (the one that bounds the iteration)."""
+        return max(self.pipeline_times_s)
+
+    @property
+    def sync_time_s(self) -> float:
+        """Slowest per-stage gradient synchronisation."""
+        return max(self.stage_sync_s) if self.stage_sync_s else 0.0
+
+    @property
+    def iteration_time_s(self) -> float:
+        """Total iteration time."""
+        return self.pipeline_time_s + self.sync_time_s + self.update_time_s
+
+
+class TimingEstimator:
+    """Estimates iteration time for a plan using profiled tables."""
+
+    def __init__(self, env: SimulationEnvironment) -> None:
+        self.env = env
+
+    # -- per-replica building blocks -----------------------------------------
+
+    def replica_compute_time(self, plan: ParallelizationPlan, stage: StageConfig,
+                             replica: StageReplica) -> float:
+        """Forward+backward time of one microbatch on one stage replica."""
+        profile = self.env.job_profile(replica)
+        mbs, tp = plan.microbatch_size, replica.tensor_parallel
+        layer = profile.layer(mbs, tp)
+        total = stage.partition.num_layers * layer.fwd_bwd_s
+        if stage.partition.has_embedding:
+            total += profile.embedding(mbs, tp).fwd_bwd_s
+        if stage.partition.has_lm_head:
+            total += profile.head(mbs, tp).fwd_bwd_s
+        return total
+
+    def replica_update_time(self, plan: ParallelizationPlan, stage: StageConfig,
+                            replica: StageReplica) -> float:
+        """Optimizer-step time of one stage replica."""
+        profile = self.env.job_profile(replica)
+        mbs, tp = plan.microbatch_size, replica.tensor_parallel
+        layer = profile.layer(mbs, tp)
+        total = stage.partition.num_layers * layer.update_s
+        if stage.partition.has_embedding:
+            total += profile.embedding(mbs, tp).update_s
+        if stage.partition.has_lm_head:
+            total += profile.head(mbs, tp).update_s
+        return total
+
+    def p2p_time(self, plan: ParallelizationPlan, sender: StageReplica,
+                 receiver: StageReplica) -> float:
+        """Time to move one microbatch's boundary activations between stages."""
+        profile = self.env.job_profile(sender)
+        message = profile.boundary_bytes[plan.microbatch_size]
+        link = self.env.link_between(sender, receiver)
+        return link.transfer_time(message)
+
+    def stage_compute_time(self, plan: ParallelizationPlan,
+                           stage: StageConfig) -> float:
+        """Per-microbatch compute time of a stage (slowest replica)."""
+        return max(self.replica_compute_time(plan, stage, r)
+                   for r in stage.replicas)
+
+    def stage_sync_time(self, plan: ParallelizationPlan,
+                        stage: StageConfig) -> float:
+        """Gradient all-reduce time across a stage's data-parallel replicas."""
+        if stage.data_parallel == 1:
+            return 0.0
+        model = plan.job.model
+        stage_params = stage.partition.stage_params(model)
+        # Gradients are sharded across TP ranks; the slowest (least-sharded)
+        # replica determines the message size.
+        max_message = max(stage_params / r.tensor_parallel * 2.0
+                          for r in stage.replicas)
+
+        zones = stage.zones
+        if len(zones) == 1:
+            link = self.env.link_for_replicas(stage.replicas)
+            return ring_allreduce_time(max_message, stage.data_parallel,
+                                       link.transfer_time)
+
+        # Replicas span zones: reduce within each zone, then across zones.
+        groups: list[int] = []
+        zone_replicas: dict[str, list[StageReplica]] = {}
+        for replica in stage.replicas:
+            zone_replicas.setdefault(replica.zone, []).append(replica)
+        for zone in zones:
+            groups.append(len(zone_replicas[zone]))
+        intra_link = self.env.link_for_replicas(
+            max(zone_replicas.values(), key=len))
+        leaders = [zone_replicas[z][0] for z in zones]
+        inter_link = self.env.link_for_replicas(leaders)
+        return hierarchical_allreduce_time(
+            max_message, groups, intra_link.transfer_time, inter_link.transfer_time)
+
+    # -- pipelines ------------------------------------------------------------
+
+    def pipeline_time(self, plan: ParallelizationPlan,
+                      data_parallel_index: int) -> float:
+        """1F1B time of one pipeline: warm-up + steady + cool-down + p2p."""
+        num_microbatches = plan.num_microbatches
+        chain = plan.pipeline(data_parallel_index)
+        stage_times = [self.replica_compute_time(plan, stage, replica)
+                       for stage, replica in zip(plan.stages, chain)]
+        p2p_times = [self.p2p_time(plan, chain[i], chain[i + 1])
+                     for i in range(len(chain) - 1)]
+        # The steady-state period is bounded by the slowest stage *or* the
+        # slowest inter-stage link: a transfer that takes longer than the
+        # straggler stage cannot be hidden and stalls the pipeline (this is
+        # what makes cross-region pipeline boundaries expensive).
+        straggler = max(stage_times + p2p_times)
+        # Activations forward and gradients backward cross each boundary once
+        # during warm-up/cool-down.
+        warmup_cooldown = sum(stage_times) + 2.0 * sum(p2p_times)
+        steady = (num_microbatches - 1) * straggler
+        return warmup_cooldown + steady
+
+    # -- full iteration ---------------------------------------------------------
+
+    def breakdown(self, plan: ParallelizationPlan) -> TimingBreakdown:
+        """Full timing breakdown of one iteration."""
+        pipeline_times = [self.pipeline_time(plan, d)
+                          for d in range(plan.data_parallel)]
+        stage_compute = [self.stage_compute_time(plan, s) for s in plan.stages]
+        stage_sync = [self.stage_sync_time(plan, s) for s in plan.stages]
+        update = max(
+            self.replica_update_time(plan, stage, replica)
+            for stage in plan.stages for replica in stage.replicas)
+        p2p_times = []
+        for d in range(plan.data_parallel):
+            chain = plan.pipeline(d)
+            for i in range(len(chain) - 1):
+                p2p_times.append(self.p2p_time(plan, chain[i], chain[i + 1]))
+        straggler_stage = max(range(len(stage_compute)),
+                              key=lambda i: stage_compute[i])
+        return TimingBreakdown(
+            pipeline_times_s=pipeline_times,
+            stage_compute_s=stage_compute,
+            stage_sync_s=stage_sync,
+            update_time_s=update,
+            p2p_times_s=p2p_times,
+            straggler_stage=straggler_stage,
+        )
+
+    def iteration_time(self, plan: ParallelizationPlan) -> float:
+        """Seconds per iteration (full pass over the global batch)."""
+        return self.breakdown(plan).iteration_time_s

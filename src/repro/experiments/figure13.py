@@ -1,0 +1,81 @@
+"""Figure 13: minimising cost under a throughput constraint.
+
+Objective: minimise USD per iteration while sustaining at least 0.2
+iterations/second for OPT-350M.  The resource pool spans two zones of one
+region with 128 A100 and 128 V100 each.  Baselines cannot optimise for cost,
+so (as in the paper) they are adapted to rank their candidates by estimated
+cost and to discard plans violating the constraint; the fixed topologies
+they receive follow the paper's assignment (homogeneous planners get the
+A100 pool, heterogeneous ones get both types in one zone, DTFM gets A100 in
+two zones).  Sailor searches the full space and selects just enough GPUs to
+meet the constraint, yielding ~40% lower cost than the best baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.objectives import Objective
+from repro.experiments.common import (
+    COMPARISON_COLUMNS,
+    ExperimentTable,
+    make_environment,
+    opt_350m_job,
+    planner_comparison_rows,
+    resolve_scale,
+)
+from repro.hardware.topology import ClusterTopology
+
+
+FIGURE13_PLANNERS = ("varuna", "aceso", "galvatron", "amp", "flashflex",
+                     "metis", "dtfm", "sailor")
+
+
+def build_topology(scale, gpus_per_type_per_zone: int = 128) -> ClusterTopology:
+    """Two zones in one region, each with A100 and V100 pools."""
+    per_zone = scale.scaled_gpus(gpus_per_type_per_zone, minimum=8)
+    nodes = {
+        "us-central1-a": {"a2-highgpu-4g": per_zone // 4,
+                          "n1-standard-v100-4": per_zone // 4},
+        "us-central1-b": {"a2-highgpu-4g": per_zone // 4,
+                          "n1-standard-v100-4": per_zone // 4},
+    }
+    return ClusterTopology(nodes=nodes)
+
+
+def planner_topology(name: str, full: ClusterTopology) -> ClusterTopology:
+    """The fixed sub-topology each baseline receives (paper section 5.2.4)."""
+    single_zone = full.restricted_to_zones(["us-central1-a"])
+    if name in ("varuna", "aceso", "galvatron", "piper", "oobleck"):
+        return single_zone.restricted_to_gpu("A100-40")
+    if name in ("amp", "flashflex", "metis"):
+        return single_zone
+    if name == "dtfm":
+        return full.restricted_to_gpu("A100-40")
+    return full  # sailor
+
+
+def run(scale: str | object = "small",
+        min_throughput: float = 0.2,
+        planners: tuple[str, ...] = FIGURE13_PLANNERS) -> ExperimentTable:
+    """Reproduce Figure 13 (min cost subject to a throughput floor)."""
+    scale = resolve_scale(scale)
+    job = opt_350m_job()
+    full = build_topology(scale)
+    objective = Objective.min_cost(min_throughput_iters_per_s=min_throughput)
+
+    table = ExperimentTable(
+        title=f"Figure 13: minimise cost with throughput >= {min_throughput} iters/s",
+        columns=COMPARISON_COLUMNS)
+
+    env = make_environment(job, full)
+    for name in planners:
+        topology = planner_topology(name, full)
+        rows = planner_comparison_rows(
+            [name], env, job, topology, objective, scale,
+            extra={"setup": "2 zones x (128 A100 + 128 V100)"})
+        for row in rows:
+            table.add_row(**row)
+
+    table.notes = ("expected shape: Sailor meets the constraint at the lowest "
+                   "cost (~40% below the best baseline), using only as many "
+                   "A100s as needed")
+    return table

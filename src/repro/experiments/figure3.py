@@ -1,0 +1,85 @@
+"""Figure 3: peak-memory estimates of prior planners vs. the real footprint.
+
+OPT-350M on a homogeneous cluster of 4-GH200 nodes.  The paper shows five
+deployed configurations (labelled ``N-gbs`` / ``dp-pp-mbs``) and the peak
+memory each baseline predicts, next to the measured peak: baselines are off
+by 25-95% because they ignore memory sources or assume uniform footprints,
+while Sailor stays within a few percent.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import ParallelizationPlan
+from repro.experiments.common import (
+    ExperimentTable,
+    gh200_topology,
+    make_environment,
+    resolve_scale,
+)
+from repro.experiments.estimation import (
+    ESTIMATION_PLANNERS,
+    estimate_memory,
+)
+from repro.core.simulator import ReferenceSimulator
+from repro.models.catalog import get_model
+from repro.models.spec import TrainingJobSpec
+
+
+#: The five configurations of Figure 3: (nodes, global batch, dp, pp, mbs).
+FIGURE3_CONFIGS: tuple[tuple[int, int, int, int, int], ...] = (
+    (2, 32, 2, 1, 2),
+    (4, 64, 2, 2, 1),
+    (8, 512, 2, 4, 8),
+    (16, 1024, 16, 1, 8),
+    (16, 1024, 8, 2, 8),
+)
+
+GPUS_PER_NODE = 4
+
+
+def _build_plan(job: TrainingJobSpec, nodes: int, dp: int, pp: int,
+                mbs: int) -> ParallelizationPlan:
+    total_gpus = nodes * GPUS_PER_NODE
+    tp = max(1, total_gpus // (dp * pp))
+    tp = min(tp, GPUS_PER_NODE)
+    return ParallelizationPlan.homogeneous(
+        job, "gh200-4g", pipeline_parallel=pp, data_parallel=dp,
+        tensor_parallel=tp, microbatch_size=mbs, zone="on-prem-a")
+
+
+def run(scale: str | object = "small") -> ExperimentTable:
+    """Reproduce Figure 3 (per-config peak-memory estimates, in GB)."""
+    resolve_scale(scale)  # the configurations are fixed by the paper
+    model = get_model("OPT-350M")
+
+    table = ExperimentTable(
+        title="Figure 3: peak-memory estimates vs. real, OPT-350M on GH200 nodes",
+        columns=["config", "planner", "peak_memory_gb", "error_percent"])
+
+    for nodes, gbs, dp, pp, mbs in FIGURE3_CONFIGS:
+        job = TrainingJobSpec(model=model, global_batch_size=gbs,
+                              sequence_length=2048)
+        topology = gh200_topology(nodes)
+        env = make_environment(job, topology)
+        plan = _build_plan(job, nodes, dp, pp, mbs)
+        label = f"{nodes}-{gbs} {dp}-{pp}-{mbs}"
+
+        reference = ReferenceSimulator(env)
+        real_peak = max(reference.peak_memory(plan))
+        table.add_row(config=label, planner="real",
+                      peak_memory_gb=real_peak / 1024 ** 3, error_percent=0.0)
+
+        for planner in ESTIMATION_PLANNERS:
+            estimate = estimate_memory(planner, env, plan)
+            if estimate is None:
+                table.add_row(config=label, planner=planner,
+                              peak_memory_gb=float("nan"),
+                              error_percent=float("nan"))
+                continue
+            table.add_row(config=label, planner=planner,
+                          peak_memory_gb=estimate / 1024 ** 3,
+                          error_percent=abs(estimate - real_peak) / real_peak * 100.0)
+
+    table.notes = ("expected shape: baseline estimates are tens of percent off "
+                   "(mostly underestimates); Sailor stays within a few percent")
+    return table

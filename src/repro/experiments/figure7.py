@@ -1,0 +1,55 @@
+"""Figure 7: planner comparison on homogeneous A100 clusters.
+
+Throughput achieved by every planner's chosen plan for OPT-350M on 32, 80
+and 128 A100-40GB GPUs in one zone.  In the paper Sailor improves throughput
+by 1.15x over the closest baseline and up to 5.7x over the weakest, and some
+baselines fail to produce a valid (non-OOM) plan at all.
+"""
+
+from __future__ import annotations
+
+from repro.core.objectives import Objective
+from repro.experiments.common import (
+    COMPARISON_COLUMNS,
+    ExperimentTable,
+    a100_topology,
+    make_environment,
+    opt_350m_job,
+    planner_comparison_rows,
+    resolve_scale,
+)
+
+
+#: Planners compared in Figure 7 (all of them).
+FIGURE7_PLANNERS = ("varuna", "amp", "piper", "galvatron", "aceso",
+                    "flashflex", "metis", "dtfm", "sailor")
+
+#: Cluster sizes of the paper.
+FIGURE7_GPU_COUNTS = (32, 80, 128)
+
+
+def run(scale: str | object = "small",
+        gpu_counts: tuple[int, ...] = FIGURE7_GPU_COUNTS,
+        planners: tuple[str, ...] = FIGURE7_PLANNERS) -> ExperimentTable:
+    """Reproduce Figure 7 (throughput per planner, homogeneous A100)."""
+    scale = resolve_scale(scale)
+    job = opt_350m_job()
+    objective = Objective.max_throughput()
+
+    table = ExperimentTable(
+        title="Figure 7: planners on homogeneous A100 clusters (OPT-350M)",
+        columns=COMPARISON_COLUMNS)
+
+    for gpus in gpu_counts:
+        actual = scale.scaled_gpus(gpus, minimum=16)
+        topology = a100_topology(actual)
+        env = make_environment(job, topology)
+        rows = planner_comparison_rows(
+            list(planners), env, job, topology, objective, scale,
+            extra={"setup": f"{actual} A100"})
+        for row in rows:
+            table.add_row(**row)
+
+    table.notes = ("expected shape: Sailor matches or beats every baseline at "
+                   "every cluster size and produces no OOM plans")
+    return table

@@ -1,0 +1,25 @@
+"""Figure 9: heterogeneous A100+V100 clusters, GPT-Neo-2.7B.
+
+Same setups as Figure 8 but with the larger model, where memory pressure is
+much higher: AMP and Metis generate many OOM plans, FlashFlex often finds no
+valid plan at all, and heterogeneity is more beneficial than for OPT-350M.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentTable, gpt_neo_job, resolve_scale
+from repro.experiments.figure8 import FIGURE8_SETUPS, HET_PLANNERS, run_for_job
+
+
+def run(scale: str | object = "small",
+        setups: dict[str, tuple[tuple[int, int], ...]] | None = None,
+        planners: tuple[str, ...] = HET_PLANNERS) -> ExperimentTable:
+    """Reproduce Figure 9 (heterogeneous clusters, GPT-Neo-2.7B)."""
+    scale = resolve_scale(scale)
+    table = run_for_job(
+        gpt_neo_job(),
+        "Figure 9: heterogeneous A100+V100 clusters (GPT-Neo-2.7B)",
+        scale, setups or FIGURE8_SETUPS, planners)
+    table.notes = ("expected shape: baselines generate many OOM plans or fail "
+                   "entirely; Sailor finds valid plans with the best throughput")
+    return table

@@ -1,0 +1,211 @@
+"""Dynamic GPU availability traces.
+
+Figure 2 of the paper shows the number of A100 GPUs the authors could
+allocate in two GCP zones over an 8-hour window (requesting 8 GPUs per
+zone): one zone slowly ramps up and reaches the full request after about
+7 hours, the other fluctuates and never reaches it.
+
+This module provides :class:`AvailabilityTrace`, a step-function time series
+of available node counts per (zone, node type), and
+:class:`AvailabilityTraceGenerator`, which synthesises traces with the same
+qualitative shapes (slow ramp, fluctuating, spot-style preemption bursts).
+The runtime's controller consumes these traces to drive elastic
+reconfiguration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.nodes import get_node_type
+from repro.hardware.topology import ClusterTopology
+
+
+@dataclass(frozen=True)
+class AvailabilityEvent:
+    """One step change in availability.
+
+    Attributes
+    ----------
+    time_s:
+        Seconds since the start of the trace.
+    zone / node_type:
+        Which pool changed.
+    available_nodes:
+        The new number of allocatable nodes in that pool.
+    """
+
+    time_s: float
+    zone: str
+    node_type: str
+    available_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        if self.available_nodes < 0:
+            raise ValueError("available_nodes must be non-negative")
+
+
+@dataclass
+class AvailabilityTrace:
+    """Step-function availability over time for a set of resource pools."""
+
+    events: list[AvailabilityEvent] = field(default_factory=list)
+    duration_s: float = 8 * 3600.0
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: e.time_s)
+
+    @property
+    def pools(self) -> list[tuple[str, str]]:
+        """All (zone, node_type) pools that appear in the trace."""
+        return sorted({(e.zone, e.node_type) for e in self.events})
+
+    def available_at(self, time_s: float, zone: str, node_type: str) -> int:
+        """Available nodes of a pool at a given time (0 before first event)."""
+        count = 0
+        for event in self.events:
+            if event.time_s > time_s:
+                break
+            if event.zone == zone and event.node_type == node_type:
+                count = event.available_nodes
+        return count
+
+    def topology_at(self, time_s: float,
+                    base: ClusterTopology | None = None) -> ClusterTopology:
+        """Snapshot of the whole trace at ``time_s`` as a topology."""
+        nodes: dict[str, dict[str, int]] = {}
+        for zone, node_type in self.pools:
+            count = self.available_at(time_s, zone, node_type)
+            nodes.setdefault(zone, {})[node_type] = count
+        zone_to_region = dict(base.zone_to_region) if base is not None else {}
+        network = base.network if base is not None else None
+        if network is None:
+            return ClusterTopology(nodes=nodes)
+        return ClusterTopology(nodes=nodes, zone_to_region=zone_to_region,
+                               network=network)
+
+    def change_times(self) -> list[float]:
+        """Times at which any pool's availability changes."""
+        times: list[float] = []
+        last: dict[tuple[str, str], int] = {}
+        for event in self.events:
+            key = (event.zone, event.node_type)
+            if last.get(key) != event.available_nodes:
+                times.append(event.time_s)
+                last[key] = event.available_nodes
+        return sorted(set(times))
+
+    def sample(self, step_s: float = 300.0) -> dict[tuple[str, str], list[int]]:
+        """Sample the trace on a regular grid (used to plot Figure 2)."""
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        steps = int(self.duration_s // step_s) + 1
+        out: dict[tuple[str, str], list[int]] = {}
+        for pool in self.pools:
+            out[pool] = [self.available_at(i * step_s, *pool) for i in range(steps)]
+        return out
+
+    def gpu_series(self, step_s: float = 300.0) -> dict[tuple[str, str], list[int]]:
+        """Like :meth:`sample` but in GPUs rather than nodes."""
+        sampled = self.sample(step_s)
+        out = {}
+        for (zone, node_type), series in sampled.items():
+            per_node = get_node_type(node_type).gpus_per_node
+            out[(zone, node_type)] = [c * per_node for c in series]
+        return out
+
+
+class AvailabilityTraceGenerator:
+    """Synthesises availability traces with paper-like shapes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def slow_ramp(self, zone: str, node_type: str, target_nodes: int,
+                  duration_s: float = 8 * 3600.0,
+                  ramp_fraction: float = 0.85,
+                  step_s: float = 900.0) -> list[AvailabilityEvent]:
+        """Availability that creeps up and reaches the target near the end.
+
+        Mirrors the first zone of Figure 2 (request satisfied after ~7 of
+        8 hours).
+        """
+        if target_nodes < 0:
+            raise ValueError("target_nodes must be non-negative")
+        events = [AvailabilityEvent(0.0, zone, node_type, 0)]
+        ramp_end = duration_s * ramp_fraction
+        steps = max(1, int(ramp_end // step_s))
+        current = 0
+        for i in range(1, steps + 1):
+            t = i * step_s
+            # Monotone ramp with random plateaus.
+            expected = int(round(target_nodes * (i / steps) ** 1.5))
+            if self._rng.random() < 0.35:
+                expected = current  # plateau
+            current = max(current, min(target_nodes, expected))
+            events.append(AvailabilityEvent(t, zone, node_type, current))
+        events.append(AvailabilityEvent(ramp_end, zone, node_type, target_nodes))
+        return events
+
+    def fluctuating(self, zone: str, node_type: str, target_nodes: int,
+                    duration_s: float = 8 * 3600.0,
+                    step_s: float = 900.0,
+                    max_fraction: float = 0.75) -> list[AvailabilityEvent]:
+        """Availability that oscillates and never reaches the target.
+
+        Mirrors the second zone of Figure 2.
+        """
+        events = [AvailabilityEvent(0.0, zone, node_type, 0)]
+        steps = max(1, int(duration_s // step_s))
+        ceiling = max(0, int(math.floor(target_nodes * max_fraction)))
+        current = 0
+        for i in range(1, steps + 1):
+            t = i * step_s
+            delta = int(self._rng.integers(-2, 3))
+            current = int(np.clip(current + delta, 0, ceiling))
+            events.append(AvailabilityEvent(t, zone, node_type, current))
+        return events
+
+    def spot_preemptions(self, zone: str, node_type: str, base_nodes: int,
+                         duration_s: float = 4 * 3600.0,
+                         mean_time_between_events_s: float = 1800.0,
+                         max_loss: int = 2) -> list[AvailabilityEvent]:
+        """Spot-instance style trace: full pool with occasional preemptions.
+
+        Preempted capacity returns after an exponentially distributed delay.
+        Used by the elasticity experiments (section 5.5).
+        """
+        if base_nodes < 0:
+            raise ValueError("base_nodes must be non-negative")
+        events = [AvailabilityEvent(0.0, zone, node_type, base_nodes)]
+        t = 0.0
+        current = base_nodes
+        while True:
+            t += float(self._rng.exponential(mean_time_between_events_s))
+            if t >= duration_s:
+                break
+            if current == base_nodes or self._rng.random() < 0.5:
+                loss = int(self._rng.integers(1, max_loss + 1))
+                current = max(0, current - loss)
+            else:
+                gain = int(self._rng.integers(1, max_loss + 1))
+                current = min(base_nodes, current + gain)
+            events.append(AvailabilityEvent(t, zone, node_type, current))
+        return events
+
+    def figure2_trace(self, node_type: str = "a2-highgpu-4g",
+                      zones: tuple[str, str] = ("us-central1-a", "us-central1-b"),
+                      target_gpus_per_zone: int = 8,
+                      duration_s: float = 8 * 3600.0) -> AvailabilityTrace:
+        """The two-zone A100 trace of Figure 2 (8 GPUs requested per zone)."""
+        per_node = get_node_type(node_type).gpus_per_node
+        target_nodes = max(1, target_gpus_per_zone // per_node)
+        events = []
+        events += self.slow_ramp(zones[0], node_type, target_nodes, duration_s)
+        events += self.fluctuating(zones[1], node_type, target_nodes, duration_s)
+        return AvailabilityTrace(events=events, duration_s=duration_s)

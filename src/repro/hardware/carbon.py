@@ -1,0 +1,165 @@
+"""Carbon accounting for training plans.
+
+The paper motivates heterogeneous training partly by sustainability: older
+GPUs are abundant (typical server lifetime ~6 years) and spreading jobs over
+them amortises their *embodied* carbon, whereas concentrating demand on the
+newest parts drives new manufacturing (section 3.1).  This module provides a
+simple carbon model so plans can be compared not only by throughput and USD
+but also by gCO2e per iteration:
+
+* **operational** carbon: energy drawn by the GPUs for one iteration times
+  the grid carbon intensity of the zone they run in;
+* **embodied** carbon: each GPU's manufacturing footprint amortised over its
+  service life, attributed to the time the plan occupies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import ParallelizationPlan
+
+
+#: Typical board power (Watts) per GPU type under training load.
+DEFAULT_GPU_POWER_W: dict[str, float] = {
+    "A100-40": 400.0,
+    "A100-80": 400.0,
+    "V100-16": 300.0,
+    "H100-80": 700.0,
+    "GH200-96": 700.0,
+    "TitanRTX-24": 280.0,
+    "RTX2080-11": 250.0,
+    "RTX3090-24": 350.0,
+    "T4-16": 70.0,
+    "A10G-24": 150.0,
+}
+
+#: Embodied manufacturing footprint per GPU in kgCO2e (board + share of host).
+DEFAULT_EMBODIED_KGCO2E: dict[str, float] = {
+    "A100-40": 150.0,
+    "A100-80": 160.0,
+    "V100-16": 130.0,
+    "H100-80": 180.0,
+    "GH200-96": 200.0,
+    "TitanRTX-24": 110.0,
+    "RTX2080-11": 90.0,
+    "RTX3090-24": 120.0,
+    "T4-16": 60.0,
+    "A10G-24": 90.0,
+}
+
+#: Grid carbon intensity (gCO2e per kWh) by cloud region.
+DEFAULT_GRID_INTENSITY: dict[str, float] = {
+    "us-central1": 394.0,
+    "us-west1": 78.0,
+    "europe-west4": 331.0,
+    "on-prem": 300.0,
+}
+
+#: Fallback grid intensity for unknown regions (world average-ish).
+FALLBACK_GRID_INTENSITY = 436.0
+
+#: Service life over which embodied carbon is amortised (the ~6-year server
+#: lifetime the paper cites).
+DEFAULT_LIFETIME_YEARS = 6.0
+
+#: Datacenter power usage effectiveness (overhead on top of GPU power).
+DEFAULT_PUE = 1.2
+
+
+@dataclass(frozen=True)
+class CarbonFootprint:
+    """Carbon attributed to one iteration of a plan, in grams of CO2e."""
+
+    operational_g: float
+    embodied_g: float
+
+    @property
+    def total_g(self) -> float:
+        """Total attributed carbon per iteration."""
+        return self.operational_g + self.embodied_g
+
+
+@dataclass
+class CarbonModel:
+    """Computes operational + amortised embodied carbon for plans."""
+
+    gpu_power_w: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_GPU_POWER_W))
+    embodied_kgco2e: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_EMBODIED_KGCO2E))
+    grid_intensity_g_per_kwh: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_GRID_INTENSITY))
+    lifetime_years: float = DEFAULT_LIFETIME_YEARS
+    pue: float = DEFAULT_PUE
+
+    def __post_init__(self) -> None:
+        if self.lifetime_years <= 0:
+            raise ValueError("lifetime_years must be positive")
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1.0")
+
+    # -- components -----------------------------------------------------------
+
+    def gpu_power(self, gpu_type: str) -> float:
+        """Training-load board power (W) for a GPU type."""
+        try:
+            return self.gpu_power_w[gpu_type]
+        except KeyError:
+            raise KeyError(f"no power rating for GPU type {gpu_type!r}") from None
+
+    def grid_intensity(self, region: str) -> float:
+        """Grid carbon intensity (gCO2e/kWh) of a region."""
+        return self.grid_intensity_g_per_kwh.get(region, FALLBACK_GRID_INTENSITY)
+
+    def operational_g_per_iteration(self, plan: ParallelizationPlan,
+                                    iteration_time_s: float,
+                                    region_of_zone) -> float:
+        """Operational carbon of one iteration (gCO2e)."""
+        if iteration_time_s < 0:
+            raise ValueError("iteration_time_s must be non-negative")
+        total = 0.0
+        for stage in plan.stages:
+            for replica in stage.replicas:
+                power_kw = self.gpu_power(replica.gpu_type) / 1000.0 * self.pue
+                energy_kwh = power_kw * replica.num_gpus * iteration_time_s / 3600.0
+                intensity = self.grid_intensity(region_of_zone(replica.zone))
+                total += energy_kwh * intensity
+        return total
+
+    def embodied_g_per_iteration(self, plan: ParallelizationPlan,
+                                 iteration_time_s: float) -> float:
+        """Embodied carbon attributed to one iteration (gCO2e).
+
+        Each GPU's manufacturing footprint is spread uniformly over its
+        service life; a plan is charged for the wall-clock time it occupies
+        the GPU.
+        """
+        if iteration_time_s < 0:
+            raise ValueError("iteration_time_s must be non-negative")
+        lifetime_s = self.lifetime_years * 365.25 * 24 * 3600
+        total = 0.0
+        for gpu_type, count in plan.gpus_by_type().items():
+            per_gpu_g = self.embodied_kgco2e.get(gpu_type, 120.0) * 1000.0
+            total += count * per_gpu_g * (iteration_time_s / lifetime_s)
+        return total
+
+    # -- combined -----------------------------------------------------------------
+
+    def footprint(self, plan: ParallelizationPlan, iteration_time_s: float,
+                  region_of_zone=None) -> CarbonFootprint:
+        """Carbon footprint of one iteration of a plan."""
+        if region_of_zone is None:
+            def region_of_zone(zone: str) -> str:
+                return zone.rsplit("-", 1)[0]
+        return CarbonFootprint(
+            operational_g=self.operational_g_per_iteration(
+                plan, iteration_time_s, region_of_zone),
+            embodied_g=self.embodied_g_per_iteration(plan, iteration_time_s),
+        )
+
+    def grams_per_sample(self, plan: ParallelizationPlan,
+                         iteration_time_s: float) -> float:
+        """Convenience: total gCO2e per training sequence."""
+        footprint = self.footprint(plan, iteration_time_s)
+        return footprint.total_g / plan.job.global_batch_size

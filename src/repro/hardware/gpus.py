@@ -1,0 +1,189 @@
+"""GPU specification catalog.
+
+The Sailor planner and simulator treat GPUs as black-box compute units
+characterised by peak throughput, memory capacity and interconnect
+bandwidth (paper section 4.3).  This module provides the catalog of GPU
+types used throughout the paper's evaluation (A100-40GB, V100-16GB,
+GH200, Titan RTX, RTX 2080 Ti, RTX 3090) plus a few extra types that are
+useful for examples, and a registry so that users can add their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU type.
+
+    Attributes
+    ----------
+    name:
+        Canonical identifier, e.g. ``"A100-40"``.
+    memory_gb:
+        Usable HBM capacity in GiB.
+    peak_tflops:
+        Peak dense half-precision (tensor-core) throughput in TFLOP/s.
+        The profiler multiplies this by an achievable-efficiency curve.
+    mem_bandwidth_gbps:
+        HBM bandwidth in GB/s; used to model memory-bound phases
+        (optimizer update, small microbatches).
+    intra_node_bw_gbps:
+        Per-direction GPU-to-GPU bandwidth inside a node (NVLink or PCIe),
+        in GB/s.  Tensor-parallel collectives use this link.
+    vendor:
+        GPU vendor, informational only.
+    generation:
+        Architecture generation, informational only.
+    """
+
+    name: str
+    memory_gb: float
+    peak_tflops: float
+    mem_bandwidth_gbps: float
+    intra_node_bw_gbps: float
+    vendor: str = "nvidia"
+    generation: str = ""
+
+    @property
+    def memory_bytes(self) -> int:
+        """Usable device memory in bytes."""
+        return int(self.memory_gb * (1024 ** 3))
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak throughput in FLOP/s (not TFLOP/s)."""
+        return self.peak_tflops * 1e12
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+_REGISTRY: dict[str, GPUSpec] = {}
+
+
+def register_gpu(spec: GPUSpec, *, overwrite: bool = False) -> GPUSpec:
+    """Add a GPU type to the global catalog.
+
+    Raises ``ValueError`` if a different spec is already registered under
+    the same name and ``overwrite`` is false.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing != spec and not overwrite:
+        raise ValueError(f"GPU type {spec.name!r} already registered with different spec")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU type by name.
+
+    Raises ``KeyError`` with the list of known types if missing.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown GPU type {name!r}; known types: {known}") from None
+
+
+def list_gpus() -> list[GPUSpec]:
+    """Return all registered GPU specs, sorted by name."""
+    return [spec for _, spec in sorted(_REGISTRY.items())]
+
+
+# ---------------------------------------------------------------------------
+# Built-in catalog.  Peak numbers are the published dense FP16/BF16 tensor
+# throughputs; memory capacities are the usable sizes the paper quotes.
+# ---------------------------------------------------------------------------
+
+A100_40 = register_gpu(GPUSpec(
+    name="A100-40",
+    memory_gb=40.0,
+    peak_tflops=312.0,
+    mem_bandwidth_gbps=1555.0,
+    intra_node_bw_gbps=300.0,
+    generation="ampere",
+))
+
+A100_80 = register_gpu(GPUSpec(
+    name="A100-80",
+    memory_gb=80.0,
+    peak_tflops=312.0,
+    mem_bandwidth_gbps=2039.0,
+    intra_node_bw_gbps=300.0,
+    generation="ampere",
+))
+
+V100_16 = register_gpu(GPUSpec(
+    name="V100-16",
+    memory_gb=16.0,
+    peak_tflops=125.0,
+    mem_bandwidth_gbps=900.0,
+    intra_node_bw_gbps=150.0,
+    generation="volta",
+))
+
+H100_80 = register_gpu(GPUSpec(
+    name="H100-80",
+    memory_gb=80.0,
+    peak_tflops=989.0,
+    mem_bandwidth_gbps=3350.0,
+    intra_node_bw_gbps=450.0,
+    generation="hopper",
+))
+
+GH200 = register_gpu(GPUSpec(
+    name="GH200-96",
+    memory_gb=96.0,
+    peak_tflops=989.0,
+    mem_bandwidth_gbps=4000.0,
+    intra_node_bw_gbps=450.0,
+    generation="grace-hopper",
+))
+
+TITAN_RTX = register_gpu(GPUSpec(
+    name="TitanRTX-24",
+    memory_gb=24.0,
+    peak_tflops=65.0,
+    mem_bandwidth_gbps=672.0,
+    intra_node_bw_gbps=16.0,
+    generation="turing",
+))
+
+RTX_2080 = register_gpu(GPUSpec(
+    name="RTX2080-11",
+    memory_gb=11.0,
+    peak_tflops=45.0,
+    mem_bandwidth_gbps=616.0,
+    intra_node_bw_gbps=16.0,
+    generation="turing",
+))
+
+RTX_3090 = register_gpu(GPUSpec(
+    name="RTX3090-24",
+    memory_gb=24.0,
+    peak_tflops=71.0,
+    mem_bandwidth_gbps=936.0,
+    intra_node_bw_gbps=16.0,
+    generation="ampere",
+))
+
+T4_16 = register_gpu(GPUSpec(
+    name="T4-16",
+    memory_gb=16.0,
+    peak_tflops=65.0,
+    mem_bandwidth_gbps=320.0,
+    intra_node_bw_gbps=16.0,
+    generation="turing",
+))
+
+A10G_24 = register_gpu(GPUSpec(
+    name="A10G-24",
+    memory_gb=24.0,
+    peak_tflops=125.0,
+    mem_bandwidth_gbps=600.0,
+    intra_node_bw_gbps=24.0,
+    generation="ampere",
+))

@@ -1,0 +1,107 @@
+"""Cloud pricing: per-GPU-hour compute prices and data-egress prices.
+
+The Sailor cost model (paper section 4.3) charges each iteration for
+
+* compute: ``sum_i N_i * price_per_gpu_i * T_iter`` over GPU types ``i``, and
+* communication: ``sum_{i,j} bytes_ij * price_per_byte_ij`` over zone pairs.
+
+This module provides the price catalog both of those terms read from.  Prices
+default to published GCP on-demand rates (USD), but users can supply their
+own catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.network import LinkClass
+
+
+#: Default on-demand price per GPU-hour in USD, keyed by GPU type name.
+DEFAULT_GPU_PRICES: dict[str, float] = {
+    "A100-40": 2.93,
+    "A100-80": 3.93,
+    "V100-16": 2.48,
+    "H100-80": 9.80,
+    "GH200-96": 10.50,
+    "TitanRTX-24": 0.90,
+    "RTX2080-11": 0.50,
+    "RTX3090-24": 1.10,
+    "T4-16": 0.35,
+    "A10G-24": 1.00,
+}
+
+#: Default data-transfer (egress) price in USD per GiB, per link class.
+DEFAULT_EGRESS_PRICES: dict[LinkClass, float] = {
+    LinkClass.INTRA_NODE: 0.0,
+    LinkClass.INTRA_ZONE: 0.0,
+    LinkClass.INTER_ZONE: 0.01,
+    LinkClass.INTER_REGION: 0.08,
+}
+
+
+@dataclass
+class PriceCatalog:
+    """Prices for compute (per GPU-hour) and data transfer (per GiB).
+
+    Attributes
+    ----------
+    gpu_hourly_usd:
+        Map from GPU type name to on-demand USD per GPU-hour.
+    egress_usd_per_gib:
+        Map from :class:`LinkClass` to USD per GiB transferred.
+    """
+
+    gpu_hourly_usd: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_GPU_PRICES))
+    egress_usd_per_gib: dict[LinkClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_EGRESS_PRICES))
+
+    def gpu_price_per_hour(self, gpu_name: str) -> float:
+        """USD per hour for one GPU of the given type."""
+        try:
+            return self.gpu_hourly_usd[gpu_name]
+        except KeyError:
+            known = ", ".join(sorted(self.gpu_hourly_usd))
+            raise KeyError(
+                f"no price for GPU type {gpu_name!r}; known: {known}") from None
+
+    def gpu_price_per_second(self, gpu_name: str) -> float:
+        """USD per second for one GPU of the given type."""
+        return self.gpu_price_per_hour(gpu_name) / 3600.0
+
+    def compute_cost(self, gpu_counts: dict[str, int], duration_s: float) -> float:
+        """USD to run ``gpu_counts`` GPUs for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        total = 0.0
+        for gpu_name, count in gpu_counts.items():
+            if count < 0:
+                raise ValueError(f"negative GPU count for {gpu_name!r}")
+            total += count * self.gpu_price_per_second(gpu_name) * duration_s
+        return total
+
+    def egress_price_per_byte(self, link_class: LinkClass) -> float:
+        """USD per byte transferred over a link of the given class."""
+        return self.egress_usd_per_gib.get(link_class, 0.0) / (1024 ** 3)
+
+    def egress_cost(self, bytes_by_link: dict[LinkClass, float]) -> float:
+        """USD to transfer the given number of bytes per link class."""
+        total = 0.0
+        for link_class, nbytes in bytes_by_link.items():
+            if nbytes < 0:
+                raise ValueError("negative byte count")
+            total += nbytes * self.egress_price_per_byte(link_class)
+        return total
+
+    def with_gpu_price(self, gpu_name: str, price_per_hour: float) -> "PriceCatalog":
+        """Return a copy with one GPU price overridden."""
+        prices = dict(self.gpu_hourly_usd)
+        prices[gpu_name] = price_per_hour
+        return PriceCatalog(gpu_hourly_usd=prices,
+                            egress_usd_per_gib=dict(self.egress_usd_per_gib))
+
+
+def default_price_catalog() -> PriceCatalog:
+    """Return a :class:`PriceCatalog` with the default GCP-like prices."""
+    return PriceCatalog()

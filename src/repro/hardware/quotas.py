@@ -1,0 +1,108 @@
+"""Resource quotas.
+
+Users of Sailor submit *quotas*: the maximum number of GPUs of each type they
+may use in each zone (paper section 4).  The actual availability (a
+:class:`~repro.hardware.topology.ClusterTopology`) may be lower than the
+quota at any point in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.nodes import get_node_type
+from repro.hardware.topology import ClusterTopology
+
+
+@dataclass(frozen=True)
+class ResourceQuota:
+    """Maximum GPUs of one type allowed in one zone.
+
+    Attributes
+    ----------
+    zone:
+        Availability zone name, e.g. ``"us-central1-a"``.
+    node_type:
+        Node type name (see :mod:`repro.hardware.nodes`).
+    max_nodes:
+        Maximum number of whole nodes of this type the job may use.
+    """
+
+    zone: str
+    node_type: str
+    max_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 0:
+            raise ValueError("max_nodes must be non-negative")
+        get_node_type(self.node_type)  # validate
+
+    @property
+    def max_gpus(self) -> int:
+        """Maximum GPUs this quota entry allows."""
+        return self.max_nodes * get_node_type(self.node_type).gpus_per_node
+
+
+@dataclass
+class QuotaSet:
+    """A collection of :class:`ResourceQuota` entries for one training job."""
+
+    quotas: list[ResourceQuota] = field(default_factory=list)
+
+    def add(self, zone: str, node_type: str, max_nodes: int) -> "QuotaSet":
+        """Append a quota entry and return ``self`` for chaining."""
+        self.quotas.append(ResourceQuota(zone, node_type, max_nodes))
+        return self
+
+    @property
+    def zones(self) -> list[str]:
+        """Zones mentioned by any quota entry, sorted."""
+        return sorted({q.zone for q in self.quotas})
+
+    @property
+    def node_types(self) -> list[str]:
+        """Node types mentioned by any quota entry, sorted."""
+        return sorted({q.node_type for q in self.quotas})
+
+    def max_nodes(self, zone: str, node_type: str) -> int:
+        """Quota (in nodes) for a (zone, node type) pair; 0 if absent."""
+        return sum(q.max_nodes for q in self.quotas
+                   if q.zone == zone and q.node_type == node_type)
+
+    def total_gpus(self) -> int:
+        """Total GPUs allowed by the quota set."""
+        return sum(q.max_gpus for q in self.quotas)
+
+    def to_topology(self) -> ClusterTopology:
+        """Topology assuming the full quota is available."""
+        nodes: dict[str, dict[str, int]] = {}
+        for q in self.quotas:
+            dest = nodes.setdefault(q.zone, {})
+            dest[q.node_type] = dest.get(q.node_type, 0) + q.max_nodes
+        return ClusterTopology(nodes=nodes)
+
+    def clamp(self, available: ClusterTopology) -> ClusterTopology:
+        """Intersect the quota with the currently-available topology.
+
+        The planner always plans over ``min(quota, availability)``.
+        """
+        nodes: dict[str, dict[str, int]] = {}
+        for q in self.quotas:
+            avail = available.node_count(q.zone, q.node_type)
+            count = min(q.max_nodes, avail)
+            if count > 0:
+                dest = nodes.setdefault(q.zone, {})
+                dest[q.node_type] = dest.get(q.node_type, 0) + count
+        return ClusterTopology(nodes=nodes,
+                               zone_to_region=dict(available.zone_to_region),
+                               network=available.network)
+
+    @classmethod
+    def from_topology(cls, topology: ClusterTopology) -> "QuotaSet":
+        """Quota set that exactly matches a topology."""
+        quotas = []
+        for zone, per_type in topology.nodes.items():
+            for node_type, count in per_type.items():
+                if count > 0:
+                    quotas.append(ResourceQuota(zone, node_type, count))
+        return cls(quotas=quotas)

@@ -1,0 +1,29 @@
+"""Transformer model specifications and layer partitioning.
+
+* :mod:`repro.models.spec` -- parameter / FLOP / activation accounting for
+  dense transformer LLMs (the model class the paper evaluates).
+* :mod:`repro.models.catalog` -- the models used in the paper (OPT-350M,
+  GPT-Neo-2.7B) plus extras for examples.
+* :mod:`repro.models.partition` -- splitting layers into pipeline stages.
+"""
+
+from repro.models.spec import TransformerModelSpec, TrainingJobSpec
+from repro.models.catalog import get_model, list_models, register_model
+from repro.models.partition import (
+    LayerPartition,
+    uniform_partition,
+    partition_layers,
+    balanced_partition,
+)
+
+__all__ = [
+    "TransformerModelSpec",
+    "TrainingJobSpec",
+    "get_model",
+    "list_models",
+    "register_model",
+    "LayerPartition",
+    "uniform_partition",
+    "partition_layers",
+    "balanced_partition",
+]

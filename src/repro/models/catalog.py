@@ -1,0 +1,87 @@
+"""Model catalog.
+
+The paper evaluates OPT-350M and GPT-Neo-2.7B with a global batch size of
+2048 sequences of 2048 tokens.  A few additional models are provided for
+examples and scalability studies.
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import TransformerModelSpec
+
+
+_REGISTRY: dict[str, TransformerModelSpec] = {}
+
+
+def register_model(spec: TransformerModelSpec, *, overwrite: bool = False) -> TransformerModelSpec:
+    """Add a model to the global catalog."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing != spec and not overwrite:
+        raise ValueError(f"model {spec.name!r} already registered with different spec")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_model(name: str) -> TransformerModelSpec:
+    """Look up a model by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def list_models() -> list[TransformerModelSpec]:
+    """Return all registered models, sorted by name."""
+    return [spec for _, spec in sorted(_REGISTRY.items())]
+
+
+# ---------------------------------------------------------------------------
+# Built-in catalog.
+# ---------------------------------------------------------------------------
+
+OPT_350M = register_model(TransformerModelSpec(
+    name="OPT-350M",
+    num_layers=24,
+    hidden_size=1024,
+    num_heads=16,
+    vocab_size=50272,
+    max_sequence_length=2048,
+))
+
+OPT_1_3B = register_model(TransformerModelSpec(
+    name="OPT-1.3B",
+    num_layers=24,
+    hidden_size=2048,
+    num_heads=32,
+    vocab_size=50272,
+    max_sequence_length=2048,
+))
+
+GPT_NEO_2_7B = register_model(TransformerModelSpec(
+    name="GPT-Neo-2.7B",
+    num_layers=32,
+    hidden_size=2560,
+    num_heads=20,
+    vocab_size=50257,
+    max_sequence_length=2048,
+))
+
+GPT_6_7B = register_model(TransformerModelSpec(
+    name="GPT-6.7B",
+    num_layers=32,
+    hidden_size=4096,
+    num_heads=32,
+    vocab_size=50272,
+    max_sequence_length=2048,
+))
+
+LLAMA_13B_LIKE = register_model(TransformerModelSpec(
+    name="Llama-13B-like",
+    num_layers=40,
+    hidden_size=5120,
+    num_heads=40,
+    ffn_hidden_size=13824,
+    vocab_size=32000,
+    max_sequence_length=2048,
+))

@@ -1,0 +1,148 @@
+"""Layer partitioning: assigning transformer layers to pipeline stages.
+
+Sailor partitions the model's repeated layers into ``P`` contiguous pipeline
+stages.  The first stage also hosts the input embedding and the last stage
+the LM head, which matters for both memory (embedding parameters are large)
+and compute (the vocabulary projection is expensive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.spec import TransformerModelSpec
+
+
+@dataclass(frozen=True)
+class LayerPartition:
+    """Contiguous block of transformer layers forming one pipeline stage.
+
+    Attributes
+    ----------
+    stage_index:
+        0-based index of the stage in the pipeline.
+    num_stages:
+        Total pipeline stages.
+    first_layer / num_layers:
+        The contiguous block of transformer layers of this stage.
+    has_embedding / has_lm_head:
+        Whether the stage hosts the input embedding / output projection.
+    """
+
+    stage_index: int
+    num_stages: int
+    first_layer: int
+    num_layers: int
+    has_embedding: bool
+    has_lm_head: bool
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.stage_index < self.num_stages:
+            raise ValueError("stage_index out of range")
+        if self.num_layers < 0 or self.first_layer < 0:
+            raise ValueError("layer indices must be non-negative")
+
+    @property
+    def is_first(self) -> bool:
+        """True for the first pipeline stage."""
+        return self.stage_index == 0
+
+    @property
+    def is_last(self) -> bool:
+        """True for the last pipeline stage."""
+        return self.stage_index == self.num_stages - 1
+
+    def stage_params(self, model: TransformerModelSpec) -> int:
+        """Parameters held by this stage (before tensor-parallel sharding)."""
+        params = self.num_layers * model.params_per_layer
+        if self.has_embedding:
+            params += model.embedding_params
+        if self.has_lm_head:
+            params += model.lm_head_params
+            if model.tied_embeddings and not self.has_embedding:
+                # Untied copy of the embedding weights lives on the last stage.
+                params += model.vocab_size * model.hidden_size
+        return params
+
+
+def partition_layers(num_layers: int, num_stages: int) -> list[int]:
+    """Split ``num_layers`` into ``num_stages`` near-equal contiguous blocks.
+
+    Remainder layers go to the earliest stages, matching Megatron's default.
+    Raises ``ValueError`` when there are more stages than layers.
+    """
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if num_layers < num_stages:
+        raise ValueError(
+            f"cannot split {num_layers} layers into {num_stages} stages")
+    base = num_layers // num_stages
+    remainder = num_layers % num_stages
+    return [base + (1 if i < remainder else 0) for i in range(num_stages)]
+
+
+def uniform_partition(model: TransformerModelSpec,
+                      num_stages: int) -> list[LayerPartition]:
+    """Partition a model into ``num_stages`` stages of near-equal depth."""
+    counts = partition_layers(model.num_layers, num_stages)
+    partitions = []
+    first = 0
+    for i, count in enumerate(counts):
+        partitions.append(LayerPartition(
+            stage_index=i,
+            num_stages=num_stages,
+            first_layer=first,
+            num_layers=count,
+            has_embedding=(i == 0),
+            has_lm_head=(i == num_stages - 1),
+        ))
+        first += count
+    return partitions
+
+
+def balanced_partition(model: TransformerModelSpec, num_stages: int,
+                       stage_weights: list[float]) -> list[LayerPartition]:
+    """Partition layers proportionally to per-stage compute weights.
+
+    ``stage_weights[i]`` expresses the relative compute capability of stage
+    ``i`` (e.g. the aggregate profiled throughput of its GPUs).  Faster
+    stages receive more layers, which is how heterogeneous plans
+    load-balance across GPU generations.
+    """
+    if len(stage_weights) != num_stages:
+        raise ValueError("stage_weights must have one entry per stage")
+    if any(w <= 0 for w in stage_weights):
+        raise ValueError("stage_weights must be positive")
+    if model.num_layers < num_stages:
+        raise ValueError(
+            f"cannot split {model.num_layers} layers into {num_stages} stages")
+
+    total_weight = sum(stage_weights)
+    # Largest-remainder apportionment with a floor of one layer per stage.
+    quotas = [model.num_layers * w / total_weight for w in stage_weights]
+    counts = [max(1, int(q)) for q in quotas]
+    while sum(counts) > model.num_layers:
+        # Remove from the most over-allocated stage that still has > 1 layer.
+        candidates = [i for i in range(num_stages) if counts[i] > 1]
+        worst = max(candidates, key=lambda i: counts[i] - quotas[i])
+        counts[worst] -= 1
+    remainders = [(quotas[i] - counts[i], i) for i in range(num_stages)]
+    remainders.sort(reverse=True)
+    idx = 0
+    while sum(counts) < model.num_layers:
+        counts[remainders[idx % num_stages][1]] += 1
+        idx += 1
+
+    partitions = []
+    first = 0
+    for i, count in enumerate(counts):
+        partitions.append(LayerPartition(
+            stage_index=i,
+            num_stages=num_stages,
+            first_layer=first,
+            num_layers=count,
+            has_embedding=(i == 0),
+            has_lm_head=(i == num_stages - 1),
+        ))
+        first += count
+    return partitions

@@ -1,0 +1,36 @@
+"""Simulated Sailor profiler.
+
+The real Sailor profiler runs one node of every GPU type, instruments a
+single transformer layer with PyTorch hooks / CUDA events, and measures the
+network between node-type pairs with NCCL microbenchmarks (paper section
+4.1).  Without GPUs, this package produces the *same profile tables* from an
+analytic model:
+
+* :mod:`repro.profiler.compute` -- per-layer forward/backward/update times
+  per (GPU type, microbatch size, tensor-parallel degree), plus parameter
+  and activation sizes.
+* :mod:`repro.profiler.network` -- bandwidth-vs-message-size measurements
+  and the polynomial fit the paper describes.
+* :mod:`repro.profiler.profiles` -- the profile dataclasses and the
+  :class:`ProfileStore` consumed by the planner and simulator.
+"""
+
+from repro.profiler.profiles import (
+    LayerCompute,
+    JobProfile,
+    NetworkProfile,
+    ProfileStore,
+)
+from repro.profiler.compute import ComputeProfiler, GPUEfficiencyModel
+from repro.profiler.network import NetworkProfiler, fit_bandwidth_polynomial
+
+__all__ = [
+    "LayerCompute",
+    "JobProfile",
+    "NetworkProfile",
+    "ProfileStore",
+    "ComputeProfiler",
+    "GPUEfficiencyModel",
+    "NetworkProfiler",
+    "fit_bandwidth_polynomial",
+]

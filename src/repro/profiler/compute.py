@@ -1,0 +1,211 @@
+"""Simulated job profiler.
+
+Produces the per-layer compute/memory tables (:class:`~repro.profiler.profiles.JobProfile`)
+that the real Sailor profiler would measure with PyTorch hooks and CUDA
+events on a single node of each GPU type.
+
+The timing model combines:
+
+* analytic FLOP counts per transformer block / embedding / LM head
+  (:mod:`repro.models.spec`);
+* a per-GPU *efficiency curve* -- the fraction of peak throughput achieved as
+  a function of the work per kernel (small microbatches and high
+  tensor-parallel degrees under-utilise the GPU);
+* intra-node tensor-parallel all-reduce time (the real profiler measures the
+  layer *including* its TP collectives, so we fold that in here);
+* a memory-bandwidth-bound optimizer update; and
+* optional multiplicative measurement noise, so the "measured" numbers do not
+  exactly match the analytic ground truth (mirroring real profiling jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collectives import ring_allreduce_time
+from repro.hardware.gpus import GPUSpec
+from repro.hardware.network import LinkSpec
+from repro.models.spec import TrainingJobSpec, dtype_size_bytes
+from repro.profiler.profiles import JobProfile, LayerCompute
+
+
+#: Achievable fraction of peak tensor throughput for large, well-shaped GEMMs,
+#: by GPU architecture generation.  Data-centre parts sustain a larger share
+#: of peak than consumer boards.
+DEFAULT_PEAK_EFFICIENCY: dict[str, float] = {
+    "hopper": 0.60,
+    "grace-hopper": 0.62,
+    "ampere": 0.55,
+    "volta": 0.48,
+    "turing": 0.33,
+}
+
+#: Fallback efficiency for unknown generations.
+FALLBACK_EFFICIENCY = 0.40
+
+
+@dataclass
+class GPUEfficiencyModel:
+    """Maps (GPU, per-rank work) to achieved FLOP/s.
+
+    ``saturation_s`` is the kernel duration (at peak) beyond which the GPU is
+    considered fully utilised; shorter kernels are launch/memory bound and
+    achieve proportionally less.  ``tp_penalty`` models the small loss in
+    kernel efficiency when a layer is sliced across tensor-parallel ranks.
+    """
+
+    peak_efficiency: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_PEAK_EFFICIENCY))
+    saturation_s: float = 2e-3
+    tp_penalty: float = 0.03
+
+    def max_efficiency(self, gpu: GPUSpec) -> float:
+        """Best-case fraction of peak for this GPU."""
+        return self.peak_efficiency.get(gpu.generation, FALLBACK_EFFICIENCY)
+
+    def achieved_flops(self, gpu: GPUSpec, flops_per_rank: float,
+                       tensor_parallel: int = 1) -> float:
+        """Achieved FLOP/s for a kernel of ``flops_per_rank`` on one rank."""
+        if flops_per_rank <= 0:
+            return gpu.peak_flops * self.max_efficiency(gpu)
+        if tensor_parallel < 1:
+            raise ValueError("tensor_parallel must be >= 1")
+        max_eff = self.max_efficiency(gpu)
+        # Ramp: kernels much shorter than saturation_s are under-utilised.
+        ideal_duration = flops_per_rank / (gpu.peak_flops * max_eff)
+        ramp = ideal_duration / (ideal_duration + self.saturation_s)
+        tp_factor = max(0.5, 1.0 - self.tp_penalty * (tensor_parallel - 1))
+        efficiency = max_eff * (0.25 + 0.75 * ramp) * tp_factor
+        return gpu.peak_flops * efficiency
+
+    def compute_time(self, gpu: GPUSpec, flops_per_rank: float,
+                     tensor_parallel: int = 1) -> float:
+        """Seconds to execute ``flops_per_rank`` on one rank."""
+        if flops_per_rank <= 0:
+            return 0.0
+        return flops_per_rank / self.achieved_flops(gpu, flops_per_rank, tensor_parallel)
+
+
+class ComputeProfiler:
+    """Builds :class:`JobProfile` tables for a (job, GPU type) pair."""
+
+    def __init__(self, efficiency_model: GPUEfficiencyModel | None = None,
+                 noise_std: float = 0.0, seed: int = 0) -> None:
+        self.efficiency = efficiency_model or GPUEfficiencyModel()
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+    # -- public API ----------------------------------------------------------
+
+    def profile(self, job: TrainingJobSpec, gpu: GPUSpec,
+                microbatch_sizes: list[int] | None = None,
+                tensor_parallel_degrees: list[int] | None = None) -> JobProfile:
+        """Profile one job on one GPU type.
+
+        Mirrors the paper's single-node profiling: only one transformer layer
+        is measured (repeated layers are identical), plus the embedding and
+        the LM head, for every combination of microbatch size and
+        tensor-parallel degree requested.
+        """
+        model = job.model
+        if microbatch_sizes is None:
+            microbatch_sizes = job.valid_microbatch_sizes(max_mbs=16)
+        if tensor_parallel_degrees is None:
+            tensor_parallel_degrees = [1, 2, 4, 8]
+
+        profile = JobProfile(
+            model_name=model.name,
+            gpu_type=gpu.name,
+            params_per_layer=model.params_per_layer,
+            embedding_params=model.embedding_params,
+            head_params=model.lm_head_params or model.vocab_size * model.hidden_size,
+        )
+        seq = job.sequence_length
+        for mbs in microbatch_sizes:
+            profile.boundary_bytes[mbs] = model.boundary_activation_bytes(
+                mbs, seq, dtype=job.dtype)
+            for tp in tensor_parallel_degrees:
+                profile.layer_times[(mbs, tp)] = self._profile_layer(job, gpu, mbs, tp)
+                profile.embedding_times[(mbs, tp)] = self._profile_embedding(job, gpu, mbs, tp)
+                profile.head_times[(mbs, tp)] = self._profile_head(job, gpu, mbs, tp)
+                profile.activation_bytes[(mbs, tp)] = model.layer_activation_bytes(
+                    mbs, seq, tensor_parallel=tp, dtype=job.dtype)
+        return profile
+
+    # -- internals -----------------------------------------------------------
+
+    def _noise(self) -> float:
+        if self.noise_std <= 0:
+            return 1.0
+        return float(max(0.5, self._rng.normal(1.0, self.noise_std)))
+
+    def _tp_allreduce_time(self, job: TrainingJobSpec, gpu: GPUSpec,
+                           microbatch_size: int, tensor_parallel: int,
+                           num_collectives: int) -> float:
+        """Intra-node all-reduce time folded into a layer's measured time."""
+        if tensor_parallel <= 1:
+            return 0.0
+        message_bytes = (job.model.boundary_activation_bytes(
+            microbatch_size, job.sequence_length, dtype=job.dtype))
+        link = LinkSpec(bandwidth_gbps=gpu.intra_node_bw_gbps * 8.0, latency_s=5e-6)
+        single = ring_allreduce_time(message_bytes, tensor_parallel, link.transfer_time)
+        return num_collectives * single
+
+    def _update_time(self, params: int, gpu: GPUSpec, tensor_parallel: int) -> float:
+        """Optimizer step time: memory-bandwidth bound over optimizer state."""
+        # Adam reads/writes roughly 32 bytes per parameter (fp32 master, m, v
+        # read + write, fp16 weight write).
+        bytes_touched = (params / tensor_parallel) * 32.0
+        return bytes_touched / (gpu.mem_bandwidth_gbps * 1e9)
+
+    def _profile_layer(self, job: TrainingJobSpec, gpu: GPUSpec,
+                       mbs: int, tp: int) -> LayerCompute:
+        model = job.model
+        seq = job.sequence_length
+        fwd_flops = model.layer_forward_flops(mbs, seq) / tp
+        bwd_flops = model.layer_backward_flops(mbs, seq) / tp
+        fwd = self.efficiency.compute_time(gpu, fwd_flops, tp)
+        bwd = self.efficiency.compute_time(gpu, bwd_flops, tp)
+        fwd += self._tp_allreduce_time(job, gpu, mbs, tp, num_collectives=2)
+        bwd += self._tp_allreduce_time(job, gpu, mbs, tp, num_collectives=2)
+        update = self._update_time(model.params_per_layer, gpu, tp)
+        return LayerCompute(
+            gpu_type=gpu.name, microbatch_size=mbs, tensor_parallel=tp,
+            forward_s=fwd * self._noise(),
+            backward_s=bwd * self._noise(),
+            update_s=update * self._noise(),
+        )
+
+    def _profile_embedding(self, job: TrainingJobSpec, gpu: GPUSpec,
+                           mbs: int, tp: int) -> LayerCompute:
+        model = job.model
+        seq = job.sequence_length
+        # Embedding lookup is memory-bandwidth bound.
+        bytes_moved = mbs * seq * model.hidden_size * dtype_size_bytes(job.dtype)
+        fwd = bytes_moved / (gpu.mem_bandwidth_gbps * 1e9)
+        bwd = 2.0 * fwd  # scatter-add of gradients
+        update = self._update_time(model.embedding_params, gpu, tp)
+        return LayerCompute(
+            gpu_type=gpu.name, microbatch_size=mbs, tensor_parallel=tp,
+            forward_s=fwd * self._noise(),
+            backward_s=bwd * self._noise(),
+            update_s=update * self._noise(),
+        )
+
+    def _profile_head(self, job: TrainingJobSpec, gpu: GPUSpec,
+                      mbs: int, tp: int) -> LayerCompute:
+        model = job.model
+        seq = job.sequence_length
+        fwd_flops = model.lm_head_forward_flops(mbs, seq) / tp
+        fwd = self.efficiency.compute_time(gpu, fwd_flops, tp)
+        bwd = 2.0 * fwd
+        head_params = model.lm_head_params or model.vocab_size * model.hidden_size
+        update = self._update_time(head_params, gpu, tp)
+        return LayerCompute(
+            gpu_type=gpu.name, microbatch_size=mbs, tensor_parallel=tp,
+            forward_s=fwd * self._noise(),
+            backward_s=bwd * self._noise(),
+            update_s=update * self._noise(),
+        )

@@ -1,0 +1,96 @@
+"""Simulated network profiler.
+
+The real Sailor profiler measures bandwidth between every pair of machine
+types by running PyTorch/NCCL transfers at varying message sizes and fitting
+a polynomial to the achieved bandwidth (paper section 4.1).  This module
+reproduces that pipeline against the ground-truth
+:class:`~repro.hardware.network.NetworkModel`: it "measures" achieved
+bandwidth at a sweep of message sizes (optionally with noise) and fits the
+same polynomial, producing :class:`~repro.profiler.profiles.NetworkProfile`
+objects for the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.network import LinkClass, NetworkModel
+from repro.hardware.nodes import NodeSpec
+from repro.profiler.profiles import NetworkProfile, ProfileStore
+
+
+#: Message sizes (bytes) swept by the profiler: 4 KiB .. 1 GiB in 2x steps.
+DEFAULT_MESSAGE_SIZES: tuple[float, ...] = tuple(
+    float(4 * 1024 * (2 ** i)) for i in range(19))
+
+
+def fit_bandwidth_polynomial(message_sizes: list[float],
+                             bandwidths: list[float],
+                             degree: int = 3) -> tuple[float, ...]:
+    """Fit achieved bandwidth (bytes/s) as a polynomial in log2(message size).
+
+    Returns the coefficients highest-power-first, matching
+    :class:`~repro.profiler.profiles.NetworkProfile`.
+    """
+    if len(message_sizes) != len(bandwidths):
+        raise ValueError("message_sizes and bandwidths must have equal length")
+    if len(message_sizes) <= degree:
+        raise ValueError("need more measurements than the polynomial degree")
+    if any(m <= 0 for m in message_sizes):
+        raise ValueError("message sizes must be positive")
+    x = np.log2(np.asarray(message_sizes, dtype=float))
+    y = np.asarray(bandwidths, dtype=float)
+    coeffs = np.polyfit(x, y, deg=degree)
+    return tuple(float(c) for c in coeffs)
+
+
+class NetworkProfiler:
+    """Measures and fits bandwidth curves between node-type pairs."""
+
+    def __init__(self, network: NetworkModel, noise_std: float = 0.0,
+                 seed: int = 0, degree: int = 4) -> None:
+        self.network = network
+        self.noise_std = noise_std
+        self.degree = degree
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, node_a: NodeSpec, node_b: NodeSpec, link_class: LinkClass,
+                message_sizes: tuple[float, ...] = DEFAULT_MESSAGE_SIZES,
+                ) -> tuple[list[float], list[float]]:
+        """Measure achieved bandwidth at each message size (with noise)."""
+        sizes = list(message_sizes)
+        truth = self.network.bandwidth_curve(node_a, node_b, link_class, sizes)
+        if self.noise_std <= 0:
+            return sizes, truth
+        noise = self._rng.normal(1.0, self.noise_std, size=len(truth))
+        measured = [max(1.0, b * max(0.5, n)) for b, n in zip(truth, noise)]
+        return sizes, measured
+
+    def profile_pair(self, node_a: NodeSpec, node_b: NodeSpec,
+                     link_class: LinkClass,
+                     message_sizes: tuple[float, ...] = DEFAULT_MESSAGE_SIZES,
+                     ) -> NetworkProfile:
+        """Measure one node-type pair and fit the bandwidth polynomial."""
+        sizes, measured = self.measure(node_a, node_b, link_class, message_sizes)
+        coeffs = fit_bandwidth_polynomial(sizes, measured, degree=self.degree)
+        return NetworkProfile(
+            node_type_a=node_a.name,
+            node_type_b=node_b.name,
+            link_class=link_class,
+            coefficients=coeffs,
+            min_message_bytes=min(sizes),
+            max_message_bytes=max(sizes),
+        )
+
+    def profile_all_pairs(self, node_types: list[NodeSpec],
+                          store: ProfileStore | None = None) -> ProfileStore:
+        """Profile every (pair, link class) combination into a store."""
+        store = store or ProfileStore()
+        for i, node_a in enumerate(node_types):
+            for node_b in node_types[i:]:
+                for link_class in LinkClass:
+                    if link_class is LinkClass.INTRA_NODE and node_a.name != node_b.name:
+                        continue
+                    store.add_network_profile(
+                        self.profile_pair(node_a, node_b, link_class))
+        return store

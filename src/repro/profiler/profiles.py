@@ -1,0 +1,188 @@
+"""Profile dataclasses and the profile store.
+
+These are the tables the Sailor planner and simulator consume.  They are the
+interface between "measurement" (real hardware in the paper, the analytic
+profiler here) and everything downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.network import LinkClass
+
+
+@dataclass(frozen=True)
+class LayerCompute:
+    """Measured compute times of one transformer layer on one GPU type.
+
+    All times are seconds for a single microbatch at the given microbatch
+    size and tensor-parallel degree.
+    """
+
+    gpu_type: str
+    microbatch_size: int
+    tensor_parallel: int
+    forward_s: float
+    backward_s: float
+    update_s: float
+
+    def __post_init__(self) -> None:
+        if self.microbatch_size < 1 or self.tensor_parallel < 1:
+            raise ValueError("microbatch_size and tensor_parallel must be >= 1")
+        if min(self.forward_s, self.backward_s, self.update_s) < 0:
+            raise ValueError("times must be non-negative")
+
+    @property
+    def fwd_bwd_s(self) -> float:
+        """Forward plus backward time for one microbatch."""
+        return self.forward_s + self.backward_s
+
+
+@dataclass
+class JobProfile:
+    """Profile of one training job on one GPU type.
+
+    Attributes
+    ----------
+    model_name / gpu_type:
+        Identification of the profiled (model, GPU) pair.
+    layer_times:
+        ``(microbatch_size, tensor_parallel) -> LayerCompute`` for one
+        transformer block.
+    embedding_times / head_times:
+        Same mapping for the embedding and the LM-head/loss portion.
+    params_per_layer / embedding_params / head_params:
+        Parameter counts used by the memory estimator.
+    activation_bytes:
+        ``(microbatch_size, tensor_parallel) -> bytes`` of saved activations
+        of one transformer block.
+    boundary_bytes:
+        ``microbatch_size -> bytes`` of the activation tensor crossing a
+        pipeline-stage boundary.
+    """
+
+    model_name: str
+    gpu_type: str
+    layer_times: dict[tuple[int, int], LayerCompute] = field(default_factory=dict)
+    embedding_times: dict[tuple[int, int], LayerCompute] = field(default_factory=dict)
+    head_times: dict[tuple[int, int], LayerCompute] = field(default_factory=dict)
+    params_per_layer: int = 0
+    embedding_params: int = 0
+    head_params: int = 0
+    activation_bytes: dict[tuple[int, int], float] = field(default_factory=dict)
+    boundary_bytes: dict[int, float] = field(default_factory=dict)
+
+    def microbatch_sizes(self) -> list[int]:
+        """Microbatch sizes covered by this profile, sorted."""
+        return sorted({mbs for mbs, _ in self.layer_times})
+
+    def tensor_parallel_degrees(self) -> list[int]:
+        """Tensor-parallel degrees covered by this profile, sorted."""
+        return sorted({tp for _, tp in self.layer_times})
+
+    def layer(self, microbatch_size: int, tensor_parallel: int) -> LayerCompute:
+        """Layer times for one configuration; raises ``KeyError`` if absent."""
+        try:
+            return self.layer_times[(microbatch_size, tensor_parallel)]
+        except KeyError:
+            raise KeyError(
+                f"no profile for mbs={microbatch_size}, tp={tensor_parallel} "
+                f"on {self.gpu_type} (model {self.model_name})") from None
+
+    def has(self, microbatch_size: int, tensor_parallel: int) -> bool:
+        """True when a configuration was profiled."""
+        return (microbatch_size, tensor_parallel) in self.layer_times
+
+    def embedding(self, microbatch_size: int, tensor_parallel: int) -> LayerCompute:
+        """Embedding times for one configuration."""
+        return self.embedding_times[(microbatch_size, tensor_parallel)]
+
+    def head(self, microbatch_size: int, tensor_parallel: int) -> LayerCompute:
+        """LM-head times for one configuration."""
+        return self.head_times[(microbatch_size, tensor_parallel)]
+
+    def activations(self, microbatch_size: int, tensor_parallel: int) -> float:
+        """Saved-activation bytes of one block for one configuration."""
+        return self.activation_bytes[(microbatch_size, tensor_parallel)]
+
+
+@dataclass
+class NetworkProfile:
+    """Fitted bandwidth curve between a pair of node types.
+
+    ``coefficients`` are polynomial coefficients (highest power first, as
+    returned by :func:`numpy.polyfit`) of achieved bandwidth in bytes/s as a
+    function of ``log2(message_bytes)``, which is the fit the paper describes
+    in section 4.1.
+    """
+
+    node_type_a: str
+    node_type_b: str
+    link_class: LinkClass
+    coefficients: tuple[float, ...]
+    min_message_bytes: float
+    max_message_bytes: float
+
+    def bandwidth(self, message_bytes: float) -> float:
+        """Predicted achieved bandwidth (bytes/s) for a message size."""
+        import math
+
+        if message_bytes <= 0:
+            return 0.0
+        clamped = min(max(message_bytes, self.min_message_bytes), self.max_message_bytes)
+        x = math.log2(clamped)
+        result = 0.0
+        for coeff in self.coefficients:
+            result = result * x + coeff
+        return max(result, 1.0)
+
+    def transfer_time(self, message_bytes: float) -> float:
+        """Predicted time (s) to move ``message_bytes`` once over the link."""
+        if message_bytes <= 0:
+            return 0.0
+        return message_bytes / self.bandwidth(message_bytes)
+
+
+@dataclass
+class ProfileStore:
+    """All profiles the planner needs for one job on one resource pool."""
+
+    job_profiles: dict[str, JobProfile] = field(default_factory=dict)
+    network_profiles: dict[tuple[str, str, LinkClass], NetworkProfile] = field(
+        default_factory=dict)
+
+    def add_job_profile(self, profile: JobProfile) -> None:
+        """Register the job profile for one GPU type."""
+        self.job_profiles[profile.gpu_type] = profile
+
+    def add_network_profile(self, profile: NetworkProfile) -> None:
+        """Register a fitted network curve (both orderings of the pair)."""
+        key = (profile.node_type_a, profile.node_type_b, profile.link_class)
+        self.network_profiles[key] = profile
+        rkey = (profile.node_type_b, profile.node_type_a, profile.link_class)
+        self.network_profiles.setdefault(rkey, profile)
+
+    def job_profile(self, gpu_type: str) -> JobProfile:
+        """Job profile for a GPU type; raises ``KeyError`` when missing."""
+        try:
+            return self.job_profiles[gpu_type]
+        except KeyError:
+            known = ", ".join(sorted(self.job_profiles))
+            raise KeyError(
+                f"no job profile for GPU type {gpu_type!r}; profiled: {known}") from None
+
+    def network_profile(self, node_type_a: str, node_type_b: str,
+                        link_class: LinkClass) -> NetworkProfile:
+        """Fitted network curve for a node-type pair and link class."""
+        key = (node_type_a, node_type_b, link_class)
+        try:
+            return self.network_profiles[key]
+        except KeyError:
+            raise KeyError(
+                f"no network profile for {node_type_a} <-> {node_type_b} "
+                f"({link_class.value})") from None
+
+    def gpu_types(self) -> list[str]:
+        """GPU types with a job profile, sorted."""
+        return sorted(self.job_profiles)

@@ -1,0 +1,43 @@
+"""Sailor distributed training framework (simulated).
+
+The paper's training framework is a modified Megatron-DeepSpeed with support
+for heterogeneous plans, fault tolerance and elasticity (section 4.4).  This
+package reproduces its *systems* behaviour as a discrete-event simulation:
+
+* :mod:`repro.runtime.engine` -- a small discrete-event simulation engine.
+* :mod:`repro.runtime.comm_groups` -- building the data/pipeline/tensor
+  communication groups (rank topology) for heterogeneous plans.
+* :mod:`repro.runtime.worker` -- per-worker state machine.
+* :mod:`repro.runtime.checkpoint` -- asynchronous checkpointing and rollback.
+* :mod:`repro.runtime.reconfiguration` -- the kill-free reconfiguration
+  latency model (section 5.5 breakdown).
+* :mod:`repro.runtime.controller` -- the controller that monitors resource
+  availability, re-invokes the planner and reconfigures workers.
+* :mod:`repro.runtime.session` -- end-to-end elastic training sessions over
+  an availability trace (used by the elasticity experiments).
+"""
+
+from repro.runtime.engine import SimulationEngine, Event
+from repro.runtime.comm_groups import CommunicationGroups, build_rank_topology, RankAssignment
+from repro.runtime.worker import TrainingWorker, WorkerState
+from repro.runtime.checkpoint import CheckpointManager, CheckpointConfig
+from repro.runtime.reconfiguration import ReconfigurationModel, ReconfigurationBreakdown
+from repro.runtime.controller import TrainingController
+from repro.runtime.session import ElasticTrainingSession, SessionReport
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "CommunicationGroups",
+    "build_rank_topology",
+    "RankAssignment",
+    "TrainingWorker",
+    "WorkerState",
+    "CheckpointManager",
+    "CheckpointConfig",
+    "ReconfigurationModel",
+    "ReconfigurationBreakdown",
+    "TrainingController",
+    "ElasticTrainingSession",
+    "SessionReport",
+]

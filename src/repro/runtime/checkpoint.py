@@ -1,0 +1,117 @@
+"""Asynchronous checkpointing and rollback.
+
+Sailor restarts training from the latest available checkpoint after a
+reconfiguration and uses asynchronous checkpointing to minimise rollback
+(paper section 4.4).  The manager models:
+
+* a checkpoint *stall*: the short synchronous phase that snapshots device
+  state into host memory (training pauses);
+* an asynchronous *drain*: writing the snapshot to durable storage in the
+  background (training continues); a checkpoint only becomes *durable* once
+  the drain finishes, so a failure during the drain rolls back to the
+  previous durable checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import ParallelizationPlan
+from repro.models.spec import TrainingJobSpec
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpointing policy and costs.
+
+    Attributes
+    ----------
+    interval_iterations:
+        Take a checkpoint every N iterations.
+    host_snapshot_gbps:
+        Device-to-host copy bandwidth (GB/s) for the synchronous stall.
+    storage_write_gbps:
+        Host-to-storage bandwidth (GB/s) for the asynchronous drain.
+    """
+
+    interval_iterations: int = 50
+    host_snapshot_gbps: float = 20.0
+    storage_write_gbps: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.interval_iterations < 1:
+            raise ValueError("interval_iterations must be >= 1")
+        if self.host_snapshot_gbps <= 0 or self.storage_write_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One durable (or in-flight) checkpoint."""
+
+    iteration: int
+    started_at_s: float
+    durable_at_s: float
+
+
+@dataclass
+class CheckpointManager:
+    """Tracks checkpoints of one training job."""
+
+    job: TrainingJobSpec
+    config: CheckpointConfig = field(default_factory=CheckpointConfig)
+    records: list[CheckpointRecord] = field(default_factory=list)
+
+    # -- cost model -----------------------------------------------------------
+
+    def checkpoint_bytes(self) -> float:
+        """Bytes of one full checkpoint (fp32 weights + optimizer state)."""
+        params = self.job.model.total_params
+        if self.job.optimizer in ("adam", "adamw"):
+            per_param = 4 + 4 + 4  # master weights, momentum, variance
+        else:
+            per_param = 4 + 4
+        return float(params * per_param)
+
+    def stall_time_s(self, plan: ParallelizationPlan) -> float:
+        """Synchronous pause while device state is snapshotted to host.
+
+        The snapshot is sharded across all workers, so it scales inversely
+        with the number of GPUs in the plan.
+        """
+        shard = self.checkpoint_bytes() / max(1, plan.total_gpus)
+        return shard / (self.config.host_snapshot_gbps * 1e9)
+
+    def drain_time_s(self, plan: ParallelizationPlan) -> float:
+        """Background time to make the snapshot durable."""
+        shard = self.checkpoint_bytes() / max(1, plan.total_gpus)
+        return shard / (self.config.storage_write_gbps * 1e9)
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def should_checkpoint(self, iteration: int) -> bool:
+        """True when a checkpoint is due at this iteration."""
+        return iteration > 0 and iteration % self.config.interval_iterations == 0
+
+    def record(self, iteration: int, started_at_s: float,
+               durable_at_s: float) -> CheckpointRecord:
+        """Register a checkpoint that started (durable later, async)."""
+        if durable_at_s < started_at_s:
+            raise ValueError("a checkpoint cannot become durable before it starts")
+        record = CheckpointRecord(iteration=iteration, started_at_s=started_at_s,
+                                  durable_at_s=durable_at_s)
+        self.records.append(record)
+        return record
+
+    def latest_durable(self, at_time_s: float) -> CheckpointRecord | None:
+        """Most recent checkpoint that is durable at ``at_time_s``."""
+        durable = [r for r in self.records if r.durable_at_s <= at_time_s]
+        if not durable:
+            return None
+        return max(durable, key=lambda r: r.iteration)
+
+    def rollback_iterations(self, current_iteration: int, at_time_s: float) -> int:
+        """Iterations of work lost when failing at ``current_iteration``."""
+        latest = self.latest_durable(at_time_s)
+        restored = latest.iteration if latest else 0
+        return max(0, current_iteration - restored)

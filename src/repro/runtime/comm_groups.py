@@ -1,0 +1,141 @@
+"""Communication-group construction for heterogeneous plans.
+
+Megatron-DeepSpeed assumes uniform parallelism degrees, so its rank topology
+is a regular (DP, PP, TP) grid.  Sailor's framework instead takes a rank
+topology *per stage*, allowing each data-parallel replica of a stage to have
+its own tensor-parallel group size (paper section 4.4).  This module builds
+that topology from a :class:`~repro.core.plan.ParallelizationPlan`:
+
+* every GPU of every replica becomes a *rank*;
+* tensor-parallel groups are the GPUs of one replica;
+* pipeline groups connect the d-th replica of consecutive stages;
+* data-parallel groups connect, for each stage, the matching tensor-parallel
+  shards of all replicas (when TP degrees differ across replicas, the
+  smaller group's shards are replicated to the larger one, mirroring the
+  activation/gradient split-or-replicate behaviour described in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import ParallelizationPlan
+
+
+@dataclass(frozen=True)
+class RankAssignment:
+    """Where one rank (one GPU) sits in the parallel topology."""
+
+    rank: int
+    stage_index: int
+    replica_index: int
+    shard_index: int
+    node_type: str
+    gpu_type: str
+    zone: str
+    tensor_parallel: int
+
+
+@dataclass
+class CommunicationGroups:
+    """All process groups derived from a plan."""
+
+    ranks: list[RankAssignment] = field(default_factory=list)
+    tensor_groups: list[list[int]] = field(default_factory=list)
+    pipeline_groups: list[list[int]] = field(default_factory=list)
+    data_parallel_groups: list[list[int]] = field(default_factory=list)
+
+    @property
+    def world_size(self) -> int:
+        """Total number of ranks (GPUs)."""
+        return len(self.ranks)
+
+    def groups_of_rank(self, rank: int) -> dict[str, list[list[int]]]:
+        """All groups a rank participates in, keyed by group kind."""
+        if not 0 <= rank < self.world_size:
+            raise IndexError("rank out of range")
+        return {
+            "tensor": [g for g in self.tensor_groups if rank in g],
+            "pipeline": [g for g in self.pipeline_groups if rank in g],
+            "data_parallel": [g for g in self.data_parallel_groups if rank in g],
+        }
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation.
+
+        * every rank belongs to exactly one tensor group,
+        * every rank belongs to exactly one pipeline group,
+        * tensor groups are disjoint and cover all ranks.
+        """
+        seen: set[int] = set()
+        for group in self.tensor_groups:
+            for rank in group:
+                if rank in seen:
+                    raise ValueError(f"rank {rank} appears in two tensor groups")
+                seen.add(rank)
+        if seen != set(range(self.world_size)):
+            raise ValueError("tensor groups do not cover all ranks exactly once")
+        pipeline_membership: dict[int, int] = {}
+        for group in self.pipeline_groups:
+            for rank in group:
+                pipeline_membership[rank] = pipeline_membership.get(rank, 0) + 1
+        for rank in range(self.world_size):
+            if pipeline_membership.get(rank, 0) != 1:
+                raise ValueError(f"rank {rank} must be in exactly one pipeline group")
+
+
+def build_rank_topology(plan: ParallelizationPlan) -> CommunicationGroups:
+    """Construct the communication groups for a (possibly heterogeneous) plan."""
+    groups = CommunicationGroups()
+
+    # rank_of[(stage, replica, shard)] -> global rank
+    rank_of: dict[tuple[int, int, int], int] = {}
+    next_rank = 0
+    for stage in plan.stages:
+        for replica_index, replica in enumerate(stage.replicas):
+            for shard in range(replica.tensor_parallel):
+                assignment = RankAssignment(
+                    rank=next_rank,
+                    stage_index=stage.stage_index,
+                    replica_index=replica_index,
+                    shard_index=shard,
+                    node_type=replica.node_type,
+                    gpu_type=replica.gpu_type,
+                    zone=replica.zone,
+                    tensor_parallel=replica.tensor_parallel,
+                )
+                groups.ranks.append(assignment)
+                rank_of[(stage.stage_index, replica_index, shard)] = next_rank
+                next_rank += 1
+
+    # Tensor groups: the shards of one replica.
+    for stage in plan.stages:
+        for replica_index, replica in enumerate(stage.replicas):
+            groups.tensor_groups.append([
+                rank_of[(stage.stage_index, replica_index, shard)]
+                for shard in range(replica.tensor_parallel)])
+
+    # Pipeline groups: all shards of the d-th replica of every stage
+    # (activations are split or replicated across the receiving tensor group
+    # when TP degrees differ between adjacent stages).
+    for d in range(plan.data_parallel):
+        members = []
+        for stage in plan.stages:
+            replica = stage.replicas[d]
+            for shard in range(replica.tensor_parallel):
+                members.append(rank_of[(stage.stage_index, d, shard)])
+        groups.pipeline_groups.append(members)
+
+    # Data-parallel groups: per stage, shard s of every replica.  Replicas
+    # with a smaller TP degree contribute their shard (s mod tp), which is
+    # how gradients are replicated across unequal tensor groups.
+    for stage in plan.stages:
+        max_tp = max(r.tensor_parallel for r in stage.replicas)
+        for shard in range(max_tp):
+            members = []
+            for replica_index, replica in enumerate(stage.replicas):
+                local_shard = shard % replica.tensor_parallel
+                members.append(rank_of[(stage.stage_index, replica_index, local_shard)])
+            groups.data_parallel_groups.append(members)
+
+    return groups

@@ -1,0 +1,162 @@
+"""The training controller.
+
+The controller is the brains of the Sailor framework (section 4.4): it
+monitors worker status and resource availability; when availability changes
+it re-invokes the planner, instructs existing workers to clean up (destroy
+NCCL groups, free GPU memory) without killing their processes, broadcasts
+the new plan and topology, and waits for workers to re-initialise before
+resuming training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.objectives import Objective
+from repro.core.plan import ParallelizationPlan, PlannerResult
+from repro.core.planner import SailorPlanner
+from repro.core.simulator import SailorSimulator, SimulationEnvironment
+from repro.hardware.topology import ClusterTopology
+from repro.models.spec import TrainingJobSpec
+from repro.runtime.comm_groups import CommunicationGroups, build_rank_topology
+from repro.runtime.reconfiguration import ReconfigurationBreakdown, ReconfigurationModel
+from repro.runtime.worker import TrainingWorker, WorkerState
+
+
+@dataclass
+class ReconfigurationEvent:
+    """Record of one controller-driven reconfiguration."""
+
+    time_s: float
+    reason: str
+    old_gpus: int
+    new_gpus: int
+    breakdown: ReconfigurationBreakdown
+    planner_result: PlannerResult
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end latency of this reconfiguration."""
+        return self.breakdown.total_s
+
+
+@dataclass
+class TrainingController:
+    """Monitors availability and reconfigures the job."""
+
+    env: SimulationEnvironment
+    job: TrainingJobSpec
+    objective: Objective = field(default_factory=Objective.max_throughput)
+    planner: SailorPlanner | None = None
+    reconfiguration: ReconfigurationModel = field(default_factory=ReconfigurationModel)
+
+    current_plan: ParallelizationPlan | None = None
+    current_groups: CommunicationGroups | None = None
+    workers: list[TrainingWorker] = field(default_factory=list)
+    events: list[ReconfigurationEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.planner is None:
+            self.planner = SailorPlanner(self.env)
+        self.simulator = SailorSimulator(self.env)
+
+    # -- planning ------------------------------------------------------------
+
+    def replan(self, topology: ClusterTopology) -> PlannerResult:
+        """Run the planner against the currently available topology."""
+        return self.planner.plan(self.job, topology, self.objective)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, topology: ClusterTopology, time_s: float = 0.0,
+              ) -> ReconfigurationEvent | None:
+        """Initial deployment; returns ``None`` when no plan is feasible."""
+        return self._reconfigure(topology, time_s, reason="initial deployment")
+
+    def handle_availability_change(self, topology: ClusterTopology,
+                                   time_s: float) -> ReconfigurationEvent | None:
+        """React to an availability change; may keep the current plan.
+
+        Returns the reconfiguration event, or ``None`` when the change does
+        not require any action (e.g. the current plan still fits and no
+        better plan is available) or when no plan is feasible at all.
+        """
+        if self.current_plan is not None and self._plan_still_fits(topology):
+            result = self.replan(topology)
+            if (result.found and self.current_evaluation is not None
+                    and not self.objective.better(result.evaluation,
+                                                  self.current_evaluation)):
+                return None
+            if not result.found:
+                return None
+            return self._apply(result, time_s, reason="better plan available")
+        return self._reconfigure(topology, time_s, reason="availability changed")
+
+    # -- internals ----------------------------------------------------------------
+
+    @property
+    def current_evaluation(self):
+        """Accurate evaluation of the currently-deployed plan."""
+        if self.current_plan is None:
+            return None
+        return self.simulator.evaluate(self.current_plan)
+
+    def _plan_still_fits(self, topology: ClusterTopology) -> bool:
+        if self.current_plan is None:
+            return False
+        return self.current_plan.resource_allocation().fits_within(topology)
+
+    def _reconfigure(self, topology: ClusterTopology, time_s: float,
+                     reason: str) -> ReconfigurationEvent | None:
+        result = self.replan(topology)
+        if not result.found:
+            self._stop_workers(time_s)
+            self.current_plan = None
+            self.current_groups = None
+            return None
+        return self._apply(result, time_s, reason)
+
+    def _apply(self, result: PlannerResult, time_s: float,
+               reason: str) -> ReconfigurationEvent:
+        old_gpus = self.current_plan.total_gpus if self.current_plan else 0
+        new_plan = result.plan
+        assert new_plan is not None
+
+        # Kill-free path: surviving workers clean up and repartition instead
+        # of being restarted.
+        self._cleanup_workers(time_s)
+        groups = build_rank_topology(new_plan)
+        groups.validate()
+        self.workers = [TrainingWorker(assignment=a) for a in groups.ranks]
+        for worker in self.workers:
+            worker.transition(WorkerState.INITIALIZING, time_s)
+            worker.transition(WorkerState.TRAINING, time_s)
+
+        breakdown = self.reconfiguration.breakdown(
+            num_workers=new_plan.total_gpus,
+            planning_time_s=result.search_time_s)
+        event = ReconfigurationEvent(
+            time_s=time_s, reason=reason, old_gpus=old_gpus,
+            new_gpus=new_plan.total_gpus, breakdown=breakdown,
+            planner_result=result)
+        self.events.append(event)
+        self.current_plan = new_plan
+        self.current_groups = groups
+        return event
+
+    def _cleanup_workers(self, time_s: float) -> None:
+        for worker in self.workers:
+            if worker.state is WorkerState.TRAINING:
+                worker.transition(WorkerState.CLEANING_UP, time_s)
+                worker.transition(WorkerState.REPARTITIONING, time_s)
+                worker.transition(WorkerState.STOPPED, time_s)
+            elif worker.state is not WorkerState.STOPPED:
+                worker.transition(WorkerState.STOPPED, time_s)
+
+    def _stop_workers(self, time_s: float) -> None:
+        for worker in self.workers:
+            if worker.state is not WorkerState.STOPPED:
+                if worker.state is WorkerState.TRAINING:
+                    worker.transition(WorkerState.CLEANING_UP, time_s)
+                worker.transition(WorkerState.STOPPED, time_s)
+        self.workers = []

@@ -1,0 +1,105 @@
+"""A minimal discrete-event simulation engine.
+
+The runtime components (controller, workers, checkpointing) schedule events
+on a shared engine; each event carries a callback executed at its simulated
+timestamp.  The engine is deliberately small -- deterministic ordering,
+no real concurrency -- so tests can assert on exact timelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time_s: float
+    sequence: int
+    name: str = field(compare=False)
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when the event fires."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Priority-queue driven simulated clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay_s: float, name: str,
+                 callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        event = Event(time_s=self._now + delay_s, sequence=next(self._sequence),
+                      name=name, callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_s: float, name: str,
+                    callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time_s < self._now:
+            raise ValueError("cannot schedule an event in the past")
+        return self.schedule(time_s - self._now, name, callback)
+
+    def step(self) -> Event | None:
+        """Run the next pending event; returns it (or ``None`` if idle)."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time_s
+            event.callback()
+            self.events_processed += 1
+            return event
+        return None
+
+    def run(self, until_s: float | None = None,
+            max_events: int | None = None) -> int:
+        """Run events until the queue is empty, a deadline, or an event cap.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until_s is not None and next_event.time_s > until_s:
+                self._now = until_s
+                break
+            if self.step() is not None:
+                processed += 1
+        if until_s is not None and not self._queue and self._now < until_s:
+            self._now = until_s
+        return processed
+
+    def _peek(self) -> Event | None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,162 @@
+"""End-to-end elastic training sessions.
+
+An :class:`ElasticTrainingSession` plays an availability trace against the
+controller: it deploys the job when resources appear, trains at the rate the
+simulator predicts for the current plan, takes asynchronous checkpoints,
+reconfigures when availability changes (paying the section-5.5 latency), and
+rolls back to the latest durable checkpoint when capacity is preempted.  The
+resulting :class:`SessionReport` is what the elasticity experiments and the
+fault-tolerance tests inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.objectives import Objective
+from repro.core.simulator import SailorSimulator, SimulationEnvironment
+from repro.hardware.availability import AvailabilityTrace
+from repro.hardware.topology import ClusterTopology
+from repro.models.spec import TrainingJobSpec
+from repro.runtime.checkpoint import CheckpointConfig, CheckpointManager
+from repro.runtime.controller import TrainingController
+from repro.runtime.engine import SimulationEngine
+
+
+@dataclass
+class TrainingSegment:
+    """A stretch of time during which one plan trained uninterrupted."""
+
+    start_s: float
+    end_s: float
+    gpus: int
+    iteration_time_s: float
+    iterations_completed: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class SessionReport:
+    """Outcome of one elastic training session."""
+
+    duration_s: float
+    iterations_completed: int
+    iterations_lost_to_rollback: int
+    segments: list[TrainingSegment] = field(default_factory=list)
+    reconfigurations: int = 0
+    reconfiguration_time_s: float = 0.0
+    idle_time_s: float = 0.0
+    checkpoint_stall_s: float = 0.0
+
+    @property
+    def training_time_s(self) -> float:
+        """Time spent making forward progress."""
+        return sum(segment.duration_s for segment in self.segments)
+
+    @property
+    def goodput_iters_per_s(self) -> float:
+        """Useful iterations per wall-clock second over the whole session."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.iterations_completed / self.duration_s
+
+    @property
+    def availability_efficiency(self) -> float:
+        """Fraction of the session spent training (vs. idle/reconfiguring)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.training_time_s / self.duration_s
+
+
+class ElasticTrainingSession:
+    """Plays an availability trace against the controller."""
+
+    def __init__(self, env: SimulationEnvironment, job: TrainingJobSpec,
+                 objective: Objective | None = None,
+                 controller: TrainingController | None = None,
+                 checkpoint_config: CheckpointConfig | None = None) -> None:
+        self.env = env
+        self.job = job
+        self.objective = objective or Objective.max_throughput()
+        self.controller = controller or TrainingController(
+            env=env, job=job, objective=self.objective)
+        self.checkpoints = CheckpointManager(
+            job=job, config=checkpoint_config or CheckpointConfig())
+        self.simulator = SailorSimulator(env)
+        self.engine = SimulationEngine()
+
+    # -- main entry point ---------------------------------------------------------
+
+    def run(self, trace: AvailabilityTrace,
+            base_topology: ClusterTopology | None = None,
+            duration_s: float | None = None,
+            max_iterations: int | None = None) -> SessionReport:
+        """Simulate training over the availability trace."""
+        duration = duration_s if duration_s is not None else trace.duration_s
+        change_times = [t for t in trace.change_times() if t < duration]
+        boundaries = sorted(set([0.0] + change_times + [duration]))
+
+        report = SessionReport(duration_s=duration, iterations_completed=0,
+                               iterations_lost_to_rollback=0)
+        completed = 0
+
+        previous_gpus = 0
+        for start, end in zip(boundaries[:-1], boundaries[1:]):
+            if max_iterations is not None and completed >= max_iterations:
+                break
+            topology = trace.topology_at(start, base=base_topology)
+            available_gpus = topology.total_gpus()
+
+            reconfig_s = 0.0
+            if available_gpus != previous_gpus or self.controller.current_plan is None:
+                scaled_down = available_gpus < previous_gpus
+                event = (self.controller.start(topology, start)
+                         if self.controller.current_plan is None
+                         else self.controller.handle_availability_change(topology, start))
+                if event is not None:
+                    report.reconfigurations += 1
+                    reconfig_s = event.total_s
+                    report.reconfiguration_time_s += reconfig_s
+                    if scaled_down:
+                        lost = self.checkpoints.rollback_iterations(completed, start)
+                        report.iterations_lost_to_rollback += lost
+                        completed = max(0, completed - lost)
+            previous_gpus = available_gpus
+
+            plan = self.controller.current_plan
+            window = end - start - reconfig_s
+            if plan is None or window <= 0:
+                report.idle_time_s += max(0.0, end - start)
+                continue
+
+            evaluation = self.simulator.evaluate(plan)
+            iter_time = evaluation.iteration_time_s
+            stall = self.checkpoints.stall_time_s(plan)
+            drain = self.checkpoints.drain_time_s(plan)
+            interval = self.checkpoints.config.interval_iterations
+
+            # Effective time per iteration includes the amortised stall.
+            effective_iter = iter_time + stall / interval
+            iterations = int(window // effective_iter) if effective_iter > 0 else 0
+            if max_iterations is not None:
+                iterations = min(iterations, max_iterations - completed)
+
+            # Record checkpoints taken during this segment.
+            segment_start_iter = completed
+            for i in range(1, iterations + 1):
+                iteration = segment_start_iter + i
+                if self.checkpoints.should_checkpoint(iteration):
+                    t_taken = start + reconfig_s + i * effective_iter
+                    self.checkpoints.record(iteration, t_taken, t_taken + drain)
+                    report.checkpoint_stall_s += stall
+
+            completed += iterations
+            report.segments.append(TrainingSegment(
+                start_s=start + reconfig_s, end_s=end, gpus=plan.total_gpus,
+                iteration_time_s=iter_time, iterations_completed=iterations))
+
+        report.iterations_completed = completed
+        return report

@@ -1,0 +1,77 @@
+"""Training-worker state machine.
+
+Each worker corresponds to one GPU (one rank of the communication topology).
+Workers do not execute real kernels -- iteration durations come from the
+simulator -- but they track the lifecycle the paper's framework implements:
+initialisation, training, kill-free cleanup during reconfiguration, and
+stopping, with timestamps for each transition so tests and experiments can
+inspect the timeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.runtime.comm_groups import RankAssignment
+
+
+class WorkerState(enum.Enum):
+    """Lifecycle states of a training worker."""
+
+    IDLE = "idle"
+    INITIALIZING = "initializing"
+    TRAINING = "training"
+    CLEANING_UP = "cleaning_up"
+    REPARTITIONING = "repartitioning"
+    STOPPED = "stopped"
+
+
+#: Legal state transitions.
+_ALLOWED_TRANSITIONS: dict[WorkerState, tuple[WorkerState, ...]] = {
+    WorkerState.IDLE: (WorkerState.INITIALIZING, WorkerState.STOPPED),
+    WorkerState.INITIALIZING: (WorkerState.TRAINING, WorkerState.STOPPED),
+    WorkerState.TRAINING: (WorkerState.CLEANING_UP, WorkerState.STOPPED),
+    WorkerState.CLEANING_UP: (WorkerState.REPARTITIONING, WorkerState.STOPPED),
+    WorkerState.REPARTITIONING: (WorkerState.INITIALIZING, WorkerState.STOPPED),
+    WorkerState.STOPPED: (),
+}
+
+
+@dataclass
+class TrainingWorker:
+    """One rank of the training job."""
+
+    assignment: RankAssignment
+    state: WorkerState = WorkerState.IDLE
+    completed_iterations: int = 0
+    history: list[tuple[float, WorkerState]] = field(default_factory=list)
+
+    @property
+    def rank(self) -> int:
+        """Global rank of this worker."""
+        return self.assignment.rank
+
+    def transition(self, new_state: WorkerState, time_s: float) -> None:
+        """Move to ``new_state``; raises ``ValueError`` on illegal transitions."""
+        if new_state is self.state:
+            return
+        allowed = _ALLOWED_TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise ValueError(
+                f"illegal worker transition {self.state.value} -> {new_state.value}")
+        self.state = new_state
+        self.history.append((time_s, new_state))
+
+    def record_iterations(self, count: int) -> None:
+        """Account for finished iterations (only while training)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.state is not WorkerState.TRAINING and count > 0:
+            raise ValueError("worker is not training")
+        self.completed_iterations += count
+
+    @property
+    def is_active(self) -> bool:
+        """True when the worker holds GPU state (not idle/stopped)."""
+        return self.state not in (WorkerState.IDLE, WorkerState.STOPPED)

@@ -1,0 +1,102 @@
+"""Unit tests for availability traces and their generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.availability import (
+    AvailabilityEvent,
+    AvailabilityTrace,
+    AvailabilityTraceGenerator,
+)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        AvailabilityEvent(-1.0, "z", "a2-highgpu-4g", 1)
+    with pytest.raises(ValueError):
+        AvailabilityEvent(0.0, "z", "a2-highgpu-4g", -1)
+
+
+def test_available_at_steps():
+    trace = AvailabilityTrace(events=[
+        AvailabilityEvent(0.0, "z", "a2-highgpu-4g", 0),
+        AvailabilityEvent(100.0, "z", "a2-highgpu-4g", 2),
+        AvailabilityEvent(200.0, "z", "a2-highgpu-4g", 1),
+    ], duration_s=300.0)
+    assert trace.available_at(0.0, "z", "a2-highgpu-4g") == 0
+    assert trace.available_at(150.0, "z", "a2-highgpu-4g") == 2
+    assert trace.available_at(250.0, "z", "a2-highgpu-4g") == 1
+    assert trace.available_at(50.0, "other", "a2-highgpu-4g") == 0
+    assert trace.change_times() == [0.0, 100.0, 200.0]
+
+
+def test_topology_at_reflects_counts():
+    trace = AvailabilityTrace(events=[
+        AvailabilityEvent(0.0, "us-central1-a", "a2-highgpu-4g", 2),
+        AvailabilityEvent(50.0, "us-central1-b", "a2-highgpu-4g", 1),
+    ], duration_s=100.0)
+    topo = trace.topology_at(60.0)
+    assert topo.node_count("us-central1-a", "a2-highgpu-4g") == 2
+    assert topo.node_count("us-central1-b", "a2-highgpu-4g") == 1
+    early = trace.topology_at(10.0)
+    assert early.node_count("us-central1-b", "a2-highgpu-4g") == 0
+
+
+def test_sample_and_gpu_series():
+    trace = AvailabilityTrace(events=[
+        AvailabilityEvent(0.0, "z", "a2-highgpu-4g", 1),
+        AvailabilityEvent(600.0, "z", "a2-highgpu-4g", 3),
+    ], duration_s=1200.0)
+    nodes = trace.sample(step_s=600.0)[("z", "a2-highgpu-4g")]
+    gpus = trace.gpu_series(step_s=600.0)[("z", "a2-highgpu-4g")]
+    assert nodes == [1, 3, 3]
+    assert gpus == [4, 12, 12]
+    with pytest.raises(ValueError):
+        trace.sample(step_s=0)
+
+
+def test_slow_ramp_reaches_target_and_is_monotone():
+    generator = AvailabilityTraceGenerator(seed=0)
+    events = generator.slow_ramp("z", "a2-highgpu-4g", target_nodes=4,
+                                 duration_s=8 * 3600)
+    counts = [e.available_nodes for e in sorted(events, key=lambda e: e.time_s)]
+    assert counts[0] == 0
+    assert counts[-1] == 4
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+
+def test_fluctuating_stays_below_target():
+    generator = AvailabilityTraceGenerator(seed=1)
+    events = generator.fluctuating("z", "a2-highgpu-4g", target_nodes=4,
+                                   duration_s=8 * 3600)
+    assert max(e.available_nodes for e in events) < 4
+    assert min(e.available_nodes for e in events) >= 0
+
+
+def test_spot_preemptions_bounded_by_base():
+    generator = AvailabilityTraceGenerator(seed=2)
+    events = generator.spot_preemptions("z", "a2-highgpu-4g", base_nodes=5,
+                                        duration_s=4 * 3600)
+    assert events[0].available_nodes == 5
+    assert all(0 <= e.available_nodes <= 5 for e in events)
+    assert all(e.time_s <= 4 * 3600 for e in events)
+
+
+def test_figure2_trace_has_two_zones():
+    generator = AvailabilityTraceGenerator(seed=0)
+    trace = generator.figure2_trace()
+    zones = {zone for zone, _ in trace.pools}
+    assert zones == {"us-central1-a", "us-central1-b"}
+    series = trace.gpu_series(step_s=1800.0)
+    ramp = series[("us-central1-a", "a2-highgpu-4g")]
+    assert ramp[-1] == 8  # the slow-ramp zone eventually reaches the request
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), base=st.integers(1, 8))
+def test_spot_preemption_property(seed, base):
+    """Spot traces never exceed the base pool nor go negative."""
+    generator = AvailabilityTraceGenerator(seed=seed)
+    events = generator.spot_preemptions("z", "a2-highgpu-4g", base_nodes=base,
+                                        duration_s=3600.0)
+    assert all(0 <= e.available_nodes <= base for e in events)

@@ -1,0 +1,103 @@
+"""Unit tests for the configurable baseline estimator."""
+
+import pytest
+
+from repro.baselines.estimators import (
+    BaselineEstimator,
+    EstimatorFlags,
+    IgnoreMemoryEstimator,
+    TheoreticalFlopsEstimator,
+    UniformStageEstimator,
+)
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.core.simulator import MemoryEstimator, TimingEstimator
+from repro.models.partition import uniform_partition
+
+
+def homogeneous(job, **kwargs):
+    defaults = dict(pipeline_parallel=4, data_parallel=2, tensor_parallel=4,
+                    microbatch_size=2)
+    defaults.update(kwargs)
+    return ParallelizationPlan.homogeneous(job, "a2-highgpu-4g", **defaults)
+
+
+def mixed_plan(job):
+    partitions = uniform_partition(job.model, 2)
+    a100 = StageReplica("a2-highgpu-4g", 4, "us-central1-a")
+    v100 = StageReplica("n1-standard-v100-4", 4, "us-central1-a")
+    return ParallelizationPlan(job=job, stages=[
+        StageConfig(partitions[0], [a100, a100]),
+        StageConfig(partitions[1], [v100, v100]),
+    ], microbatch_size=2)
+
+
+def test_ignore_memory_estimator_accepts_everything(opt_env, neo_job):
+    estimator = IgnoreMemoryEstimator(opt_env)
+    oversized = ParallelizationPlan.homogeneous(neo_job, "n1-standard-v100-4",
+                                                1, 2, 1, 1)
+    assert estimator.estimate_peak_memory(oversized) is None
+    assert estimator.plan_fits(oversized)
+    # The accurate model disagrees.
+    assert not MemoryEstimator(opt_env).plan_fits(oversized)
+
+
+def test_uniform_stage_estimator_underestimates_first_stage(opt_env, opt_job):
+    plan = homogeneous(opt_job)
+    uniform = UniformStageEstimator(opt_env).estimate_peak_memory(plan)
+    accurate = MemoryEstimator(opt_env).stage_peaks(plan)
+    assert uniform is not None
+    assert max(uniform) < max(accurate)
+
+
+def test_theoretical_flops_estimator_is_too_optimistic(opt_env, opt_job):
+    plan = homogeneous(opt_job)
+    flops_time = TheoreticalFlopsEstimator(opt_env).estimate_iteration_time(plan)
+    accurate_time = TimingEstimator(opt_env).iteration_time(plan)
+    assert flops_time < accurate_time
+
+
+def test_straggler_oblivious_estimator_ignores_slow_gpus(opt_env, opt_job):
+    plan = mixed_plan(opt_job)
+    aware = BaselineEstimator(opt_env, EstimatorFlags(models_stragglers=True))
+    oblivious = BaselineEstimator(opt_env, EstimatorFlags(models_stragglers=False))
+    assert oblivious.estimate_iteration_time(plan) < \
+        aware.estimate_iteration_time(plan)
+
+
+def test_skipping_lm_head_underestimates_last_stage(opt_env, opt_job):
+    plan = homogeneous(opt_job)
+    with_head = BaselineEstimator(opt_env, EstimatorFlags())
+    without_head = BaselineEstimator(
+        opt_env, EstimatorFlags(models_embedding_and_head=False))
+    last = plan.stages[-1]
+    assert without_head.stage_time(plan, last) < with_head.stage_time(plan, last)
+    assert without_head.estimate_iteration_time(plan) < \
+        with_head.estimate_iteration_time(plan)
+
+
+def test_optimizer_state_flag_changes_memory(opt_env, opt_job):
+    plan = homogeneous(opt_job)
+    with_opt = BaselineEstimator(opt_env, EstimatorFlags())
+    without_opt = BaselineEstimator(
+        opt_env, EstimatorFlags(include_optimizer_state=False))
+    assert max(without_opt.estimate_peak_memory(plan)) < \
+        max(with_opt.estimate_peak_memory(plan))
+
+
+def test_p2p_and_sync_flags(opt_env, opt_job):
+    plan = homogeneous(opt_job)
+    base = BaselineEstimator(opt_env, EstimatorFlags())
+    no_comm = BaselineEstimator(opt_env, EstimatorFlags(
+        models_p2p_communication=False, models_dp_sync=False))
+    assert no_comm.estimate_iteration_time(plan) < \
+        base.estimate_iteration_time(plan)
+    assert no_comm.sync_time(plan, plan.stages[0]) == 0.0
+    assert no_comm.p2p_time(plan, plan.stages[0].replicas[0],
+                            plan.stages[1].replicas[0]) == 0.0
+
+
+def test_estimate_throughput_inverse_of_time(opt_env, opt_job):
+    plan = homogeneous(opt_job)
+    estimator = BaselineEstimator(opt_env, EstimatorFlags())
+    assert estimator.estimate_throughput(plan) == pytest.approx(
+        1.0 / estimator.estimate_iteration_time(plan))

@@ -1,0 +1,119 @@
+"""Integration tests for the baseline planners."""
+
+import pytest
+
+from repro.baselines import get_baseline, list_baselines
+from repro.baselines.base import BaselineSearchLimits
+from repro.core.objectives import Objective
+from repro.core.simulator import MemoryEstimator
+
+
+ALL_BASELINES = ("piper", "varuna", "amp", "metis", "flashflex", "galvatron",
+                 "aceso", "oobleck", "dtfm")
+
+FAST_LIMITS = BaselineSearchLimits(time_limit_s=5.0, max_ranked=16,
+                                   max_candidates=512)
+
+
+def make(name, env):
+    kwargs = {"limits": FAST_LIMITS}
+    if name in ("metis", "aceso", "oobleck"):
+        kwargs["time_limit_s"] = 5.0
+    return get_baseline(name, env, **kwargs)
+
+
+def test_registry_contains_all_baselines():
+    assert set(ALL_BASELINES) <= set(list_baselines())
+    with pytest.raises(KeyError):
+        get_baseline("alpa", env=None)
+
+
+@pytest.mark.parametrize("name", ALL_BASELINES)
+def test_baseline_finds_valid_plan_on_homogeneous_cluster(name, opt_env, opt_job,
+                                                          a100_topology):
+    baseline = make(name, opt_env)
+    result = baseline.plan(opt_job, a100_topology, Objective.max_throughput())
+    assert result.planner_name == name
+    assert result.candidates_evaluated > 0
+    assert result.found, f"{name} found no valid plan"
+    plan = result.plan
+    assert plan.resource_allocation().fits_within(a100_topology)
+    assert MemoryEstimator(opt_env).plan_fits(plan)
+    assert result.evaluation.throughput_iters_per_s > 0
+
+
+def test_varuna_only_searches_2d_plans(opt_env, opt_job, a100_topology):
+    baseline = make("varuna", opt_env)
+    ranked = baseline.ranked_plans(opt_job, a100_topology,
+                                   Objective.max_throughput())
+    assert ranked
+    for candidate in ranked:
+        degrees = {r.tensor_parallel for s in candidate.plan.stages
+                   for r in s.replicas}
+        assert degrees == {1}
+
+
+def test_amp_counts_oom_plans_on_memory_pressure(neo_env, neo_job,
+                                                 mixed_topology):
+    baseline = make("amp", neo_env)
+    result = baseline.plan(neo_job, mixed_topology, Objective.max_throughput())
+    # AMP does not model memory, so it ranks plans that do not actually fit.
+    assert result.oom_plans_generated > 0
+
+
+def test_heterogeneous_baselines_use_both_gpu_types(opt_env, opt_job,
+                                                    mixed_topology):
+    for name in ("amp", "flashflex"):
+        baseline = make(name, opt_env)
+        ranked = baseline.ranked_plans(opt_job, mixed_topology,
+                                       Objective.max_throughput())
+        assert ranked, name
+        mixed = any(len(c.plan.gpus_by_type()) > 1 for c in ranked)
+        assert mixed, f"{name} never mixes GPU types"
+
+
+def test_homogeneous_baselines_stick_to_fastest_type(opt_env, opt_job,
+                                                     mixed_topology):
+    baseline = make("piper", opt_env)
+    ranked = baseline.ranked_plans(opt_job, mixed_topology,
+                                   Objective.max_throughput())
+    assert ranked
+    for candidate in ranked:
+        assert set(candidate.plan.gpus_by_type()) == {"A100-40"}
+
+
+def test_dtfm_spreads_over_zones(opt_env_geo, opt_job, geo_topology_2regions):
+    baseline = make("dtfm", opt_env_geo)
+    ranked = baseline.ranked_plans(opt_job, geo_topology_2regions,
+                                   Objective.max_throughput())
+    assert ranked
+    zones_used = max(len(c.plan.zones()) for c in ranked)
+    assert zones_used >= 2
+
+
+def test_metis_requires_divisible_global_batch(opt_env, opt_job, mixed_topology):
+    baseline = make("metis", opt_env)
+    ranked = baseline.ranked_plans(opt_job, mixed_topology,
+                                   Objective.max_throughput())
+    # 256-sequence batch divides the 64-GPU cluster, so plans exist.
+    assert ranked
+    total_gpus = mixed_topology.total_gpus()
+    assert opt_job.global_batch_size % total_gpus == 0
+
+
+def test_baseline_respects_throughput_constraint(opt_env, opt_job,
+                                                 a100_topology):
+    baseline = make("galvatron", opt_env)
+    unconstrained = baseline.plan(opt_job, a100_topology,
+                                  Objective.max_throughput())
+    floor = unconstrained.evaluation.throughput_iters_per_s * 0.5
+    result = baseline.plan(opt_job, a100_topology,
+                           Objective.min_cost(min_throughput_iters_per_s=floor))
+    if result.found:
+        assert result.evaluation.throughput_iters_per_s >= floor
+
+
+def test_baseline_search_times_reported(opt_env, opt_job, a100_topology):
+    fast = make("piper", opt_env)
+    result = fast.plan(opt_job, a100_topology, Objective.max_throughput())
+    assert 0 <= result.search_time_s < 10.0

@@ -1,0 +1,81 @@
+"""Unit tests for the carbon-accounting model."""
+
+import pytest
+
+from repro.core.plan import ParallelizationPlan
+from repro.hardware.carbon import CarbonModel, CarbonFootprint
+
+
+@pytest.fixture()
+def model():
+    return CarbonModel()
+
+
+def a100_plan(job, dp=2):
+    return ParallelizationPlan.homogeneous(job, "a2-highgpu-4g", 2, dp, 4, 2)
+
+
+def v100_plan(job, dp=2):
+    return ParallelizationPlan.homogeneous(job, "n1-standard-v100-4", 2, dp, 4, 2)
+
+
+def test_footprint_positive_and_additive(model, opt_job):
+    plan = a100_plan(opt_job)
+    footprint = model.footprint(plan, iteration_time_s=10.0)
+    assert footprint.operational_g > 0
+    assert footprint.embodied_g > 0
+    assert footprint.total_g == pytest.approx(
+        footprint.operational_g + footprint.embodied_g)
+
+
+def test_carbon_scales_with_iteration_time_and_gpus(model, opt_job):
+    plan_small = a100_plan(opt_job, dp=1)
+    plan_large = a100_plan(opt_job, dp=4)
+    short = model.footprint(plan_small, 10.0)
+    long = model.footprint(plan_small, 20.0)
+    big = model.footprint(plan_large, 10.0)
+    assert long.total_g == pytest.approx(2 * short.total_g)
+    assert big.total_g == pytest.approx(4 * short.total_g)
+
+
+def test_cleaner_region_has_lower_operational_carbon(model, opt_job):
+    plan = a100_plan(opt_job)
+    dirty = model.operational_g_per_iteration(plan, 10.0, lambda z: "us-central1")
+    clean = model.operational_g_per_iteration(plan, 10.0, lambda z: "us-west1")
+    assert clean < dirty
+
+
+def test_older_gpus_have_lower_power_but_higher_per_work_carbon(model, opt_job):
+    # Same iteration time: the V100 plan draws less power per GPU...
+    a100 = model.footprint(a100_plan(opt_job), 10.0)
+    v100 = model.footprint(v100_plan(opt_job), 10.0)
+    assert v100.operational_g < a100.operational_g
+    # ...but if it is ~2.5x slower for the same work, its carbon per
+    # iteration-of-work is higher, which is the load-balancing trade-off.
+    v100_slow = model.footprint(v100_plan(opt_job), 25.0)
+    assert v100_slow.total_g > a100.total_g
+
+
+def test_embodied_amortisation_uses_lifetime(opt_job):
+    short_lived = CarbonModel(lifetime_years=3.0)
+    long_lived = CarbonModel(lifetime_years=6.0)
+    plan = a100_plan(opt_job)
+    assert short_lived.embodied_g_per_iteration(plan, 10.0) == pytest.approx(
+        2 * long_lived.embodied_g_per_iteration(plan, 10.0))
+
+
+def test_grams_per_sample_and_validation(model, opt_job):
+    plan = a100_plan(opt_job)
+    per_sample = model.grams_per_sample(plan, 10.0)
+    assert per_sample == pytest.approx(
+        model.footprint(plan, 10.0).total_g / opt_job.global_batch_size)
+    with pytest.raises(ValueError):
+        model.embodied_g_per_iteration(plan, -1.0)
+    with pytest.raises(ValueError):
+        CarbonModel(lifetime_years=0)
+    with pytest.raises(ValueError):
+        CarbonModel(pue=0.5)
+    with pytest.raises(KeyError):
+        model.gpu_power("NO-SUCH-GPU")
+    assert model.grid_intensity("unknown-region") > 0
+    assert CarbonFootprint(1.0, 2.0).total_g == 3.0

@@ -1,0 +1,63 @@
+"""Unit tests for the checkpoint manager."""
+
+import pytest
+
+from repro.core.plan import ParallelizationPlan
+from repro.runtime.checkpoint import CheckpointConfig, CheckpointManager
+
+
+@pytest.fixture()
+def manager(opt_job):
+    return CheckpointManager(job=opt_job,
+                             config=CheckpointConfig(interval_iterations=10))
+
+
+def plan(job, dp=2):
+    return ParallelizationPlan.homogeneous(job, "a2-highgpu-4g", 2, dp, 4, 2)
+
+
+def test_config_validation(opt_job):
+    with pytest.raises(ValueError):
+        CheckpointConfig(interval_iterations=0)
+    with pytest.raises(ValueError):
+        CheckpointConfig(host_snapshot_gbps=0)
+
+
+def test_checkpoint_bytes_cover_optimizer_state(manager, opt_job):
+    expected = opt_job.model.total_params * 12
+    assert manager.checkpoint_bytes() == pytest.approx(expected)
+
+
+def test_stall_and_drain_scale_with_cluster_size(manager, opt_job):
+    small = plan(opt_job, dp=1)
+    large = plan(opt_job, dp=4)
+    assert manager.stall_time_s(large) < manager.stall_time_s(small)
+    assert manager.drain_time_s(large) < manager.drain_time_s(small)
+    assert manager.drain_time_s(small) > manager.stall_time_s(small)
+
+
+def test_should_checkpoint_interval(manager):
+    assert not manager.should_checkpoint(0)
+    assert not manager.should_checkpoint(5)
+    assert manager.should_checkpoint(10)
+    assert manager.should_checkpoint(20)
+
+
+def test_rollback_uses_latest_durable_checkpoint(manager):
+    manager.record(iteration=10, started_at_s=100.0, durable_at_s=130.0)
+    manager.record(iteration=20, started_at_s=200.0, durable_at_s=230.0)
+    # Failure at t=210: the second checkpoint is not durable yet.
+    assert manager.latest_durable(210.0).iteration == 10
+    assert manager.rollback_iterations(current_iteration=25, at_time_s=210.0) == 15
+    # After the drain completes, rollback shrinks.
+    assert manager.rollback_iterations(current_iteration=25, at_time_s=240.0) == 5
+
+
+def test_rollback_without_any_checkpoint_loses_everything(manager):
+    assert manager.latest_durable(50.0) is None
+    assert manager.rollback_iterations(current_iteration=7, at_time_s=50.0) == 7
+
+
+def test_record_validation(manager):
+    with pytest.raises(ValueError):
+        manager.record(iteration=5, started_at_s=10.0, durable_at_s=5.0)

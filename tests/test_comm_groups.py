@@ -1,0 +1,68 @@
+"""Unit tests for communication-group construction."""
+
+import pytest
+
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.models.partition import uniform_partition
+from repro.runtime.comm_groups import build_rank_topology
+
+
+def test_uniform_plan_topology(opt_job):
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g",
+                                           pipeline_parallel=2, data_parallel=2,
+                                           tensor_parallel=2, microbatch_size=2)
+    groups = build_rank_topology(plan)
+    groups.validate()
+    assert groups.world_size == 2 * 2 * 2
+    assert len(groups.tensor_groups) == 4           # one per replica
+    assert all(len(g) == 2 for g in groups.tensor_groups)
+    assert len(groups.pipeline_groups) == 2         # one per data-parallel index
+    assert len(groups.data_parallel_groups) == 2 * 2  # stages x shards
+    for group in groups.data_parallel_groups:
+        assert len(group) == plan.data_parallel
+
+
+def test_heterogeneous_tp_groups(opt_job):
+    partitions = uniform_partition(opt_job.model, 2)
+    stages = [
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "z"),
+                                    StageReplica("a2-highgpu-4g", 4, "z")]),
+        StageConfig(partitions[1], [StageReplica("n1-standard-v100-4", 2, "z"),
+                                    StageReplica("n1-standard-v100-4", 2, "z")]),
+    ]
+    plan = ParallelizationPlan(job=opt_job, stages=stages, microbatch_size=2)
+    groups = build_rank_topology(plan)
+    groups.validate()
+    assert groups.world_size == 2 * 4 + 2 * 2
+    sizes = sorted(len(g) for g in groups.tensor_groups)
+    assert sizes == [2, 2, 4, 4]
+    # Data-parallel groups exist for every shard of the widest replica, and
+    # smaller replicas contribute a (replicated) shard to each.
+    stage1_groups = [g for g in groups.data_parallel_groups
+                     if any(groups.ranks[r].stage_index == 0 for r in g)]
+    assert len(stage1_groups) == 4
+    for group in stage1_groups:
+        assert len(group) == 2
+
+
+def test_groups_of_rank_and_assignments(opt_job):
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 2, 2, 2, 2)
+    groups = build_rank_topology(plan)
+    membership = groups.groups_of_rank(0)
+    assert len(membership["tensor"]) == 1
+    assert len(membership["pipeline"]) == 1
+    assert len(membership["data_parallel"]) == 1
+    with pytest.raises(IndexError):
+        groups.groups_of_rank(groups.world_size)
+    assignment = groups.ranks[0]
+    assert assignment.stage_index == 0
+    assert assignment.gpu_type == "A100-40"
+    assert assignment.rank == 0
+
+
+def test_validate_detects_corruption(opt_job):
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 2, 1, 2, 2)
+    groups = build_rank_topology(plan)
+    groups.tensor_groups[0] = groups.tensor_groups[1]
+    with pytest.raises(ValueError):
+        groups.validate()

@@ -1,0 +1,75 @@
+"""Integration tests for the training controller."""
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.hardware.topology import ClusterTopology
+from repro.runtime.controller import TrainingController
+from repro.runtime.worker import WorkerState
+
+
+@pytest.fixture()
+def controller(opt_env, opt_job):
+    return TrainingController(env=opt_env, job=opt_job,
+                              objective=Objective.max_throughput())
+
+
+def small_topology(nodes=2):
+    return ClusterTopology.homogeneous("a2-highgpu-4g", nodes)
+
+
+def test_start_deploys_plan_and_workers(controller):
+    event = controller.start(small_topology(4), time_s=0.0)
+    assert event is not None
+    assert event.reason == "initial deployment"
+    assert controller.current_plan is not None
+    assert controller.current_groups is not None
+    assert len(controller.workers) == controller.current_plan.total_gpus
+    assert all(w.state is WorkerState.TRAINING for w in controller.workers)
+    assert event.breakdown.planning_s == pytest.approx(
+        event.planner_result.search_time_s)
+
+
+def test_start_with_empty_topology_keeps_job_idle(controller):
+    event = controller.start(ClusterTopology(), time_s=0.0)
+    assert event is None
+    assert controller.current_plan is None
+    assert controller.workers == []
+
+
+def test_scale_up_triggers_reconfiguration(controller):
+    controller.start(small_topology(2), time_s=0.0)
+    before_gpus = controller.current_plan.total_gpus
+    event = controller.handle_availability_change(small_topology(6), time_s=60.0)
+    assert event is not None
+    assert event.old_gpus == before_gpus
+    assert event.new_gpus >= before_gpus
+    assert controller.current_plan.total_gpus == event.new_gpus
+    assert len(controller.events) == 2
+
+
+def test_scale_down_replans_to_fit(controller):
+    controller.start(small_topology(6), time_s=0.0)
+    event = controller.handle_availability_change(small_topology(1), time_s=60.0)
+    assert event is not None
+    assert controller.current_plan.total_gpus <= 4
+    assert controller.current_plan.resource_allocation().fits_within(
+        small_topology(1))
+
+
+def test_losing_all_resources_stops_workers(controller):
+    controller.start(small_topology(2), time_s=0.0)
+    event = controller.handle_availability_change(ClusterTopology(), time_s=30.0)
+    assert event is None
+    assert controller.current_plan is None
+    assert controller.workers == []
+
+
+def test_no_action_when_change_does_not_matter(controller):
+    controller.start(small_topology(4), time_s=0.0)
+    plan_before = controller.current_plan
+    # Same topology again: the current plan still fits and no better plan
+    # exists, so nothing should change.
+    event = controller.handle_availability_change(small_topology(4), time_s=30.0)
+    assert event is None
+    assert controller.current_plan is plan_before

@@ -1,0 +1,69 @@
+"""Unit tests for the cost estimator."""
+
+import pytest
+
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.core.simulator.cost import CostEstimator
+from repro.hardware.network import LinkClass
+from repro.models.partition import uniform_partition
+
+
+@pytest.fixture()
+def estimator(opt_env):
+    return CostEstimator(opt_env)
+
+
+def test_compute_cost_scales_with_time_and_gpus(estimator, opt_job):
+    small = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 2, 1, 4, 2)
+    large = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 2, 4, 4, 2)
+    assert estimator.compute_cost(small, 10.0) == pytest.approx(
+        2 * estimator.compute_cost(small, 5.0))
+    assert estimator.compute_cost(large, 10.0) == pytest.approx(
+        4 * estimator.compute_cost(small, 10.0))
+    with pytest.raises(ValueError):
+        estimator.compute_cost(small, -1.0)
+
+
+def test_single_zone_plan_has_no_egress_cost(estimator, opt_job):
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2)
+    breakdown = estimator.breakdown(plan, 10.0)
+    assert breakdown.communication_usd == 0.0
+    assert breakdown.total_usd == pytest.approx(breakdown.compute_usd)
+
+
+def geo_plan(job, zone_b="us-central1-b"):
+    partitions = uniform_partition(job.model, 2)
+    return ParallelizationPlan(job=job, stages=[
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "us-central1-a"),
+                                    StageReplica("a2-highgpu-4g", 4, "us-central1-a")]),
+        StageConfig(partitions[1], [StageReplica("a2-highgpu-4g", 4, zone_b),
+                                    StageReplica("a2-highgpu-4g", 4, zone_b)]),
+    ], microbatch_size=2)
+
+
+def test_cross_zone_pipeline_traffic_is_charged(opt_env_geo, opt_job):
+    estimator = CostEstimator(opt_env_geo)
+    plan = geo_plan(opt_job)
+    bytes_by_link = estimator.cross_zone_bytes(plan)
+    assert bytes_by_link[LinkClass.INTER_ZONE] > 0
+    assert bytes_by_link[LinkClass.INTER_REGION] == 0
+    cost, _ = estimator.communication_cost(plan)
+    assert cost > 0
+
+
+def test_cross_region_more_expensive_than_cross_zone(opt_env_geo, opt_job):
+    estimator = CostEstimator(opt_env_geo)
+    same_region = estimator.communication_cost(geo_plan(opt_job, "us-central1-b"))[0]
+    cross_region = estimator.communication_cost(geo_plan(opt_job, "us-west1-a"))[0]
+    assert cross_region > same_region
+
+
+def test_cross_zone_dp_sync_traffic_counted(opt_env_geo, opt_job):
+    estimator = CostEstimator(opt_env_geo)
+    partitions = uniform_partition(opt_job.model, 1)
+    plan = ParallelizationPlan(job=opt_job, stages=[
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "us-central1-a"),
+                                    StageReplica("a2-highgpu-4g", 4, "us-central1-b")]),
+    ], microbatch_size=2)
+    bytes_by_link = estimator.cross_zone_bytes(plan)
+    assert bytes_by_link[LinkClass.INTER_ZONE] > 0

@@ -1,0 +1,119 @@
+"""Unit tests for the per-stage dynamic-programming solver."""
+
+import pytest
+
+from repro.core.dp_solver import DPSolver, DPSolverConfig, StageOption
+from repro.core.heuristics import HeuristicConfig, min_tp_per_stage, tp_options_for_stage
+from repro.core.objectives import OptimizationGoal
+from repro.models.partition import uniform_partition
+
+
+def build_solver(env, job, pp=2, dp=2, mbs=2,
+                 node_types=("a2-highgpu-4g", "n1-standard-v100-4"),
+                 goal=OptimizationGoal.MAX_THROUGHPUT):
+    partitions = uniform_partition(job.model, pp)
+    config = HeuristicConfig()
+    tp_req = min_tp_per_stage(job, partitions, list(node_types), mbs,
+                              num_microbatches_in_flight_cap=pp, env=env,
+                              config=config)
+    tp_options = [tp_options_for_stage(stage, config) for stage in tp_req]
+    return DPSolver(env=env, job=job, partitions=partitions,
+                    tp_options_per_stage=tp_options, microbatch_size=mbs,
+                    data_parallel=dp,
+                    num_microbatches=job.num_microbatches(dp, mbs), goal=goal)
+
+
+def test_stage_option_packing():
+    option = StageOption(zone="z", node_type="a2-highgpu-4g", tensor_parallel=2)
+    assert option.replicas_per_node == 2
+    assert option.nodes_needed(1) == 1
+    assert option.nodes_needed(3) == 2
+    full = StageOption(zone="z", node_type="a2-highgpu-4g", tensor_parallel=4)
+    assert full.replicas_per_node == 1
+    assert full.nodes_needed(3) == 3
+
+
+def test_solver_assigns_every_stage(opt_env, opt_job):
+    solver = build_solver(opt_env, opt_job, pp=2, dp=2)
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    solution = solver.solve(resources)
+    assert solution is not None
+    assert len(solution.assignments) == 2
+    for assignment in solution.assignments:
+        assert assignment.total_replicas == 2
+        assert assignment.compute_time_s > 0
+    assert solution.max_stage_time_s >= max(
+        a.compute_time_s for a in solution.assignments) - 1e-12
+    assert solution.projected_iteration_time(solver.num_microbatches) > 0
+
+
+def test_solver_respects_resource_limits(opt_env, opt_job):
+    solver = build_solver(opt_env, opt_job, pp=2, dp=4)
+    # Only one A100 node: four TP=4 replicas per stage cannot fit anywhere.
+    resources = {("us-central1-a", "a2-highgpu-4g"): 1}
+    assert solver.solve(resources) is None
+
+
+def test_solver_uses_no_more_nodes_than_available(opt_env, opt_job):
+    solver = build_solver(opt_env, opt_job, pp=2, dp=2)
+    resources = {("us-central1-a", "a2-highgpu-4g"): 2,
+                 ("us-central1-a", "n1-standard-v100-4"): 2}
+    solution = solver.solve(resources)
+    assert solution is not None
+    used: dict = {}
+    for assignment in solution.assignments:
+        for key, count in assignment.nodes_used.items():
+            used[key] = used.get(key, 0) + count
+    for key, count in used.items():
+        assert count <= resources[key]
+
+
+def test_budget_constraint_prunes_solutions(opt_env, opt_job):
+    solver = build_solver(opt_env, opt_job, pp=2, dp=2)
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4}
+    unconstrained = solver.solve(resources)
+    assert unconstrained is not None
+    generous = solver.solve(resources, budget_per_iteration=1000.0)
+    assert generous is not None
+    tiny = solver.solve(resources, budget_per_iteration=1e-6)
+    assert tiny is None
+
+
+def test_min_cost_goal_prefers_cheaper_assignment(opt_env, opt_job):
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    throughput_solver = build_solver(opt_env, opt_job, pp=1, dp=2,
+                                     goal=OptimizationGoal.MAX_THROUGHPUT)
+    cost_solver = build_solver(opt_env, opt_job, pp=1, dp=2,
+                               goal=OptimizationGoal.MIN_COST)
+    fast = throughput_solver.solve(dict(resources))
+    cheap = cost_solver.solve(dict(resources))
+    assert fast is not None and cheap is not None
+    assert cheap.cost_rate_usd_per_s <= fast.cost_rate_usd_per_s + 1e-12
+
+
+def test_generate_combos_respects_region_boundary(opt_env_geo, opt_job):
+    solver = build_solver(opt_env_geo, opt_job, pp=2, dp=2,
+                          node_types=("a2-highgpu-4g",))
+    resources = {("us-central1-a", "a2-highgpu-4g"): 2,
+                 ("us-west1-a", "a2-highgpu-4g"): 2}
+    combos = solver.generate_combos(0, resources)
+    assert combos
+    for placements in combos:
+        regions = {solver.env.region_of(opt.zone) for opt, _ in placements}
+        assert len(regions) == 1  # H5: one region per stage
+
+
+def test_memoization_reuses_subproblems(opt_env, opt_job):
+    solver = build_solver(opt_env, opt_job, pp=4, dp=1)
+    resources = {("us-central1-a", "a2-highgpu-4g"): 8}
+    solver.solve(resources)
+    explored_first = solver.nodes_explored
+    solver.solve(resources)
+    # The memo is cleared per call, so the second call explores a similar
+    # number of nodes; within a call the memo keeps the count well below the
+    # worst case of combos^stages.
+    assert solver.nodes_explored <= 2 * explored_first
+    config = DPSolverConfig(max_combos_per_stage=4)
+    assert config.max_combos_per_stage == 4

@@ -1,0 +1,83 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.runtime.engine import SimulationEngine
+
+
+def test_events_run_in_time_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule(5.0, "b", lambda: order.append("b"))
+    engine.schedule(1.0, "a", lambda: order.append("a"))
+    engine.schedule(10.0, "c", lambda: order.append("c"))
+    processed = engine.run()
+    assert processed == 3
+    assert order == ["a", "b", "c"]
+    assert engine.now == 10.0
+    assert engine.pending == 0
+
+
+def test_ties_run_in_scheduling_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule(1.0, "first", lambda: order.append(1))
+    engine.schedule(1.0, "second", lambda: order.append(2))
+    engine.run()
+    assert order == [1, 2]
+
+
+def test_cancelled_events_do_not_fire():
+    engine = SimulationEngine()
+    fired = []
+    event = engine.schedule(1.0, "x", lambda: fired.append("x"))
+    event.cancel()
+    engine.schedule(2.0, "y", lambda: fired.append("y"))
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_run_until_deadline_advances_clock():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, "a", lambda: fired.append("a"))
+    engine.schedule(100.0, "late", lambda: fired.append("late"))
+    engine.run(until_s=10.0)
+    assert fired == ["a"]
+    assert engine.now == 10.0
+    assert engine.pending == 1
+    engine.run()
+    assert fired == ["a", "late"]
+
+
+def test_events_can_schedule_more_events():
+    engine = SimulationEngine()
+    seen = []
+
+    def first():
+        seen.append(engine.now)
+        engine.schedule(2.0, "second", lambda: seen.append(engine.now))
+
+    engine.schedule(1.0, "first", first)
+    engine.run()
+    assert seen == [1.0, 3.0]
+
+
+def test_schedule_validation_and_absolute_times():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1.0, "bad", lambda: None)
+    engine.schedule(1.0, "a", lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(0.5, "past", lambda: None)
+    engine.schedule_at(2.0, "future", lambda: None)
+    assert engine.pending == 1
+
+
+def test_max_events_cap():
+    engine = SimulationEngine()
+    for i in range(5):
+        engine.schedule(float(i), str(i), lambda: None)
+    assert engine.run(max_events=2) == 2
+    assert engine.pending == 3

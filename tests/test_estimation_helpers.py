@@ -1,0 +1,56 @@
+"""Unit tests for the estimator-accuracy experiment helpers."""
+
+import pytest
+
+from repro.experiments.estimation import (
+    ESTIMATION_PLANNERS,
+    build_samples,
+    error_summary,
+    estimate_memory,
+    estimate_time,
+    relative_error,
+)
+
+
+def test_relative_error_basic():
+    assert relative_error(110.0, 100.0) == pytest.approx(10.0)
+    assert relative_error(90.0, 100.0) == pytest.approx(10.0)
+    assert relative_error(100.0, 100.0) == 0.0
+    with pytest.raises(ValueError):
+        relative_error(1.0, 0.0)
+
+
+def test_error_summary_statistics():
+    summary = error_summary([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert summary["mean"] == pytest.approx(22.0)
+    assert summary["median"] == 3.0
+    assert summary["max"] == 100.0
+    assert summary["p25"] <= summary["median"] <= summary["p75"]
+    empty = error_summary([])
+    assert all(v != v for v in empty.values())  # all NaN
+
+
+def test_build_samples_returns_valid_plans(opt_env, opt_job, mixed_topology):
+    samples = build_samples(opt_env, opt_job, mixed_topology, mixed_types=True,
+                            max_samples=4)
+    assert 1 <= len(samples) <= 4
+    labels = {s.label for s in samples}
+    assert len(labels) == len(samples)  # deduplicated configurations
+    for sample in samples:
+        assert sample.real_iteration_time_s > 0
+        assert sample.real_peak_memory_bytes > 0
+        # Heterogeneous topology + mixed_types -> plans actually mix types.
+        assert len(sample.plan.gpus_by_type()) > 1
+
+
+def test_estimate_time_and_memory_for_every_planner(opt_env, opt_job,
+                                                    mixed_topology):
+    samples = build_samples(opt_env, opt_job, mixed_topology, mixed_types=True,
+                            max_samples=1)
+    plan = samples[0].plan
+    for planner in ESTIMATION_PLANNERS:
+        t = estimate_time(planner, opt_env, plan)
+        assert t > 0
+        memory = estimate_memory(planner, opt_env, plan)
+        if planner == "sailor":
+            assert memory is not None and memory > 0

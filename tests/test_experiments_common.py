@@ -1,0 +1,69 @@
+"""Unit tests for the experiment-harness infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentTable,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TINY_SCALE,
+    a100_topology,
+    geo_topology,
+    gh200_topology,
+    gpt_neo_job,
+    mixed_a100_v100_topology,
+    opt_350m_job,
+    resolve_scale,
+    rtx_heterogeneous_topology,
+    v100_topology,
+)
+
+
+def test_experiment_table_rows_and_columns():
+    table = ExperimentTable(title="t", columns=["a", "b"])
+    table.add_row(a=1, b=2.5)
+    table.add_row(a=3)
+    assert table.column("a") == [1, 3]
+    assert table.column("b") == [2.5, None]
+    assert table.filtered(a=3) == [{"a": 3}]
+    with pytest.raises(ValueError):
+        table.add_row(c=1)
+    with pytest.raises(KeyError):
+        table.column("c")
+    text = table.to_text()
+    assert "a" in text and "2.5" in text and "-" in text
+
+
+def test_scales_resolve_and_shrink_gpu_counts():
+    assert resolve_scale("paper") is PAPER_SCALE
+    assert resolve_scale("small") is SMALL_SCALE
+    assert resolve_scale(TINY_SCALE) is TINY_SCALE
+    with pytest.raises(ValueError):
+        resolve_scale("huge")
+    assert PAPER_SCALE.scaled_gpus(128) == 128
+    assert SMALL_SCALE.scaled_gpus(128) == 32
+    assert SMALL_SCALE.scaled_gpus(128) % 4 == 0
+    assert TINY_SCALE.scaled_gpus(8, minimum=8) == 8
+
+
+def test_job_helpers_match_paper_settings():
+    opt = opt_350m_job()
+    neo = gpt_neo_job()
+    assert opt.global_batch_size == 2048
+    assert opt.sequence_length == 2048
+    assert neo.model.name == "GPT-Neo-2.7B"
+
+
+def test_topology_helpers():
+    assert a100_topology(32).total_gpus() == 32
+    assert v100_topology(16).gpus_by_type() == {"V100-16": 16}
+    mixed = mixed_a100_v100_topology(16, 32)
+    assert mixed.gpus_by_type() == {"A100-40": 16, "V100-16": 32}
+    geo = geo_topology(8, ["us-central1-a", "us-west1-a"])
+    assert geo.total_gpus() == 16
+    assert len(geo.regions) == 2
+    assert gh200_topology(4).gpus_by_type() == {"GH200-96": 16}
+    rtx = rtx_heterogeneous_topology()
+    assert set(rtx.gpu_types()) == {"TitanRTX-24", "RTX2080-11", "RTX3090-24"}
+    with pytest.raises(ValueError):
+        a100_topology(30)

@@ -1,0 +1,155 @@
+"""Integration tests: run the experiment harnesses at tiny scale and check
+that the paper's qualitative claims hold in the reproduction."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure10,
+    figure11,
+    reconfiguration,
+    table1,
+    table3,
+)
+
+
+pytestmark = pytest.mark.slow
+
+
+def by_planner(rows, planner, key):
+    values = [row[key] for row in rows if row["planner"] == planner]
+    assert values, f"no rows for {planner}"
+    return values
+
+
+def test_figure1_heterogeneity_beats_limited_homogeneous():
+    table = figure1.run("tiny")
+    rows = {row["config"]: row for row in table.rows}
+    assert set(rows) == {"c0", "c1", "c2", "c3", "c4", "c5", "c6"}
+    # Good heterogeneous/multi-zone configs beat the attainable homogeneous ones.
+    assert rows["c3"]["throughput_iters_per_s"] > rows["c0"]["throughput_iters_per_s"]
+    assert rows["c4"]["throughput_iters_per_s"] > rows["c0"]["throughput_iters_per_s"]
+    # A bad parallelization of the same resources is much worse.
+    assert rows["c5"]["throughput_iters_per_s"] < rows["c3"]["throughput_iters_per_s"]
+    # Crossing regions costs more than staying within one region.
+    assert rows["c6"]["cost_per_iteration_usd"] > rows["c4"]["cost_per_iteration_usd"]
+
+
+def test_figure2_trace_shapes():
+    table = figure2.run("tiny")
+    ramp = [row["available_gpus"] for row in table.rows
+            if row["zone"] == "us-central1-a"]
+    fluctuating = [row["available_gpus"] for row in table.rows
+                   if row["zone"] == "us-central1-b"]
+    assert ramp[-1] == 8
+    assert all(b >= a for a, b in zip(ramp, ramp[1:]))
+    assert max(fluctuating) < 8
+
+
+def test_figure3_sailor_memory_estimates_closest():
+    table = figure3.run("tiny")
+    sailor_errors = [row["error_percent"] for row in table.rows
+                     if row["planner"] == "sailor"]
+    baseline_errors = [row["error_percent"] for row in table.rows
+                       if row["planner"] not in ("sailor", "real")
+                       and not math.isnan(row["error_percent"])]
+    assert max(sailor_errors) < 15.0
+    assert sum(sailor_errors) / len(sailor_errors) < \
+        sum(baseline_errors) / len(baseline_errors)
+
+
+def test_figure5_and_6_sailor_has_lowest_error():
+    table5 = figure5.run("tiny")
+    for metric in ("memory", "time"):
+        rows = [r for r in table5.rows if r["metric"] == metric]
+        sailor = next(r for r in rows if r["planner"] == "sailor")
+        others = [r["mean_error_percent"] for r in rows
+                  if r["planner"] != "sailor" and not math.isnan(r["mean_error_percent"])]
+        assert sailor["mean_error_percent"] <= min(others) + 1.0
+
+    table6 = figure6.run("tiny")
+    sailor = next(r for r in table6.rows if r["planner"] == "sailor")
+    flashflex = next(r for r in table6.rows if r["planner"] == "flashflex")
+    piper = next(r for r in table6.rows if r["planner"] == "piper")
+    assert sailor["mean_error_percent"] < piper["mean_error_percent"]
+    assert sailor["mean_error_percent"] < flashflex["mean_error_percent"]
+    assert piper["mean_error_percent"] > 10.0  # straggler-oblivious penalty
+
+
+def test_figure7_sailor_at_least_matches_best_baseline():
+    table = figure7.run("tiny", gpu_counts=(32,),
+                        planners=("varuna", "amp", "galvatron", "sailor"))
+    sailor = by_planner(table.rows, "sailor", "throughput_iters_per_s")[0]
+    best_baseline = max(row["throughput_iters_per_s"] for row in table.rows
+                        if row["planner"] != "sailor")
+    assert sailor >= best_baseline * 0.95
+    assert by_planner(table.rows, "sailor", "oom_plans")[0] == 0
+
+
+def test_figure10_sailor_wins_small_heterogeneous_cluster():
+    table = figure10.run("tiny", setups=((8, 8),),
+                         planners=("amp", "flashflex", "sailor"))
+    sailor = by_planner(table.rows, "sailor", "throughput_iters_per_s")[0]
+    for planner in ("amp", "flashflex"):
+        assert sailor >= by_planner(table.rows, planner,
+                                    "throughput_iters_per_s")[0] * 0.95
+    assert by_planner(table.rows, "sailor", "oom_plans")[0] == 0
+
+
+def test_figure11_sailor_beats_dtfm_geo_distributed():
+    table = figure11.run("tiny", gpus_per_zone_options=(4,))
+    sailor = by_planner(table.rows, "sailor", "throughput_iters_per_s")[0]
+    dtfm = by_planner(table.rows, "dtfm", "throughput_iters_per_s")[0]
+    assert sailor > dtfm
+    sailor_cost = by_planner(table.rows, "sailor", "cost_per_iteration_usd")[0]
+    dtfm_cost = by_planner(table.rows, "dtfm", "cost_per_iteration_usd")[0]
+    assert sailor_cost <= dtfm_cost * 1.5
+
+
+def test_table1_only_sailor_supports_everything():
+    table = table1.run("tiny", num_gpus=32)
+    sailor = next(r for r in table.rows if r["planner"] == "sailor")
+    assert sailor["recommends_allocation"] and sailor["heterogeneous_gpus"] \
+        and sailor["multi_zone"]
+    for row in table.rows:
+        if row["planner"] == "sailor":
+            continue
+        assert not (row["recommends_allocation"] and row["heterogeneous_gpus"]
+                    and row["multi_zone"])
+    assert sailor["found"]
+
+
+def test_table3_heuristics_cut_search_time():
+    table = table3.run("tiny", gpus_per_type=32, no_heuristics_cap_s=5.0)
+    for gpu_types in (1, 2):
+        rows = {r["configuration"]: r for r in table.rows
+                if r["gpu_types"] == gpu_types}
+        assert rows["dp_plus_heuristics"]["search_time_s"] <= \
+            rows["dp_only"]["search_time_s"] + 1.0
+        assert rows["dp_plus_heuristics"]["found"]
+
+
+def test_reconfiguration_breakdown_matches_reference_constants():
+    table = reconfiguration.run("tiny")
+    phases = {row["phase"]: row["seconds"] for row in table.rows}
+    assert phases["cleanup"] == pytest.approx(3.0)
+    assert phases["nccl_init"] == pytest.approx(4.5, rel=0.25)
+    assert phases["total"] > phases["cleanup"]
+    assert phases["planning"] < 5.0
+
+
+def test_ablations_show_expected_directions():
+    table = ablations.run("tiny", gpus_per_type=16)
+    h2 = {r["variant"]: r for r in table.rows if r["ablation"] == "H2_oom_pruning"}
+    assert h2["on"]["oom_plans"] <= h2["off"]["oom_plans"]
+    memory_rows = {r["variant"]: r["metric"] for r in table.rows
+                   if r["ablation"] == "estimator_memory"}
+    assert memory_rows["per_stage_memory"] <= memory_rows["uniform_stage_memory"]

@@ -1,0 +1,54 @@
+"""Unit tests for the GPU catalog."""
+
+import pytest
+
+from repro.hardware.gpus import GPUSpec, get_gpu, list_gpus, register_gpu
+
+
+def test_catalog_contains_paper_gpus():
+    for name in ("A100-40", "V100-16", "GH200-96", "TitanRTX-24",
+                 "RTX2080-11", "RTX3090-24"):
+        spec = get_gpu(name)
+        assert spec.name == name
+
+
+def test_a100_spec_values():
+    a100 = get_gpu("A100-40")
+    assert a100.memory_gb == 40.0
+    assert a100.peak_tflops == 312.0
+    assert a100.memory_bytes == 40 * 1024 ** 3
+    assert a100.peak_flops == pytest.approx(312e12)
+
+
+def test_v100_is_slower_and_smaller_than_a100():
+    a100, v100 = get_gpu("A100-40"), get_gpu("V100-16")
+    assert v100.peak_tflops < a100.peak_tflops
+    assert v100.memory_gb < a100.memory_gb
+
+
+def test_unknown_gpu_raises_keyerror_with_known_names():
+    with pytest.raises(KeyError, match="unknown GPU type"):
+        get_gpu("TPU-v5")
+
+
+def test_list_gpus_sorted_and_nonempty():
+    gpus = list_gpus()
+    assert len(gpus) >= 6
+    names = [g.name for g in gpus]
+    assert names == sorted(names)
+
+
+def test_register_custom_gpu_and_conflict_detection():
+    custom = GPUSpec(name="TEST-GPU-1", memory_gb=48, peak_tflops=200,
+                     mem_bandwidth_gbps=1000, intra_node_bw_gbps=100)
+    register_gpu(custom)
+    assert get_gpu("TEST-GPU-1") == custom
+    # Re-registering the identical spec is fine.
+    register_gpu(custom)
+    conflicting = GPUSpec(name="TEST-GPU-1", memory_gb=24, peak_tflops=200,
+                          mem_bandwidth_gbps=1000, intra_node_bw_gbps=100)
+    with pytest.raises(ValueError, match="already registered"):
+        register_gpu(conflicting)
+    # Explicit overwrite is allowed.
+    register_gpu(conflicting, overwrite=True)
+    assert get_gpu("TEST-GPU-1").memory_gb == 24

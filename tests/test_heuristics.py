@@ -1,0 +1,109 @@
+"""Unit tests for the planner heuristics H1-H6."""
+
+import pytest
+
+from repro.core.heuristics import (
+    HeuristicConfig,
+    consolidate_zones,
+    data_parallel_candidates,
+    microbatch_candidates,
+    min_tp_per_stage,
+    pipeline_parallel_candidates,
+    tp_candidates_for_node,
+    tp_options_for_stage,
+)
+from repro.hardware.topology import ClusterTopology
+from repro.models.partition import uniform_partition
+
+
+def test_h1_tp_candidates_limited_to_node():
+    config = HeuristicConfig()
+    assert tp_candidates_for_node("a2-highgpu-4g", config) == [1, 2, 4]
+    config_off = HeuristicConfig(limit_tp_to_node=False)
+    assert 8 in tp_candidates_for_node("a2-highgpu-4g", config_off)
+
+
+def test_h2_min_tp_grows_with_model_size(opt_env, opt_job, neo_env, neo_job):
+    config = HeuristicConfig()
+    node_types = ["a2-highgpu-4g", "n1-standard-v100-4"]
+    opt_req = min_tp_per_stage(opt_job, uniform_partition(opt_job.model, 1),
+                               node_types, 1, 1, opt_env, config)
+    neo_req = min_tp_per_stage(neo_job, uniform_partition(neo_job.model, 1),
+                               node_types, 1, 1, neo_env, config)
+    assert opt_req[0]["a2-highgpu-4g"] <= neo_req[0]["a2-highgpu-4g"]
+    # GPT-Neo with a single pipeline stage cannot fit on a V100 at any TP.
+    assert "n1-standard-v100-4" not in neo_req[0]
+
+
+def test_h2_disabled_returns_smallest_degree(opt_env, opt_job):
+    config = HeuristicConfig(prune_oom_early=False)
+    req = min_tp_per_stage(opt_job, uniform_partition(opt_job.model, 2),
+                           ["a2-highgpu-4g"], 8, 2, opt_env, config)
+    assert req[0]["a2-highgpu-4g"] == 1
+
+
+def test_tp_options_include_full_node_candidate():
+    config = HeuristicConfig(extra_tp_candidates=True)
+    options = tp_options_for_stage({"a2-highgpu-4g": 2}, config)
+    assert options["a2-highgpu-4g"] == [2, 4]
+    config_min_only = HeuristicConfig(extra_tp_candidates=False)
+    options = tp_options_for_stage({"a2-highgpu-4g": 2}, config_min_only)
+    assert options["a2-highgpu-4g"] == [2]
+
+
+def test_h3_h4_data_parallel_ordering(opt_job):
+    config = HeuristicConfig()
+    descending = data_parallel_candidates(opt_job, 2, 16,
+                                          maximize_throughput=True, config=config)
+    ascending = data_parallel_candidates(opt_job, 2, 16,
+                                         maximize_throughput=False, config=config)
+    assert descending == sorted(descending, reverse=True)
+    assert ascending == sorted(ascending)
+    assert set(descending) == set(ascending)
+    # All candidates split the global batch evenly.
+    for dp in descending:
+        assert opt_job.global_batch_size % dp == 0
+        assert (opt_job.global_batch_size // dp) % 2 == 0
+    assert data_parallel_candidates(opt_job, 2, 0, maximize_throughput=True,
+                                    config=config) == []
+
+
+def test_h6_zone_consolidation_merges_regions():
+    topology = ClusterTopology(nodes={
+        "us-central1-a": {"a2-highgpu-4g": 2},
+        "us-central1-b": {"a2-highgpu-4g": 3},
+        "us-west1-a": {"a2-highgpu-4g": 4},
+    })
+    config = HeuristicConfig()
+    consolidated = consolidate_zones(topology, config)
+    merged = consolidated.topology
+    assert merged.node_count("us-central1-a", "a2-highgpu-4g") == 5
+    assert merged.node_count("us-west1-a", "a2-highgpu-4g") == 4
+    assert merged.zones == ["us-central1-a", "us-west1-a"]
+    members = consolidated.real_zones("us-central1-a", "a2-highgpu-4g")
+    assert dict(members) == {"us-central1-a": 2, "us-central1-b": 3}
+
+
+def test_h6_disabled_keeps_zones_separate():
+    topology = ClusterTopology(nodes={
+        "us-central1-a": {"a2-highgpu-4g": 2},
+        "us-central1-b": {"a2-highgpu-4g": 3},
+    })
+    config = HeuristicConfig(consolidate_zones=False)
+    consolidated = consolidate_zones(topology, config)
+    assert consolidated.topology.node_count("us-central1-a", "a2-highgpu-4g") == 2
+    assert consolidated.topology.node_count("us-central1-b", "a2-highgpu-4g") == 3
+
+
+def test_pipeline_and_microbatch_candidates(opt_job):
+    config = HeuristicConfig(max_pipeline_parallel=8, max_microbatch_size=4)
+    pps = pipeline_parallel_candidates(opt_job, total_nodes=16, config=config)
+    assert max(pps) <= 8
+    assert pps[0] in (1, 2, 3, 4, 6, 8)  # divisors of 24 preferred first
+    mbs = microbatch_candidates(opt_job, config)
+    assert mbs == [1, 2, 4]
+
+
+def test_heuristic_config_describe_mentions_flags():
+    text = HeuristicConfig(prune_oom_early=False).describe()
+    assert "H2=off" in text and "H1=on" in text

@@ -1,0 +1,95 @@
+"""Unit tests for the per-worker memory estimator."""
+
+import pytest
+
+from repro.core.plan import ParallelizationPlan
+from repro.core.simulator.memory import MemoryEstimator
+from repro.models.partition import uniform_partition
+
+
+@pytest.fixture()
+def estimator(opt_env):
+    return MemoryEstimator(opt_env)
+
+
+def make_plan(job, pp=4, dp=2, tp=4, mbs=2, node="a2-highgpu-4g"):
+    return ParallelizationPlan.homogeneous(job, node, pp, dp, tp, mbs)
+
+
+def test_stage_peaks_positive_and_descending_with_stage_index(estimator, opt_job):
+    plan = make_plan(opt_job)
+    peaks = estimator.stage_peaks(plan)
+    assert len(peaks) == plan.pipeline_parallel
+    assert all(p > 0 for p in peaks)
+    # 1F1B keeps more microbatches in flight on earlier stages; the first
+    # stage also holds the embedding, so it peaks highest.
+    assert peaks[0] == max(peaks)
+
+
+def test_memory_breakdown_components(estimator, opt_job):
+    plan = make_plan(opt_job)
+    stage = plan.stages[0]
+    breakdown = estimator.replica_memory(plan, stage, stage.replicas[0])
+    assert breakdown.model_bytes > 0
+    assert breakdown.activation_bytes > 0
+    assert breakdown.peak_bytes == pytest.approx(
+        breakdown.model_bytes + breakdown.activation_bytes + breakdown.overhead_bytes)
+    assert 0 < breakdown.utilization < 1
+    assert breakdown.fits
+
+
+def test_higher_tp_reduces_per_worker_memory(estimator, opt_job):
+    small_tp = make_plan(opt_job, tp=1, dp=2)
+    large_tp = make_plan(opt_job, tp=4, dp=2)
+    assert max(estimator.stage_peaks(large_tp)) < max(estimator.stage_peaks(small_tp))
+
+
+def test_larger_microbatch_increases_memory(estimator, opt_job):
+    small = make_plan(opt_job, mbs=1)
+    large = make_plan(opt_job, mbs=8)
+    assert max(estimator.stage_peaks(large)) > max(estimator.stage_peaks(small))
+
+
+def test_oom_detection_on_v100_for_memory_hungry_plan(estimator, neo_job):
+    # GPT-Neo-2.7B with TP=1 cannot fit on a 16 GB V100.
+    plan = ParallelizationPlan.homogeneous(neo_job, "n1-standard-v100-4",
+                                           pipeline_parallel=1, data_parallel=2,
+                                           tensor_parallel=1, microbatch_size=1)
+    oom = estimator.oom_stages(plan)
+    assert oom == [0]
+    assert not estimator.plan_fits(plan)
+
+
+def test_valid_plan_has_no_oom_stages(estimator, opt_job):
+    plan = make_plan(opt_job)
+    assert estimator.oom_stages(plan) == []
+    assert estimator.plan_fits(plan)
+
+
+def test_min_tensor_parallel_monotone_in_model_size(estimator, opt_job, neo_job):
+    partition_small = uniform_partition(opt_job.model, 1)[0]
+    partition_large = uniform_partition(neo_job.model, 1)[0]
+    degrees = [1, 2, 4]
+    small_tp = estimator.min_tensor_parallel(
+        opt_job, partition_small, "A100-40", 1, 1, degrees)
+    large_tp = estimator.min_tensor_parallel(
+        neo_job, partition_large, "A100-40", 1, 1, degrees)
+    assert small_tp is not None and large_tp is not None
+    assert large_tp >= small_tp
+
+
+def test_min_tensor_parallel_returns_none_when_nothing_fits(estimator, neo_job):
+    partition = uniform_partition(neo_job.model, 1)[0]
+    result = estimator.min_tensor_parallel(
+        neo_job, partition, "V100-16", 8, 1, [1, 2, 4])
+    assert result is None
+
+
+def test_activation_checkpointing_reduces_activation_memory(opt_env, opt_job):
+    from dataclasses import replace
+
+    estimator = MemoryEstimator(opt_env)
+    plan = make_plan(opt_job, mbs=8)
+    ckpt_job = replace(opt_job, activation_checkpointing=True)
+    ckpt_plan = make_plan(ckpt_job, mbs=8)
+    assert max(estimator.stage_peaks(ckpt_plan)) < max(estimator.stage_peaks(plan))

@@ -1,0 +1,122 @@
+"""Unit tests for transformer model specs and training-job specs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.catalog import get_model, list_models
+from repro.models.spec import TrainingJobSpec, TransformerModelSpec, dtype_size_bytes
+
+
+def test_catalog_contains_paper_models():
+    assert get_model("OPT-350M").num_layers == 24
+    assert get_model("GPT-Neo-2.7B").num_layers == 32
+    assert len(list_models()) >= 3
+
+
+def test_opt350m_parameter_count_close_to_350m():
+    model = get_model("OPT-350M")
+    assert 300e6 < model.total_params < 450e6
+
+
+def test_gpt_neo_parameter_count_close_to_2_7b():
+    model = get_model("GPT-Neo-2.7B")
+    assert 2.4e9 < model.total_params < 3.1e9
+
+
+def test_params_per_layer_dominated_by_12_h_squared():
+    model = get_model("OPT-350M")
+    h = model.hidden_size
+    assert model.params_per_layer == pytest.approx(12 * h * h, rel=0.01)
+
+
+def test_invalid_model_specs_rejected():
+    with pytest.raises(ValueError):
+        TransformerModelSpec(name="bad", num_layers=0, hidden_size=64, num_heads=4)
+    with pytest.raises(ValueError):
+        TransformerModelSpec(name="bad", num_layers=2, hidden_size=65, num_heads=4)
+
+
+def test_flops_scale_with_batch_and_sequence():
+    model = get_model("OPT-350M")
+    base = model.layer_forward_flops(1, 1024)
+    assert model.layer_forward_flops(2, 1024) == pytest.approx(2 * base)
+    assert model.layer_forward_flops(1, 2048) > 2 * base  # attention is quadratic
+    assert model.layer_backward_flops(1, 1024) == pytest.approx(2 * base)
+    with pytest.raises(ValueError):
+        model.layer_forward_flops(0, 128)
+
+
+def test_lm_head_flops_scale_with_vocab():
+    model = get_model("OPT-350M")
+    flops = model.lm_head_forward_flops(1, 2048)
+    assert flops == pytest.approx(2 * 2048 * model.hidden_size * model.vocab_size)
+
+
+def test_activation_bytes_scale_inverse_with_tp():
+    model = get_model("OPT-350M")
+    full = model.layer_activation_bytes(4, 2048, tensor_parallel=1)
+    half = model.layer_activation_bytes(4, 2048, tensor_parallel=2)
+    assert half == pytest.approx(full / 2)
+    with pytest.raises(ValueError):
+        model.layer_activation_bytes(1, 128, tensor_parallel=0)
+
+
+def test_boundary_activation_bytes():
+    model = get_model("OPT-350M")
+    assert model.boundary_activation_bytes(2, 2048) == 2 * 2048 * model.hidden_size * 2
+
+
+def test_dtype_sizes():
+    assert dtype_size_bytes("fp16") == 2
+    assert dtype_size_bytes("fp32") == 4
+    with pytest.raises(ValueError):
+        dtype_size_bytes("int8")
+
+
+# -- training job spec ----------------------------------------------------------
+
+def test_job_spec_validation():
+    model = get_model("OPT-350M")
+    job = TrainingJobSpec(model=model, global_batch_size=2048)
+    assert job.bytes_per_param == 18.0
+    with pytest.raises(ValueError):
+        TrainingJobSpec(model=model, global_batch_size=0)
+    with pytest.raises(ValueError):
+        TrainingJobSpec(model=model, sequence_length=10_000)
+    with pytest.raises(ValueError):
+        TrainingJobSpec(model=model, optimizer="lion")
+
+
+def test_sgd_has_smaller_memory_multiplier():
+    model = get_model("OPT-350M")
+    adam = TrainingJobSpec(model=model, optimizer="adam")
+    sgd = TrainingJobSpec(model=model, optimizer="sgd")
+    assert sgd.bytes_per_param < adam.bytes_per_param
+
+
+def test_valid_microbatch_sizes_divide_global_batch():
+    model = get_model("OPT-350M")
+    job = TrainingJobSpec(model=model, global_batch_size=96)
+    sizes = job.valid_microbatch_sizes(max_mbs=64)
+    assert sizes == [1, 2, 4, 8, 16, 32]
+    assert all(job.global_batch_size % s == 0 for s in sizes)
+
+
+def test_num_microbatches_and_errors():
+    model = get_model("OPT-350M")
+    job = TrainingJobSpec(model=model, global_batch_size=256)
+    assert job.num_microbatches(data_parallel=4, microbatch_size=2) == 32
+    with pytest.raises(ValueError):
+        job.num_microbatches(data_parallel=3, microbatch_size=2)
+    with pytest.raises(ValueError):
+        job.num_microbatches(data_parallel=0, microbatch_size=2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dp=st.sampled_from([1, 2, 4, 8, 16]), mbs=st.sampled_from([1, 2, 4, 8]))
+def test_num_microbatches_property(dp, mbs):
+    """dp * mbs * num_microbatches always reconstructs the global batch."""
+    model = get_model("OPT-350M")
+    job = TrainingJobSpec(model=model, global_batch_size=2048)
+    nb = job.num_microbatches(dp, mbs)
+    assert nb * dp * mbs == job.global_batch_size

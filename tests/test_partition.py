@@ -1,0 +1,90 @@
+"""Unit tests for layer partitioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.catalog import get_model
+from repro.models.partition import (
+    balanced_partition,
+    partition_layers,
+    uniform_partition,
+)
+
+
+def test_partition_layers_even_and_remainder():
+    assert partition_layers(24, 4) == [6, 6, 6, 6]
+    assert partition_layers(10, 4) == [3, 3, 2, 2]
+    with pytest.raises(ValueError):
+        partition_layers(2, 4)
+    with pytest.raises(ValueError):
+        partition_layers(4, 0)
+
+
+def test_uniform_partition_covers_model():
+    model = get_model("OPT-350M")
+    parts = uniform_partition(model, 4)
+    assert len(parts) == 4
+    assert sum(p.num_layers for p in parts) == model.num_layers
+    assert parts[0].has_embedding and not parts[0].has_lm_head
+    assert parts[-1].has_lm_head and not parts[-1].has_embedding
+    assert parts[0].is_first and parts[-1].is_last
+    # Contiguity of layer ranges.
+    next_layer = 0
+    for part in parts:
+        assert part.first_layer == next_layer
+        next_layer += part.num_layers
+
+
+def test_single_stage_holds_everything():
+    model = get_model("OPT-350M")
+    (stage,) = uniform_partition(model, 1)
+    assert stage.has_embedding and stage.has_lm_head
+    assert stage.stage_params(model) == model.total_params
+
+
+def test_stage_params_sum_to_total():
+    model = get_model("GPT-Neo-2.7B")
+    parts = uniform_partition(model, 8)
+    total = sum(p.stage_params(model) for p in parts)
+    # The tied embedding is duplicated on the last stage, so the sum exceeds
+    # the model size by exactly one vocabulary projection.
+    assert total == model.total_params + model.vocab_size * model.hidden_size
+
+
+def test_balanced_partition_gives_more_layers_to_faster_stages():
+    model = get_model("OPT-350M")
+    parts = balanced_partition(model, 2, stage_weights=[3.0, 1.0])
+    assert parts[0].num_layers > parts[1].num_layers
+    assert sum(p.num_layers for p in parts) == model.num_layers
+
+
+def test_balanced_partition_validation():
+    model = get_model("OPT-350M")
+    with pytest.raises(ValueError):
+        balanced_partition(model, 2, stage_weights=[1.0])
+    with pytest.raises(ValueError):
+        balanced_partition(model, 2, stage_weights=[1.0, -1.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(num_stages=st.integers(1, 16))
+def test_uniform_partition_property(num_stages):
+    """Partitions always cover every layer exactly once, stages >= 1 layer."""
+    model = get_model("GPT-Neo-2.7B")
+    parts = uniform_partition(model, num_stages)
+    assert sum(p.num_layers for p in parts) == model.num_layers
+    assert all(p.num_layers >= 1 for p in parts)
+    assert sum(p.has_embedding for p in parts) == 1
+    assert sum(p.has_lm_head for p in parts) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(weights=st.lists(st.floats(0.5, 5.0), min_size=1, max_size=12))
+def test_balanced_partition_property(weights):
+    """Balanced partitions cover the model for arbitrary positive weights."""
+    model = get_model("GPT-Neo-2.7B")
+    if len(weights) > model.num_layers:
+        return
+    parts = balanced_partition(model, len(weights), stage_weights=list(weights))
+    assert sum(p.num_layers for p in parts) == model.num_layers
+    assert all(p.num_layers >= 1 for p in parts)

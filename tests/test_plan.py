@@ -1,0 +1,109 @@
+"""Unit tests for plan datatypes."""
+
+import pytest
+
+from repro.core.plan import (
+    ParallelizationPlan,
+    ResourceAllocation,
+    StageConfig,
+    StageReplica,
+)
+from repro.models.catalog import get_model
+from repro.models.partition import uniform_partition
+from repro.models.spec import TrainingJobSpec
+
+
+@pytest.fixture()
+def job():
+    return TrainingJobSpec(model=get_model("OPT-350M"), global_batch_size=256)
+
+
+def test_stage_replica_validation():
+    replica = StageReplica("a2-highgpu-4g", 4, "us-central1-a")
+    assert replica.gpu_type == "A100-40"
+    assert replica.num_gpus == 4
+    with pytest.raises(ValueError):
+        StageReplica("a2-highgpu-4g", 8, "us-central1-a")  # H1 violation
+    with pytest.raises(ValueError):
+        StageReplica("a2-highgpu-4g", 0, "us-central1-a")
+
+
+def test_homogeneous_plan_properties(job):
+    plan = ParallelizationPlan.homogeneous(job, "a2-highgpu-4g", 4, 2, 4, 2)
+    assert plan.pipeline_parallel == 4
+    assert plan.data_parallel == 2
+    assert plan.total_gpus == 4 * 2 * 4
+    assert plan.num_microbatches == 256 // (2 * 2)
+    assert plan.gpus_by_type() == {"A100-40": 32}
+    assert plan.zones() == ["us-central1-a"]
+    assert not plan.is_heterogeneous()
+    assert "P=4" in plan.describe()
+
+
+def test_plan_rejects_mismatched_dp(job):
+    partitions = uniform_partition(job.model, 2)
+    stages = [
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 1, "z")] * 2),
+        StageConfig(partitions[1], [StageReplica("a2-highgpu-4g", 1, "z")] * 3),
+    ]
+    with pytest.raises(ValueError, match="data-parallel"):
+        ParallelizationPlan(job=job, stages=stages, microbatch_size=1)
+
+
+def test_plan_rejects_wrong_layer_coverage(job):
+    partitions = uniform_partition(job.model, 4)
+    stages = [StageConfig(p, [StageReplica("a2-highgpu-4g", 1, "z")])
+              for p in partitions[:3]]
+    with pytest.raises(ValueError, match="layers"):
+        ParallelizationPlan(job=job, stages=stages, microbatch_size=1)
+
+
+def test_plan_rejects_indivisible_batch(job):
+    with pytest.raises(ValueError):
+        ParallelizationPlan.homogeneous(job, "a2-highgpu-4g", 2, 3, 1, 1)
+
+
+def test_heterogeneous_plan_detection(job):
+    partitions = uniform_partition(job.model, 2)
+    stages = [
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "z1"),
+                                    StageReplica("a2-highgpu-4g", 4, "z1")]),
+        StageConfig(partitions[1], [StageReplica("n1-standard-v100-4", 2, "z1"),
+                                    StageReplica("n1-standard-v100-4", 2, "z1")]),
+    ]
+    plan = ParallelizationPlan(job=job, stages=stages, microbatch_size=2)
+    assert plan.is_heterogeneous()
+    assert plan.gpus_by_type() == {"A100-40": 8, "V100-16": 4}
+    chain = plan.pipeline(1)
+    assert [r.gpu_type for r in chain] == ["A100-40", "V100-16"]
+    with pytest.raises(IndexError):
+        plan.pipeline(2)
+
+
+def test_resource_allocation_packs_replicas_onto_nodes(job):
+    # 4 replicas of TP=2 on 4-GPU nodes in one zone -> 2 nodes per stage.
+    plan = ParallelizationPlan.homogeneous(job, "a2-highgpu-4g",
+                                           pipeline_parallel=2, data_parallel=4,
+                                           tensor_parallel=2, microbatch_size=1)
+    allocation = plan.resource_allocation()
+    assert allocation.node_count("us-central1-a", "a2-highgpu-4g") == 4
+    assert allocation.total_gpus() == 16
+    assert allocation.total_nodes() == 4
+    assert allocation.gpus_by_type() == {"A100-40": 16}
+    assert allocation.zones() == ["us-central1-a"]
+
+
+def test_resource_allocation_fits_within():
+    allocation = ResourceAllocation()
+    allocation.add("us-central1-a", "a2-highgpu-4g", 3)
+
+    class FakeTopology:
+        def node_count(self, zone, node_type):
+            return 2
+
+    assert not allocation.fits_within(FakeTopology())
+    allocation2 = ResourceAllocation()
+    allocation2.add("us-central1-a", "a2-highgpu-4g", 2)
+    assert allocation2.fits_within(FakeTopology())
+    with pytest.raises(ValueError):
+        allocation.add("z", "a2-highgpu-4g", -1)

@@ -1,0 +1,126 @@
+"""Integration tests for the Sailor planner."""
+
+import pytest
+
+from repro.core.heuristics import HeuristicConfig
+from repro.core.objectives import Objective
+from repro.core.planner import PlannerConfig, SailorPlanner
+from repro.core.simulator import MemoryEstimator, SailorSimulator
+from repro.hardware.topology import ClusterTopology
+
+
+@pytest.fixture(scope="module")
+def planner(opt_env):
+    return SailorPlanner(opt_env)
+
+
+def test_homogeneous_plan_found_and_valid(planner, opt_job, a100_topology):
+    result = planner.plan(opt_job, a100_topology, Objective.max_throughput())
+    assert result.found
+    assert result.oom_plans_generated == 0
+    assert result.search_time_s < 30.0
+    plan = result.plan
+    assert plan.total_gpus <= a100_topology.total_gpus()
+    assert plan.resource_allocation().fits_within(a100_topology)
+    assert MemoryEstimator(planner.env).plan_fits(plan)
+    # The evaluation attached to the result matches a fresh evaluation.
+    fresh = SailorSimulator(planner.env).evaluate(plan)
+    assert fresh.throughput_iters_per_s == pytest.approx(
+        result.evaluation.throughput_iters_per_s, rel=1e-6)
+
+
+def test_heterogeneous_plan_uses_both_gpu_types_when_scarce(planner, opt_job,
+                                                            mixed_topology):
+    result = planner.plan(opt_job, mixed_topology, Objective.max_throughput())
+    assert result.found
+    gpus = result.plan.gpus_by_type()
+    assert "A100-40" in gpus
+    # With only 16 A100s available, adding V100s improves throughput, so the
+    # planner should use them (paper takeaway 1).
+    assert gpus.get("V100-16", 0) > 0
+
+    a100_only = mixed_topology.restricted_to_gpu("A100-40")
+    homo = planner.plan(opt_job, a100_only, Objective.max_throughput())
+    assert result.evaluation.throughput_iters_per_s >= \
+        homo.evaluation.throughput_iters_per_s
+
+
+def test_planner_respects_budget_constraint(planner, opt_job, mixed_topology):
+    unconstrained = planner.plan(opt_job, mixed_topology,
+                                 Objective.max_throughput())
+    budget = unconstrained.evaluation.cost_per_iteration_usd * 0.6
+    constrained = planner.plan(
+        opt_job, mixed_topology,
+        Objective.max_throughput(max_cost_per_iteration_usd=budget))
+    assert constrained.found
+    assert constrained.evaluation.cost_per_iteration_usd <= budget * 1.001
+    assert constrained.evaluation.throughput_iters_per_s <= \
+        unconstrained.evaluation.throughput_iters_per_s + 1e-9
+
+
+def test_planner_min_cost_objective_cheaper_than_max_throughput(
+        planner, opt_job, mixed_topology):
+    fast = planner.plan(opt_job, mixed_topology, Objective.max_throughput())
+    cheap = planner.plan(opt_job, mixed_topology, Objective.min_cost())
+    assert cheap.found
+    assert cheap.evaluation.cost_per_iteration_usd <= \
+        fast.evaluation.cost_per_iteration_usd + 1e-9
+
+
+def test_planner_min_cost_with_throughput_floor(planner, opt_job, mixed_topology):
+    floor = 0.05
+    result = planner.plan(opt_job, mixed_topology,
+                          Objective.min_cost(min_throughput_iters_per_s=floor))
+    assert result.found
+    assert result.evaluation.throughput_iters_per_s >= floor
+
+
+def test_planner_handles_empty_topology(planner, opt_job):
+    empty = ClusterTopology()
+    result = planner.plan(opt_job, empty, Objective.max_throughput())
+    assert not result.found
+    assert result.plan is None
+
+
+def test_planner_infeasible_constraint_returns_nothing(planner, opt_job,
+                                                       mixed_topology):
+    impossible = Objective.max_throughput(max_cost_per_iteration_usd=1e-6)
+    result = planner.plan(opt_job, mixed_topology, impossible)
+    assert not result.found
+
+
+def test_geo_distributed_plan_stays_in_one_region_when_enough_capacity(
+        opt_env_geo, opt_job, geo_topology_2regions):
+    planner = SailorPlanner(opt_env_geo)
+    result = planner.plan(opt_job, geo_topology_2regions,
+                          Objective.max_throughput())
+    assert result.found
+    zones = result.plan.zones()
+    regions = {z.rsplit("-", 1)[0] for z in zones}
+    # H5/H6: data parallel groups stay within a region; with ample capacity in
+    # us-central1 the whole plan should stay there.
+    assert len(regions) <= 2
+    allocation = result.plan.resource_allocation()
+    assert allocation.fits_within(geo_topology_2regions)
+
+
+def test_time_limit_is_honoured(opt_env, opt_job, mixed_topology):
+    config = PlannerConfig(time_limit_s=0.05)
+    planner = SailorPlanner(opt_env, config=config)
+    result = planner.plan(opt_job, mixed_topology, Objective.max_throughput())
+    assert result.search_time_s < 5.0
+
+
+def test_disabling_h2_can_generate_oom_candidates(neo_env, neo_job,
+                                                  mixed_topology):
+    heuristics = HeuristicConfig(prune_oom_early=False)
+    planner = SailorPlanner(neo_env, config=PlannerConfig(heuristics=heuristics,
+                                                          time_limit_s=20.0))
+    result = planner.plan(neo_job, mixed_topology, Objective.max_throughput())
+    default_planner = SailorPlanner(neo_env,
+                                    config=PlannerConfig(time_limit_s=20.0))
+    default_result = default_planner.plan(neo_job, mixed_topology,
+                                          Objective.max_throughput())
+    assert default_result.oom_plans_generated == 0
+    # Without H2 the planner may propose plans that the simulator then rejects.
+    assert result.oom_plans_generated >= default_result.oom_plans_generated

@@ -1,0 +1,75 @@
+"""Unit tests for the price catalog."""
+
+import pytest
+
+from repro.hardware.network import LinkClass
+from repro.hardware.pricing import PriceCatalog, default_price_catalog
+
+
+def test_default_prices_present_for_paper_gpus():
+    prices = default_price_catalog()
+    for gpu in ("A100-40", "V100-16", "GH200-96"):
+        assert prices.gpu_price_per_hour(gpu) > 0
+
+
+def test_per_second_price_is_hourly_divided():
+    prices = default_price_catalog()
+    assert prices.gpu_price_per_second("A100-40") == pytest.approx(
+        prices.gpu_price_per_hour("A100-40") / 3600.0)
+
+
+def test_compute_cost_scales_linearly():
+    prices = default_price_catalog()
+    one = prices.compute_cost({"A100-40": 1}, 3600.0)
+    many = prices.compute_cost({"A100-40": 10}, 3600.0)
+    longer = prices.compute_cost({"A100-40": 1}, 7200.0)
+    assert many == pytest.approx(10 * one)
+    assert longer == pytest.approx(2 * one)
+    assert one == pytest.approx(prices.gpu_price_per_hour("A100-40"))
+
+
+def test_compute_cost_mixed_types():
+    prices = default_price_catalog()
+    total = prices.compute_cost({"A100-40": 2, "V100-16": 4}, 1800.0)
+    expected = (2 * prices.gpu_price_per_hour("A100-40")
+                + 4 * prices.gpu_price_per_hour("V100-16")) / 2.0
+    assert total == pytest.approx(expected)
+
+
+def test_compute_cost_rejects_negative_inputs():
+    prices = default_price_catalog()
+    with pytest.raises(ValueError):
+        prices.compute_cost({"A100-40": -1}, 10.0)
+    with pytest.raises(ValueError):
+        prices.compute_cost({"A100-40": 1}, -10.0)
+
+
+def test_unknown_gpu_price_raises():
+    prices = default_price_catalog()
+    with pytest.raises(KeyError):
+        prices.gpu_price_per_hour("NO-SUCH-GPU")
+
+
+def test_egress_cost_by_link_class():
+    prices = default_price_catalog()
+    gib = 1024 ** 3
+    free = prices.egress_cost({LinkClass.INTRA_ZONE: 10 * gib})
+    inter_zone = prices.egress_cost({LinkClass.INTER_ZONE: 10 * gib})
+    inter_region = prices.egress_cost({LinkClass.INTER_REGION: 10 * gib})
+    assert free == 0.0
+    assert inter_zone == pytest.approx(0.1)
+    assert inter_region == pytest.approx(0.8)
+    assert inter_region > inter_zone
+
+
+def test_egress_cost_rejects_negative_bytes():
+    prices = default_price_catalog()
+    with pytest.raises(ValueError):
+        prices.egress_cost({LinkClass.INTER_ZONE: -1})
+
+
+def test_with_gpu_price_override_returns_copy():
+    prices = default_price_catalog()
+    cheaper = prices.with_gpu_price("A100-40", 1.0)
+    assert cheaper.gpu_price_per_hour("A100-40") == 1.0
+    assert prices.gpu_price_per_hour("A100-40") != 1.0

@@ -1,0 +1,74 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import ParallelizationPlan
+from repro.core.simulator import MemoryEstimator, SailorSimulator, TimingEstimator
+from repro.models.catalog import get_model
+from repro.models.spec import TrainingJobSpec
+
+
+VALID_CONFIGS = st.tuples(
+    st.sampled_from([1, 2, 4]),          # pipeline parallel
+    st.sampled_from([1, 2, 4, 8]),       # data parallel
+    st.sampled_from([1, 2, 4]),          # tensor parallel
+    st.sampled_from([1, 2, 4]),          # microbatch size
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=VALID_CONFIGS)
+def test_plan_resource_accounting_consistent(opt_job, config):
+    """GPU counts derived from stages and from the node allocation agree."""
+    pp, dp, tp, mbs = config
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", pp, dp, tp, mbs)
+    assert plan.total_gpus == pp * dp * tp
+    allocation = plan.resource_allocation()
+    assert allocation.total_gpus() >= plan.total_gpus
+    assert allocation.total_gpus() <= plan.total_gpus + allocation.total_nodes() * 3
+    assert sum(plan.gpus_by_type().values()) == plan.total_gpus
+
+
+@settings(max_examples=15, deadline=None)
+@given(config=VALID_CONFIGS)
+def test_simulator_outputs_positive_and_consistent(opt_env, opt_job, config):
+    """Iteration time, throughput, memory and cost are positive and coherent
+    for every well-formed homogeneous plan."""
+    pp, dp, tp, mbs = config
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", pp, dp, tp, mbs)
+    evaluation = SailorSimulator(opt_env).evaluate(plan)
+    assert evaluation.iteration_time_s > 0
+    assert evaluation.throughput_iters_per_s > 0
+    assert evaluation.cost_per_iteration_usd > 0
+    assert evaluation.compute_cost_usd <= evaluation.cost_per_iteration_usd
+    assert len(evaluation.peak_memory_bytes_per_stage) == pp
+    assert all(m > 0 for m in evaluation.peak_memory_bytes_per_stage)
+
+
+@settings(max_examples=15, deadline=None)
+@given(pp=st.sampled_from([1, 2, 4]), tp=st.sampled_from([1, 2, 4]),
+       mbs=st.sampled_from([1, 2]))
+def test_memory_never_increases_with_tensor_parallelism(opt_env, opt_job, pp, tp, mbs):
+    """Sharding a stage over more GPUs never increases the per-worker peak."""
+    estimator = MemoryEstimator(opt_env)
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", pp, 2, tp, mbs)
+    peaks = estimator.stage_peaks(plan)
+    if tp > 1:
+        smaller_tp = ParallelizationPlan.homogeneous(
+            opt_job, "a2-highgpu-4g", pp, 2, tp // 2, mbs)
+        smaller_peaks = estimator.stage_peaks(smaller_tp)
+        assert max(peaks) <= max(smaller_peaks) * 1.001
+
+
+@settings(max_examples=10, deadline=None)
+@given(dp=st.sampled_from([1, 2, 4, 8]))
+def test_pipeline_time_decreases_with_data_parallelism(opt_env, opt_job, dp):
+    """With a fixed pipeline, more data parallelism never slows the pipeline
+    phase (each pipeline processes fewer microbatches)."""
+    estimator = TimingEstimator(opt_env)
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 2, dp, 4, 1)
+    if dp > 1:
+        smaller = ParallelizationPlan.homogeneous(
+            opt_job, "a2-highgpu-4g", 2, dp // 2, 4, 1)
+        assert estimator.breakdown(plan).pipeline_time_s <= \
+            estimator.breakdown(smaller).pipeline_time_s * 1.001

@@ -1,0 +1,107 @@
+"""Round-trip tests for plan / result serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.core.planner import SailorPlanner
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    evaluation_from_dict,
+    evaluation_to_dict,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+    result_from_json,
+    result_to_json,
+)
+from repro.models.partition import uniform_partition
+
+
+def heterogeneous_plan(job):
+    partitions = uniform_partition(job.model, 2)
+    return ParallelizationPlan(job=job, stages=[
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "us-central1-a"),
+                                    StageReplica("a2-highgpu-4g", 2, "us-central1-b")]),
+        StageConfig(partitions[1], [StageReplica("n1-standard-v100-4", 2, "us-central1-a"),
+                                    StageReplica("n1-standard-v100-4", 2, "us-central1-a")]),
+    ], microbatch_size=2)
+
+
+def test_plan_roundtrip_preserves_structure(opt_job):
+    plan = heterogeneous_plan(opt_job)
+    restored = plan_from_json(plan_to_json(plan))
+    assert restored.pipeline_parallel == plan.pipeline_parallel
+    assert restored.data_parallel == plan.data_parallel
+    assert restored.microbatch_size == plan.microbatch_size
+    assert restored.gpus_by_type() == plan.gpus_by_type()
+    assert restored.zones() == plan.zones()
+    assert restored.job.global_batch_size == plan.job.global_batch_size
+    for original, copy in zip(plan.stages, restored.stages):
+        assert [r.tensor_parallel for r in original.replicas] == \
+            [r.tensor_parallel for r in copy.replicas]
+        assert original.partition.num_layers == copy.partition.num_layers
+
+
+def test_plan_json_is_stable_and_versioned(opt_job):
+    plan = heterogeneous_plan(opt_job)
+    document = json.loads(plan_to_json(plan))
+    assert document["format_version"] == FORMAT_VERSION
+    assert document["job"]["model"] == "OPT-350M"
+    # Encoding the same plan twice yields identical text (sorted keys).
+    assert plan_to_json(plan) == plan_to_json(plan)
+
+
+def test_newer_format_version_rejected(opt_job):
+    plan = heterogeneous_plan(opt_job)
+    document = plan_to_dict(plan)
+    document["format_version"] = FORMAT_VERSION + 1
+    with pytest.raises(ValueError, match="format version"):
+        plan_from_dict(document)
+
+
+def test_corrupted_plan_fails_validation(opt_job):
+    plan = heterogeneous_plan(opt_job)
+    document = plan_to_dict(plan)
+    document["stages"][0]["replicas"].pop()  # breaks the equal-DP invariant
+    with pytest.raises(ValueError):
+        plan_from_dict(document)
+
+
+def test_evaluation_roundtrip(opt_env, opt_job):
+    from repro.core.simulator import SailorSimulator
+
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 2, 2, 4, 2)
+    evaluation = SailorSimulator(opt_env).evaluate(plan)
+    restored = evaluation_from_dict(evaluation_to_dict(evaluation))
+    assert restored.iteration_time_s == pytest.approx(evaluation.iteration_time_s)
+    assert restored.cost_per_iteration_usd == pytest.approx(
+        evaluation.cost_per_iteration_usd)
+    assert restored.is_valid == evaluation.is_valid
+    assert restored.peak_memory_bytes_per_stage == pytest.approx(
+        evaluation.peak_memory_bytes_per_stage)
+
+
+def test_planner_result_roundtrip(opt_env, opt_job, a100_topology):
+    result = SailorPlanner(opt_env).plan(opt_job, a100_topology,
+                                         Objective.max_throughput())
+    restored = result_from_json(result_to_json(result))
+    assert restored.found
+    assert restored.planner_name == result.planner_name
+    assert restored.search_time_s == pytest.approx(result.search_time_s)
+    assert restored.plan.total_gpus == result.plan.total_gpus
+    assert restored.evaluation.throughput_iters_per_s == pytest.approx(
+        result.evaluation.throughput_iters_per_s)
+
+
+def test_empty_result_roundtrip():
+    from repro.core.plan import PlannerResult
+
+    empty = PlannerResult(plan=None, evaluation=None, search_time_s=0.5,
+                          planner_name="sailor")
+    restored = result_from_json(result_to_json(empty))
+    assert not restored.found
+    assert restored.search_time_s == 0.5

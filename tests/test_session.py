@@ -1,0 +1,80 @@
+"""Integration tests for elastic training sessions."""
+
+import pytest
+
+from repro.hardware.availability import AvailabilityEvent, AvailabilityTrace
+from repro.hardware.topology import ClusterTopology
+from repro.runtime.checkpoint import CheckpointConfig
+from repro.runtime.session import ElasticTrainingSession
+
+
+@pytest.fixture()
+def base_topology():
+    return ClusterTopology.homogeneous("a2-highgpu-4g", 4)
+
+
+def steady_trace(nodes=4, duration=1800.0):
+    return AvailabilityTrace(events=[
+        AvailabilityEvent(0.0, "us-central1-a", "a2-highgpu-4g", nodes)],
+        duration_s=duration)
+
+
+def test_steady_availability_trains_continuously(opt_env, opt_job, base_topology):
+    session = ElasticTrainingSession(opt_env, opt_job)
+    report = session.run(steady_trace(), base_topology=base_topology)
+    assert report.iterations_completed > 0
+    assert report.reconfigurations == 1          # initial deployment only
+    assert report.iterations_lost_to_rollback == 0
+    assert report.idle_time_s == 0.0
+    assert report.goodput_iters_per_s > 0
+    assert 0.9 <= report.availability_efficiency <= 1.0
+    assert len(report.segments) == 1
+    assert report.segments[0].gpus == 16
+
+
+def test_outage_produces_idle_time(opt_env, opt_job, base_topology):
+    trace = AvailabilityTrace(events=[
+        AvailabilityEvent(0.0, "us-central1-a", "a2-highgpu-4g", 0),
+        AvailabilityEvent(900.0, "us-central1-a", "a2-highgpu-4g", 4),
+    ], duration_s=1800.0)
+    session = ElasticTrainingSession(opt_env, opt_job)
+    report = session.run(trace, base_topology=base_topology)
+    assert report.idle_time_s >= 900.0 * 0.9
+    assert report.iterations_completed > 0
+    assert report.segments and report.segments[0].start_s >= 900.0
+
+
+def test_preemption_causes_rollback(opt_env, opt_job, base_topology):
+    trace = AvailabilityTrace(events=[
+        AvailabilityEvent(0.0, "us-central1-a", "a2-highgpu-4g", 4),
+        AvailabilityEvent(900.0, "us-central1-a", "a2-highgpu-4g", 1),
+    ], duration_s=1800.0)
+    session = ElasticTrainingSession(
+        opt_env, opt_job,
+        checkpoint_config=CheckpointConfig(interval_iterations=5))
+    report = session.run(trace, base_topology=base_topology)
+    assert report.reconfigurations >= 2
+    assert report.reconfiguration_time_s > 0
+    # Scale-down rolls back to the latest durable checkpoint; with an interval
+    # of 5 iterations at most a handful of iterations are lost.
+    assert 0 <= report.iterations_lost_to_rollback <= 10
+    assert report.iterations_completed > 0
+
+
+def test_max_iterations_caps_progress(opt_env, opt_job, base_topology):
+    session = ElasticTrainingSession(opt_env, opt_job)
+    report = session.run(steady_trace(duration=3600.0),
+                         base_topology=base_topology, max_iterations=10)
+    assert report.iterations_completed == 10
+
+
+def test_more_frequent_checkpoints_increase_stall_time(opt_env, opt_job,
+                                                       base_topology):
+    frequent = ElasticTrainingSession(
+        opt_env, opt_job, checkpoint_config=CheckpointConfig(interval_iterations=2))
+    rare = ElasticTrainingSession(
+        opt_env, opt_job, checkpoint_config=CheckpointConfig(interval_iterations=50))
+    frequent_report = frequent.run(steady_trace(), base_topology=base_topology)
+    rare_report = rare.run(steady_trace(), base_topology=base_topology)
+    assert frequent_report.checkpoint_stall_s > rare_report.checkpoint_stall_s
+    assert frequent_report.iterations_completed <= rare_report.iterations_completed

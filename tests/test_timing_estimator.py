@@ -1,0 +1,97 @@
+"""Unit tests for the iteration-time estimator."""
+
+import pytest
+
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.core.simulator.timing import TimingEstimator
+from repro.models.partition import uniform_partition
+
+
+@pytest.fixture()
+def estimator(opt_env):
+    return TimingEstimator(opt_env)
+
+
+def homogeneous(job, node="a2-highgpu-4g", pp=4, dp=2, tp=4, mbs=2,
+                zone="us-central1-a"):
+    return ParallelizationPlan.homogeneous(job, node, pp, dp, tp, mbs, zone=zone)
+
+
+def test_breakdown_structure(estimator, opt_job):
+    plan = homogeneous(opt_job)
+    breakdown = estimator.breakdown(plan)
+    assert len(breakdown.pipeline_times_s) == plan.data_parallel
+    assert len(breakdown.stage_compute_s) == plan.pipeline_parallel
+    assert breakdown.iteration_time_s == pytest.approx(
+        breakdown.pipeline_time_s + breakdown.sync_time_s + breakdown.update_time_s)
+    assert breakdown.iteration_time_s > 0
+    assert 0 <= breakdown.straggler_stage < plan.pipeline_parallel
+
+
+def test_more_data_parallelism_reduces_iteration_time(estimator, opt_job):
+    small = homogeneous(opt_job, dp=1, pp=2, tp=4, mbs=2)
+    large = homogeneous(opt_job, dp=4, pp=2, tp=4, mbs=2)
+    assert estimator.iteration_time(large) < estimator.iteration_time(small)
+
+
+def test_v100_plan_slower_than_a100_plan(estimator, opt_job):
+    a100 = homogeneous(opt_job, node="a2-highgpu-4g")
+    v100 = homogeneous(opt_job, node="n1-standard-v100-4")
+    assert estimator.iteration_time(v100) > estimator.iteration_time(a100)
+
+
+def test_single_replica_has_no_sync_time(estimator, opt_job):
+    plan = homogeneous(opt_job, dp=1, pp=2, tp=4, mbs=2)
+    breakdown = estimator.breakdown(plan)
+    assert breakdown.sync_time_s == 0.0
+
+
+def test_straggler_dominates_mixed_stage(estimator, opt_job):
+    """A stage with one V100 replica is as slow as its slowest replica."""
+    partitions = uniform_partition(opt_job.model, 2)
+    fast = StageReplica("a2-highgpu-4g", 4, "us-central1-a")
+    slow = StageReplica("n1-standard-v100-4", 4, "us-central1-a")
+    mixed_stage = StageConfig(partitions[0], [fast, slow])
+    fast_stage = StageConfig(partitions[0], [fast, fast])
+    plan_mixed = ParallelizationPlan(
+        job=opt_job,
+        stages=[mixed_stage, StageConfig(partitions[1], [fast, fast])],
+        microbatch_size=2)
+    plan_fast = ParallelizationPlan(
+        job=opt_job,
+        stages=[fast_stage, StageConfig(partitions[1], [fast, fast])],
+        microbatch_size=2)
+    mixed_time = estimator.stage_compute_time(plan_mixed, plan_mixed.stages[0])
+    fast_time = estimator.stage_compute_time(plan_fast, plan_fast.stages[0])
+    assert mixed_time > fast_time
+    assert estimator.iteration_time(plan_mixed) > estimator.iteration_time(plan_fast)
+
+
+def test_cross_region_pipeline_slower_than_single_zone(opt_env_geo, opt_job):
+    estimator = TimingEstimator(opt_env_geo)
+    partitions = uniform_partition(opt_job.model, 2)
+    local = ParallelizationPlan(job=opt_job, stages=[
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "us-central1-a")]),
+        StageConfig(partitions[1], [StageReplica("a2-highgpu-4g", 4, "us-central1-a")]),
+    ], microbatch_size=2)
+    cross = ParallelizationPlan(job=opt_job, stages=[
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "us-central1-a")]),
+        StageConfig(partitions[1], [StageReplica("a2-highgpu-4g", 4, "us-west1-a")]),
+    ], microbatch_size=2)
+    assert estimator.iteration_time(cross) > estimator.iteration_time(local)
+
+
+def test_cross_region_sync_much_slower_than_intra_zone(opt_env_geo, opt_job):
+    estimator = TimingEstimator(opt_env_geo)
+    partitions = uniform_partition(opt_job.model, 1)
+    local = ParallelizationPlan(job=opt_job, stages=[
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "us-central1-a"),
+                                    StageReplica("a2-highgpu-4g", 4, "us-central1-a")]),
+    ], microbatch_size=2)
+    cross = ParallelizationPlan(job=opt_job, stages=[
+        StageConfig(partitions[0], [StageReplica("a2-highgpu-4g", 4, "us-central1-a"),
+                                    StageReplica("a2-highgpu-4g", 4, "us-west1-a")]),
+    ], microbatch_size=2)
+    local_sync = estimator.stage_sync_time(local, local.stages[0])
+    cross_sync = estimator.stage_sync_time(cross, cross.stages[0])
+    assert cross_sync > 5 * local_sync

@@ -1,0 +1,62 @@
+"""Unit tests for the training-worker state machine."""
+
+import pytest
+
+from repro.runtime.comm_groups import RankAssignment
+from repro.runtime.worker import TrainingWorker, WorkerState
+
+
+def make_worker(rank=0):
+    assignment = RankAssignment(rank=rank, stage_index=0, replica_index=0,
+                                shard_index=0, node_type="a2-highgpu-4g",
+                                gpu_type="A100-40", zone="us-central1-a",
+                                tensor_parallel=4)
+    return TrainingWorker(assignment=assignment)
+
+
+def test_normal_lifecycle():
+    worker = make_worker()
+    assert worker.state is WorkerState.IDLE
+    assert not worker.is_active
+    worker.transition(WorkerState.INITIALIZING, 0.0)
+    worker.transition(WorkerState.TRAINING, 1.0)
+    assert worker.is_active
+    worker.record_iterations(5)
+    assert worker.completed_iterations == 5
+    worker.transition(WorkerState.CLEANING_UP, 2.0)
+    worker.transition(WorkerState.REPARTITIONING, 3.0)
+    worker.transition(WorkerState.INITIALIZING, 4.0)
+    worker.transition(WorkerState.TRAINING, 5.0)
+    worker.record_iterations(3)
+    assert worker.completed_iterations == 8
+    assert [state for _, state in worker.history][:2] == [
+        WorkerState.INITIALIZING, WorkerState.TRAINING]
+
+
+def test_illegal_transitions_rejected():
+    worker = make_worker()
+    with pytest.raises(ValueError):
+        worker.transition(WorkerState.TRAINING, 0.0)  # must initialise first
+    worker.transition(WorkerState.INITIALIZING, 0.0)
+    worker.transition(WorkerState.TRAINING, 1.0)
+    with pytest.raises(ValueError):
+        worker.transition(WorkerState.INITIALIZING, 2.0)
+    worker.transition(WorkerState.STOPPED, 3.0)
+    with pytest.raises(ValueError):
+        worker.transition(WorkerState.TRAINING, 4.0)
+
+
+def test_same_state_transition_is_noop():
+    worker = make_worker()
+    worker.transition(WorkerState.IDLE, 0.0)
+    assert worker.history == []
+
+
+def test_iteration_recording_requires_training_state():
+    worker = make_worker()
+    with pytest.raises(ValueError):
+        worker.record_iterations(1)
+    with pytest.raises(ValueError):
+        worker.record_iterations(-1)
+    worker.record_iterations(0)  # zero is always fine
+    assert worker.rank == 0
