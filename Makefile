@@ -1,0 +1,23 @@
+# Developer entry points for the Sailor reproduction.
+#
+#   make test                       tier-1 test suite
+#   make bench                      planner/core micro-benchmarks -> $(BENCH_OUT)
+#   make bench-compare              diff $(BENCH_BASELINE) vs $(BENCH_OUT);
+#                                   fails on >20% planner regression
+
+PYTHON ?= python
+BENCH_OUT ?= BENCH_new.json
+BENCH_BASELINE ?= BENCH_seed.json
+
+.PHONY: test bench bench-compare
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_core_micro.py \
+		--benchmark-only -q --benchmark-json=$(BENCH_OUT)
+
+bench-compare:
+	PYTHONPATH=src $(PYTHON) benchmarks/compare_bench.py \
+		$(BENCH_BASELINE) $(BENCH_OUT)

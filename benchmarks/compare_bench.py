@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Diff two ``pytest-benchmark`` JSON outputs and flag regressions.
+
+Intended CI guard for the planner hot path::
+
+    make bench BENCH_OUT=BENCH_new.json          # current tree
+    python benchmarks/compare_bench.py BENCH_seed.json BENCH_new.json
+
+Benchmarks present in both files are matched by name and compared on their
+mean time.  The exit code is non-zero when any benchmark whose name matches
+``--filter`` (default: the planner micro-benchmarks) regresses by more than
+``--threshold`` (default 20%).  Non-matching benchmarks are still printed so
+drifts elsewhere stay visible, but they do not fail the run.
+
+Only the standard library is used, so the script runs anywhere the JSON
+files do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    means: dict[str, float] = {}
+    for bench in document.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        mean = stats.get("mean")
+        if mean is not None:
+            means[bench["name"]] = float(mean)
+    return means
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.1f}ms"
+    return f"{seconds:8.2f}s "
+
+
+def compare(baseline: dict[str, float], candidate: dict[str, float],
+            threshold: float, name_filter: str) -> int | None:
+    """Print the comparison table; return the number of gated regressions,
+    or ``None`` when the files share no benchmarks at all."""
+    names = sorted(set(baseline) & set(candidate))
+    if not names:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return None
+
+    regressions = 0
+    print(f"{'benchmark':<48} {'baseline':>10} {'current':>10} "
+          f"{'ratio':>7}  verdict")
+    print("-" * 88)
+    for name in names:
+        old = baseline[name]
+        new = candidate[name]
+        ratio = new / old if old > 0 else float("inf")
+        gated = name_filter in name
+        if gated and ratio > 1.0 + threshold:
+            verdict = f"REGRESSION (> {threshold:.0%})"
+            regressions += 1
+        elif ratio > 1.0 + threshold:
+            verdict = "slower (not gated)"
+        elif ratio < 1.0 - threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        print(f"{name:<48} {format_seconds(old)} {format_seconds(new)} "
+              f"{ratio:>6.2f}x  {verdict}")
+
+    missing = sorted(set(baseline) - set(candidate))
+    if missing:
+        print(f"\nnot in current run: {', '.join(missing)}")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when planner micro-benchmarks regress between two "
+                    "pytest-benchmark JSON files.")
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed relative slowdown before failing "
+                             "(default: 0.20 = 20%%)")
+    parser.add_argument("--filter", default="bench_planner",
+                        help="substring selecting the gated benchmarks "
+                             "(default: bench_planner)")
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    candidate = load_means(args.candidate)
+    regressions = compare(baseline, candidate, args.threshold, args.filter)
+    if regressions is None:
+        return 1  # nothing comparable: fail, but not as a "regression"
+    if regressions:
+        print(f"\n{regressions} gated benchmark(s) regressed more than "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("\nno gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

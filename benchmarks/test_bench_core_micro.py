@@ -113,3 +113,19 @@ def test_bench_planner_heterogeneous_64_gpus(benchmark, job, topology, env):
         lambda: planner.plan(job, topology, Objective.max_throughput()),
         rounds=1, iterations=1)
     assert result.found
+    assert result.search_stats.nodes_explored > 0
+
+
+def test_bench_planner_budget_constrained_64_gpus(benchmark, job, topology, env):
+    """Budget-constrained search on the mixed cluster (Table 3's slow case).
+
+    The budget is ~70% of the unconstrained optimum's cost, so it binds and
+    exercises the straggler-approximation loop of section 4.2.3.
+    """
+    planner = SailorPlanner(env)
+    objective = Objective.max_throughput(max_cost_per_iteration_usd=0.031)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, objective),
+        rounds=1, iterations=1)
+    assert result.found
+    assert result.evaluation.cost_per_iteration_usd <= 0.031

@@ -37,8 +37,8 @@ def main() -> None:
     objective = Objective.max_throughput()
 
     print(f"\n{'planner':<12} {'search (s)':>10} {'OOM plans':>10} "
-          f"{'iters/s':>9} {'USD/iter':>9} {'GPUs':>5}")
-    print("-" * 60)
+          f"{'iters/s':>9} {'USD/iter':>9} {'GPUs':>5}  search stats")
+    print("-" * 96)
     for name in PLANNERS:
         if name == "sailor":
             result = SailorPlanner(env).plan(job, topology, objective)
@@ -48,16 +48,21 @@ def main() -> None:
             if name == "metis":
                 kwargs["time_limit_s"] = 30.0
             result = get_baseline(name, env, **kwargs).plan(job, topology, objective)
+        # The search-cost columns are what Table 3 compares across planners;
+        # baselines that do not report DP-search counters show all zeros.
+        stats = result.search_stats.describe()
         if not result.found:
             print(f"{name:<12} {result.search_time_s:>10.2f} "
-                  f"{result.oom_plans_generated:>10} {'X':>9} {'X':>9} {'-':>5}")
+                  f"{result.oom_plans_generated:>10} {'X':>9} {'X':>9} {'-':>5}  "
+                  f"{stats}")
             continue
         measured = reference.measure(result.plan)
         print(f"{name:<12} {result.search_time_s:>10.2f} "
               f"{result.oom_plans_generated:>10} "
               f"{measured.throughput_iters_per_s:>9.3f} "
               f"{measured.cost_per_iteration_usd:>9.3f} "
-              f"{result.plan.total_gpus:>5}")
+              f"{result.plan.total_gpus:>5}  "
+              f"{stats}")
 
     print("\n(The paper's Figure 8 runs the same comparison at 64-512 GPUs;")
     print(" use repro.experiments.figure8.run('paper') for the full sweep.)")

@@ -27,7 +27,7 @@ import importlib
 import sys
 
 from repro.core.objectives import Objective
-from repro.core.planner import SailorPlanner
+from repro.core.planner import ParallelPlanner, SailorPlanner
 from repro.core.serialization import plan_from_json, plan_to_json, result_to_json
 from repro.core.simulator import SailorSimulator, build_environment
 from repro.hardware.gpus import list_gpus
@@ -72,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="budget ceiling in USD per iteration")
     plan.add_argument("--min-throughput", type=float, default=None,
                       help="throughput floor in iterations per second")
+    plan.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the planner search; >1 fans "
+                           "the (pipeline, microbatch) branches out over a "
+                           "process pool (default: 1, serial)")
     plan.add_argument("--output", default=None,
                       help="write the chosen plan (JSON) to this file")
     plan.add_argument("--result-output", default=None,
@@ -153,9 +157,14 @@ def cmd_plan(args: argparse.Namespace) -> int:
         objective = Objective.min_cost(
             min_throughput_iters_per_s=args.min_throughput)
 
-    result = SailorPlanner(env).plan(job, topology, objective)
+    if args.workers > 1:
+        planner = ParallelPlanner(env, max_workers=args.workers)
+    else:
+        planner = SailorPlanner(env)
+    result = planner.plan(job, topology, objective)
     print(f"\nsearch time: {result.search_time_s:.2f}s  "
           f"candidates: {result.candidates_evaluated}")
+    print(f"search stats: {result.search_stats.describe()}")
     if not result.found:
         print("no valid plan found within the constraints")
         return 1

@@ -8,7 +8,10 @@ This is the paper's primary contribution:
 * :mod:`repro.core.simulator` -- memory / iteration-time / cost estimation.
 * :mod:`repro.core.heuristics` -- search-space pruning heuristics H1-H6.
 * :mod:`repro.core.dp_solver` -- the per-stage dynamic program (Listing 1).
-* :mod:`repro.core.planner` -- the Sailor planner tying it all together.
+* :mod:`repro.core.search_cache` -- cross-candidate caches shared by one
+  planner call.
+* :mod:`repro.core.planner` -- the Sailor planner tying it all together,
+  plus the opt-in multi-process :class:`~repro.core.planner.ParallelPlanner`.
 """
 
 from repro.core.plan import (
@@ -18,10 +21,12 @@ from repro.core.plan import (
     ResourceAllocation,
     PlanEvaluation,
     PlannerResult,
+    SearchStats,
 )
 from repro.core.objectives import Objective, Constraint, OptimizationGoal
+from repro.core.search_cache import PlannerSearchContext
 from repro.core.simulator import SailorSimulator
-from repro.core.planner import SailorPlanner
+from repro.core.planner import ParallelPlanner, SailorPlanner
 
 __all__ = [
     "StageReplica",
@@ -30,9 +35,12 @@ __all__ = [
     "ResourceAllocation",
     "PlanEvaluation",
     "PlannerResult",
+    "SearchStats",
     "Objective",
     "Constraint",
     "OptimizationGoal",
+    "PlannerSearchContext",
     "SailorSimulator",
     "SailorPlanner",
+    "ParallelPlanner",
 ]

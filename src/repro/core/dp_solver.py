@@ -14,25 +14,54 @@ iteration time
 (or the projected cost when the objective is cost minimisation).  Results
 are memoised on ``(stage, remaining resources, remaining budget)``.
 
+Two things keep the search fast (the planner's latency is what the paper's
+Tables 1-3 hinge on):
+
+* **Shared search context.**  Stage compute/sync times, cost rates and the
+  combo enumeration are cached on a
+  :class:`~repro.core.search_cache.PlannerSearchContext` keyed independently
+  of the data-parallel candidate, so a planner call computes each of them
+  once instead of once per DP candidate.
+* **Branch-and-bound.**  Before recursing on a combo the solver computes an
+  admissible lower bound on the objective of any completed solution through
+  that combo (best achievable compute time / cost rate of the remaining
+  stages, from the cheapest options available at the root).  Branches that
+  cannot beat the incumbent -- threaded down the recursion as an upper
+  bound -- are pruned.  Bounds are admissible (they never exceed the true
+  value, including under floating-point rounding, because IEEE-754 add/mul
+  are monotone), so pruning never changes the value of the returned
+  solution; ``DPSolverConfig.enable_pruning=False`` turns it off for the
+  equivalence tests.
+
 When a budget constraint is present, the solver follows the paper's
 straggler-approximation loop: it first assumes the current stage is the
 pipeline straggler to estimate the budget left for the remaining stages,
 solves them, and re-iterates with the discovered straggler when the
 assumption was wrong (section 4.2.3).  This is what makes budget-constrained
-searches slower (Table 3).
+searches slower (Table 3).  A *budget-dominance* shortcut answers most of
+those queries from the unconstrained optimum instead: whenever the
+unconstrained optimum of a subproblem fits the remaining budget it is also
+the budgeted optimum, so only genuinely binding budgets enter the straggler
+loop.  Unlike branch-and-bound this shortcut is part of the algorithm (it is
+*not* disabled by ``enable_pruning=False``; it can only return equal-or-
+better solutions than the straggler approximation) and is covered by its own
+dominance property tests.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.collectives import ring_allreduce_time
 from repro.core.objectives import OptimizationGoal
+from repro.core.search_cache import (
+    PlannerSearchContext,
+    ResourceKey,
+    StageAssignment,
+    StageOption,
+    tp_options_key,
+)
 from repro.core.simulator.environment import SimulationEnvironment
-from repro.hardware.network import LinkClass
-from repro.hardware.nodes import get_node_type
 from repro.models.partition import LayerPartition
 from repro.models.spec import TrainingJobSpec
 
@@ -40,55 +69,14 @@ from repro.models.spec import TrainingJobSpec
 #: Type alias: remaining nodes keyed by (zone, node type).
 ResourceMap = dict[tuple[str, str], int]
 
-
-@dataclass(frozen=True)
-class StageOption:
-    """One way to host replicas of a stage: a (zone, node type, TP) choice."""
-
-    zone: str
-    node_type: str
-    tensor_parallel: int
-
-    @property
-    def gpus_per_node(self) -> int:
-        return get_node_type(self.node_type).gpus_per_node
-
-    @property
-    def replicas_per_node(self) -> int:
-        """How many replicas of this option fit on one node."""
-        return max(1, self.gpus_per_node // self.tensor_parallel)
-
-    def nodes_needed(self, replicas: int) -> int:
-        """Whole nodes needed to host ``replicas`` replicas."""
-        return math.ceil(replicas / self.replicas_per_node)
-
-
-@dataclass
-class StageAssignment:
-    """Resources given to one stage: replica counts per option."""
-
-    stage_index: int
-    placements: list[tuple[StageOption, int]]
-    compute_time_s: float
-    sync_time_s: float
-    cost_rate_usd_per_s: float
-
-    @property
-    def nodes_used(self) -> dict[tuple[str, str], int]:
-        """Whole nodes consumed, keyed by (zone, node type)."""
-        out: dict[tuple[str, str], int] = {}
-        for option, count in self.placements:
-            key = (option.zone, option.node_type)
-            out[key] = out.get(key, 0) + option.nodes_needed(count)
-        return out
-
-    @property
-    def total_replicas(self) -> int:
-        return sum(count for _, count in self.placements)
-
-    @property
-    def zones(self) -> list[str]:
-        return sorted({opt.zone for opt, _ in self.placements})
+__all__ = [
+    "DPSolution",
+    "DPSolver",
+    "DPSolverConfig",
+    "ResourceMap",
+    "StageAssignment",
+    "StageOption",
+]
 
 
 @dataclass
@@ -129,6 +117,27 @@ class DPSolverConfig:
     max_mixed_types_per_stage: int = 2
     split_fractions: tuple[float, ...] = (0.25, 0.5, 0.75)
     max_budget_iterations: int = 4
+    #: Branch-and-bound pruning of DP branches that provably cannot beat the
+    #: incumbent.  Value-preserving; off only for equivalence testing.
+    enable_pruning: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_combos_per_stage < 1:
+            raise ValueError("max_combos_per_stage must be >= 1")
+        if self.max_mixed_types_per_stage < 1:
+            raise ValueError("max_mixed_types_per_stage must be >= 1")
+        if self.max_budget_iterations < 1:
+            # The straggler-approximation loop must run at least once, or
+            # budget-constrained solves would fall through with no result.
+            raise ValueError("max_budget_iterations must be >= 1")
+        for fraction in self.split_fractions:
+            if not 0.0 < fraction < 1.0:
+                raise ValueError("split_fractions must lie strictly in (0, 1)")
+
+
+#: Relative slack applied to cost-mode lower bounds: the cost bound divides
+#: where the real cost rate ceils, so the two can differ by a rounding ulp.
+_COST_BOUND_SLACK = 1.0 - 1e-12
 
 
 class DPSolver:
@@ -140,7 +149,8 @@ class DPSolver:
                  microbatch_size: int, data_parallel: int,
                  num_microbatches: int,
                  goal: OptimizationGoal = OptimizationGoal.MAX_THROUGHPUT,
-                 config: DPSolverConfig | None = None) -> None:
+                 config: DPSolverConfig | None = None,
+                 context: PlannerSearchContext | None = None) -> None:
         self.env = env
         self.job = job
         self.partitions = partitions
@@ -150,9 +160,39 @@ class DPSolver:
         self.num_microbatches = num_microbatches
         self.goal = goal
         self.config = config or DPSolverConfig()
-        self._stage_time_cache: dict[tuple[int, str, int], float] = {}
-        self._memo: dict[tuple, DPSolution | None] = {}
-        self.nodes_explored = 0
+        if context is not None and context.goal is not goal:
+            # Combo ranking/truncation lives on the context; a mismatched
+            # goal would silently rank by the wrong metric.
+            raise ValueError(
+                f"context goal {context.goal} does not match solver goal {goal}")
+        self.context = context or PlannerSearchContext(env, job, goal)
+        self._tp_keys = [tp_options_key(opts) for opts in tp_options_per_stage]
+        self._memo: dict[tuple, tuple[DPSolution | None, bool, float]] = {}
+        # Per-solve state: master combo lists, per-state filtered views and
+        # admissible per-suffix bounds.
+        self._root: ResourceKey = ()
+        self._master: list[list | None] = [None] * len(partitions)
+        self._combo_cache: dict[tuple, list] = {}
+        self._clamp_active: list[bool] = [True] * len(partitions)
+        self._sfx_sum: list[float] = []
+        self._sfx_max: list[float] = []
+        self._sfx_rate: list[float] = []
+        self._prepare_clamps()
+
+    @property
+    def stats(self):
+        """Search counters, shared with the context (and so the planner)."""
+        return self.context.stats
+
+    @property
+    def nodes_explored(self) -> int:
+        """DP subproblems expanded on this solver's context (back-compat).
+
+        Stats live on the shared context, so with an injected context this
+        is the total across *every* solver sharing it, not just this one;
+        for a standalone solver (private context) the two coincide.
+        """
+        return self.context.stats.nodes_explored
 
     # -- public API ------------------------------------------------------------
 
@@ -160,180 +200,300 @@ class DPSolver:
               budget_per_iteration: float | None = None) -> DPSolution | None:
         """Assign resources to every stage; ``None`` when nothing fits."""
         self._memo.clear()
-        usable = {key: count for key, count in resources.items() if count > 0}
-        return self._solve(0, usable, budget_per_iteration)
+        self._combo_cache.clear()
+        root = tuple(sorted((key, count) for key, count in resources.items()
+                            if count > 0))
+        self._root = root
+        self._master = [None] * len(self.partitions)
+        # A stage's suffix clamp can only ever bind if it binds on the root:
+        # descendant states shrink, so when the root is under every cap the
+        # clamp is a no-op for the whole search and can be skipped.
+        self._clamp_active = [
+            any(count > caps.get(node_type, 0)
+                for (_, node_type), count in root)
+            for caps in self._suffix_clamp[:len(self.partitions)]
+        ]
+        if not self._prepare_bounds(root):
+            return None  # some stage can be hosted by no available option
+        return self._solve(0, root, budget_per_iteration, math.inf)
 
     # -- stage metrics -----------------------------------------------------------
 
     def stage_compute_time(self, stage_index: int, node_type: str,
                            tensor_parallel: int) -> float:
         """Per-microbatch forward+backward time of a stage on one option."""
-        key = (stage_index, node_type, tensor_parallel)
-        cached = self._stage_time_cache.get(key)
-        if cached is not None:
-            return cached
-        partition = self.partitions[stage_index]
-        gpu_type = get_node_type(node_type).gpu.name
-        profile = self.env.profiles.job_profile(gpu_type)
-        layer = profile.layer(self.microbatch_size, tensor_parallel)
-        total = partition.num_layers * layer.fwd_bwd_s
-        if partition.has_embedding:
-            total += profile.embedding(self.microbatch_size, tensor_parallel).fwd_bwd_s
-        if partition.has_lm_head:
-            total += profile.head(self.microbatch_size, tensor_parallel).fwd_bwd_s
-        self._stage_time_cache[key] = total
-        return total
+        return self.context.stage_compute_time(
+            self.partitions[stage_index], self.microbatch_size, node_type,
+            tensor_parallel)
 
     def stage_sync_time(self, stage_index: int,
                         placements: list[tuple[StageOption, int]]) -> float:
         """Approximate gradient all-reduce time of a stage's replicas."""
-        if self.data_parallel == 1:
-            return 0.0
-        partition = self.partitions[stage_index]
-        stage_params = partition.stage_params(self.job.model)
-        message = max(stage_params / opt.tensor_parallel * 2.0
-                      for opt, _ in placements)
-        zones = sorted({opt.zone for opt, _ in placements})
-        node_types = sorted({opt.node_type for opt, _ in placements})
-        if len(zones) == 1:
-            link_class = LinkClass.INTRA_ZONE
-        else:
-            link_class = self.env.link_class(zones[0], zones[-1])
-        profile = self.env.profiles.network_profile(
-            node_types[0], node_types[-1], link_class)
-        return ring_allreduce_time(message, self.data_parallel, profile.transfer_time)
+        return self.context.stage_sync_time(
+            self.partitions[stage_index], self.data_parallel, tuple(placements))
 
     def stage_cost_rate(self, placements: list[tuple[StageOption, int]]) -> float:
         """USD per second of the whole nodes a stage occupies."""
-        total = 0.0
-        for option, count in placements:
-            spec = get_node_type(option.node_type)
-            nodes = option.nodes_needed(count)
-            total += (nodes * spec.gpus_per_node
-                      * self.env.prices.gpu_price_per_second(spec.gpu.name))
-        return total
+        return self.context.stage_cost_rate(tuple(placements))
 
     # -- combo generation ---------------------------------------------------------
 
-    def _options_for_stage(self, stage_index: int,
-                           resources: ResourceMap) -> list[tuple[StageOption, int]]:
-        """All (option, max replicas) pairs available for a stage."""
-        tp_options = self.tp_options_per_stage[stage_index]
-        options: list[tuple[StageOption, int]] = []
-        for (zone, node_type), count in resources.items():
-            if count <= 0 or node_type not in tp_options:
-                continue
-            for tp in tp_options[node_type]:
-                option = StageOption(zone=zone, node_type=node_type, tensor_parallel=tp)
-                max_replicas = count * option.replicas_per_node
-                if max_replicas >= 1:
-                    options.append((option, max_replicas))
-        return options
-
-    def _split_counts(self, total: int) -> list[int]:
-        """Coarse split points for mixing two options within one stage."""
-        if total < 2:
-            return []
-        points = {1, total - 1}
-        for fraction in self.config.split_fractions:
-            k = int(round(total * fraction))
-            if 1 <= k <= total - 1:
-                points.add(k)
-        return sorted(points)
-
     def generate_combos(self, stage_index: int,
-                        resources: ResourceMap) -> list[list[tuple[StageOption, int]]]:
+                        resources: ResourceMap | ResourceKey,
+                        ) -> list[tuple[tuple[StageOption, int], ...]]:
         """Resource combos able to host the stage's ``D`` replicas.
 
-        Honours H5: every combo stays within a single region.  Combos are
-        ranked by the stage compute time they imply (cost rate for the cost
-        objective) and truncated to ``max_combos_per_stage``.
+        Honours H5 (one region per stage); ranked by implied stage compute
+        time (cost rate under the cost objective) and truncated to
+        ``max_combos_per_stage``.  Cached on the shared context.
         """
-        needed = self.data_parallel
-        options = self._options_for_stage(stage_index, resources)
-        by_region: dict[str, list[tuple[StageOption, int]]] = {}
-        for option, max_replicas in options:
-            by_region.setdefault(self.env.region_of(option.zone), []).append(
-                (option, max_replicas))
+        if isinstance(resources, dict):
+            resources = tuple(sorted((key, count)
+                              for key, count in resources.items() if count > 0))
+        master = self._master_combos(stage_index, resources)
+        limit = self.config.max_combos_per_stage
+        return [entry[0] for entry in master[:limit]]
 
-        combos: list[list[tuple[StageOption, int]]] = []
-        for region_options in by_region.values():
-            # Single-option combos.
-            for option, max_replicas in region_options:
-                if max_replicas >= needed:
-                    combos.append([(option, needed)])
-            # Two-option combos (heterogeneous stage or two zones).
-            if self.config.max_mixed_types_per_stage >= 2 and needed >= 2:
-                for (opt_a, max_a), (opt_b, max_b) in itertools.combinations(
-                        region_options, 2):
-                    if opt_a.zone == opt_b.zone and opt_a.node_type == opt_b.node_type:
-                        continue
-                    for k in self._split_counts(needed):
-                        if k <= max_a and (needed - k) <= max_b:
-                            combos.append([(opt_a, k), (opt_b, needed - k)])
+    def _master_combos(self, stage_index: int,
+                       resources: ResourceKey) -> list:
+        """Untruncated sorted combo list for a stage from ``resources``."""
+        return self.context.stage_master_combos(
+            self.partitions[stage_index], self.microbatch_size,
+            self.data_parallel, self.tp_options_per_stage[stage_index],
+            self._tp_keys[stage_index],
+            self._clamp(resources, self._stage_clamp[stage_index]),
+            self.config.max_mixed_types_per_stage,
+            self.config.split_fractions)
 
-        def combo_key(placements: list[tuple[StageOption, int]]) -> float:
-            if self.goal is OptimizationGoal.MIN_COST:
-                return self.stage_cost_rate(placements)
-            return max(self.stage_compute_time(stage_index, opt.node_type,
-                                               opt.tensor_parallel)
-                       for opt, _ in placements)
+    def _combos_for_state(self, stage_index: int, state: ResourceKey) -> list:
+        """Combos of the root master list that fit one resource state.
 
-        combos.sort(key=combo_key)
-        return combos[:self.config.max_combos_per_stage]
+        A combo generated from a resource subset is exactly a root combo
+        whose whole-node footprint fits the subset, so filtering the master
+        list (already sorted) and stopping at ``max_combos_per_stage``
+        reproduces the per-state enumeration at a fraction of the cost.
+        """
+        key = (stage_index, state)
+        cached = self._combo_cache.get(key)
+        if cached is not None:
+            return cached
+        master = self._master[stage_index]
+        if master is None:
+            master = self._master_combos(stage_index, self._root)
+            self._master[stage_index] = master
+        limit = self.config.max_combos_per_stage
+        available = dict(state)
+        fitting = []
+        for entry in master:
+            for node_key, used in entry[1].items():
+                if available.get(node_key, 0) < used:
+                    break
+            else:
+                fitting.append(entry)
+                if len(fitting) >= limit:
+                    break
+        self._combo_cache[key] = fitting
+        return fitting
+
+    # -- resource clamping --------------------------------------------------------
+
+    def _prepare_clamps(self) -> None:
+        """Precompute how many whole nodes of each type a stage can use.
+
+        A stage hosting ``D`` replicas never occupies more than
+        ``ceil(D / min replicas-per-node)`` nodes of one (zone, node type),
+        and a pipeline suffix never more than the sum over its stages.
+        Counts beyond those caps cannot influence any reachable assignment,
+        so clamping them canonicalises the resource state: memo keys and
+        combo-cache keys collapse across states that differ only in unusable
+        surplus, which is where most cross-candidate reuse comes from.
+        """
+        num_stages = len(self.partitions)
+        per_stage: list[dict[str, int]] = []
+        for tp_options in self.tp_options_per_stage:
+            stage_cap: dict[str, int] = {}
+            for node_type, degrees in tp_options.items():
+                gpus = self.context.gpus_per_node(node_type)
+                min_rpn = min(max(1, gpus // tp) for tp in degrees)
+                stage_cap[node_type] = math.ceil(self.data_parallel / min_rpn)
+            per_stage.append(stage_cap)
+        suffix: list[dict[str, int]] = [{} for _ in range(num_stages + 1)]
+        for j in range(num_stages - 1, -1, -1):
+            merged = dict(suffix[j + 1])
+            for node_type, cap in per_stage[j].items():
+                merged[node_type] = merged.get(node_type, 0) + cap
+            suffix[j] = merged
+        self._stage_clamp = per_stage
+        self._suffix_clamp = suffix
+
+    @staticmethod
+    def _clamp(resources: ResourceKey, caps: dict[str, int]) -> ResourceKey:
+        """Clamp counts at ``caps`` per node type; drop unusable types.
+
+        Returns the input tuple unchanged (same object) when nothing caps,
+        so the common case allocates nothing.
+        """
+        changed = False
+        for (_, node_type), count in resources:
+            if count > caps.get(node_type, 0):
+                changed = True
+                break
+        if not changed:
+            return resources
+        clamped: list[tuple[tuple[str, str], int]] = []
+        for key, count in resources:
+            cap = caps.get(key[1], 0)
+            if cap <= 0:
+                continue
+            clamped.append((key, count if count <= cap else cap))
+        return tuple(clamped)
+
+    # -- bounds -------------------------------------------------------------------
+
+    def _prepare_bounds(self, root: ResourceKey) -> bool:
+        """Precompute admissible per-suffix bounds from the root resources.
+
+        ``_sfx_sum[j]`` / ``_sfx_max[j]`` bound the best achievable sum/max
+        compute time of stages ``j..P-1``; ``_sfx_rate[j]`` the best
+        achievable cost rate.  They are built from the cheapest options the
+        *root* resource pool offers, which every reachable resource subset
+        can only shrink -- hence admissibility.  Returns ``False`` when a
+        stage has no feasible option at all (the search cannot succeed).
+        """
+        num_stages = len(self.partitions)
+        best_time: list[float] = []
+        best_rate: list[float] = []
+        for stage_index in range(num_stages):
+            options = self.context.stage_options(
+                self.tp_options_per_stage[stage_index],
+                self._tp_keys[stage_index],
+                self._clamp(root, self._stage_clamp[stage_index]))
+            if not options:
+                return False
+            partition = self.partitions[stage_index]
+            best_time.append(min(
+                self.context.stage_compute_time(partition,
+                                                self.microbatch_size,
+                                                opt.node_type,
+                                                opt.tensor_parallel)
+                for opt, _ in options))
+            best_rate.append(self.data_parallel * min(
+                (self.context.gpus_per_node(opt.node_type)
+                 * self.context.gpu_price_per_second(opt.node_type))
+                / opt.replicas_per_node
+                for opt, _ in options))
+
+        self._sfx_sum = [0.0] * (num_stages + 1)
+        self._sfx_max = [0.0] * (num_stages + 1)
+        self._sfx_rate = [0.0] * (num_stages + 1)
+        for j in range(num_stages - 1, -1, -1):
+            # Same (right-leaning) association as _combine builds solutions
+            # with, so floating-point monotonicity keeps the bound admissible.
+            self._sfx_sum[j] = best_time[j] + self._sfx_sum[j + 1]
+            self._sfx_max[j] = max(best_time[j], self._sfx_max[j + 1])
+            self._sfx_rate[j] = best_rate[j] + self._sfx_rate[j + 1]
+        return True
+
+    def _value(self, solution: DPSolution) -> float:
+        """Scalar the DP minimises (iteration time, or cost under MIN_COST)."""
+        if self.goal is OptimizationGoal.MIN_COST:
+            return solution.projected_cost(self.num_microbatches)
+        return solution.projected_iteration_time(self.num_microbatches)
+
+    def _suffix_lower_bound(self, stage_index: int,
+                            assignment: StageAssignment) -> float:
+        """Admissible lower bound on any solution that assigns ``assignment``
+        to ``stage_index`` and completes the remaining stages somehow."""
+        after = stage_index + 1
+        t_a = assignment.compute_time_s
+        sum_lb = t_a + self._sfx_sum[after]
+        max_lb = t_a if t_a >= self._sfx_max[after] else self._sfx_max[after]
+        time_lb = (sum_lb + (self.num_microbatches - 1) * max_lb
+                   + assignment.sync_time_s)
+        if self.goal is OptimizationGoal.MIN_COST:
+            rate_lb = assignment.cost_rate_usd_per_s + self._sfx_rate[after]
+            return rate_lb * time_lb * _COST_BOUND_SLACK
+        return time_lb
 
     # -- recursion ------------------------------------------------------------------
 
     @staticmethod
-    def _canonical(resources: ResourceMap) -> tuple:
-        return tuple(sorted((k, v) for k, v in resources.items() if v > 0))
+    def _subtract(resources: ResourceKey,
+                  nodes_used: dict[tuple[str, str], int]) -> ResourceKey | None:
+        """Remove a stage's nodes from a canonical resource tuple.
 
-    @staticmethod
-    def _subtract(resources: ResourceMap,
-                  nodes_used: dict[tuple[str, str], int]) -> ResourceMap | None:
-        remaining = dict(resources)
-        for key, used in nodes_used.items():
-            have = remaining.get(key, 0)
-            if used > have:
+        The input is sorted and stays sorted, so the result is itself a
+        canonical memo key -- no re-sort per recursion step.
+        """
+        matched = 0
+        remaining: list[tuple[tuple[str, str], int]] = []
+        for key, count in resources:
+            used = nodes_used.get(key)
+            if used is None:
+                remaining.append((key, count))
+                continue
+            matched += 1
+            if used > count:
                 return None
-            remaining[key] = have - used
-        return remaining
+            if count > used:
+                remaining.append((key, count - used))
+        if matched < len(nodes_used):
+            return None  # a stage wants nodes of a type that ran out entirely
+        return tuple(remaining)
 
-    def _assignment_for(self, stage_index: int,
-                        placements: list[tuple[StageOption, int]]) -> StageAssignment:
-        compute = max(self.stage_compute_time(stage_index, opt.node_type,
-                                              opt.tensor_parallel)
-                      for opt, _ in placements)
-        sync = self.stage_sync_time(stage_index, placements)
-        cost_rate = self.stage_cost_rate(placements)
-        return StageAssignment(stage_index=stage_index, placements=placements,
-                               compute_time_s=compute, sync_time_s=sync,
-                               cost_rate_usd_per_s=cost_rate)
-
-    def _better(self, candidate: DPSolution, incumbent: DPSolution | None) -> bool:
-        if incumbent is None:
-            return True
-        nb = self.num_microbatches
-        if self.goal is OptimizationGoal.MIN_COST:
-            return candidate.projected_cost(nb) < incumbent.projected_cost(nb)
-        return (candidate.projected_iteration_time(nb)
-                < incumbent.projected_iteration_time(nb))
-
-    def _solve(self, stage_index: int, resources: ResourceMap,
-               budget: float | None) -> DPSolution | None:
-        key = (stage_index, self._canonical(resources),
+    def _solve(self, stage_index: int, resources: ResourceKey,
+               budget: float | None, upper_bound: float) -> DPSolution | None:
+        if self._clamp_active[stage_index]:
+            resources = self._clamp(resources, self._suffix_clamp[stage_index])
+        key = (stage_index, resources,
                None if budget is None else round(budget, 6))
-        if key in self._memo:
-            return self._memo[key]
-        self.nodes_explored += 1
+        entry = self._memo.get(key)
+        if entry is not None:
+            solution, exact, bound = entry
+            # A bound-limited entry only proves "nothing beats `bound`"; it
+            # can be reused when the caller's bound is at least as strict.
+            if exact or upper_bound <= bound:
+                self.stats.memo_hits += 1
+                return solution
+        self.stats.nodes_explored += 1
 
+        if budget is not None:
+            # Budget dominance: the unconstrained optimum of this subproblem
+            # is memoised once and shared by every budget the straggler loop
+            # proposes.  When it fits the remaining budget it is also the
+            # budgeted optimum (the constraint is inactive at the optimum);
+            # when the subproblem is infeasible outright, so is every
+            # budgeted variant.  Only genuinely binding budgets fall through
+            # to the budget-threaded search.
+            unconstrained = self._solve(stage_index, resources, None, math.inf)
+            if unconstrained is None:
+                self._memo[key] = (None, True, upper_bound)
+                return None
+            if unconstrained.projected_cost(self.num_microbatches) <= budget:
+                self._memo[key] = (unconstrained, True, math.inf)
+                return unconstrained
+
+        stats = self.stats
+        memo = self._memo
+        context = self.context
+        partition = self.partitions[stage_index]
         best: DPSolution | None = None
-        combos = self.generate_combos(stage_index, resources)
+        best_value = math.inf
+        pruning = self.config.enable_pruning
+        combos = self._combos_for_state(stage_index, resources)
         is_last = stage_index == len(self.partitions) - 1
+        next_stage = stage_index + 1
+        child_clamps = (self._suffix_clamp[next_stage]
+                        if not is_last and self._clamp_active[next_stage]
+                        else None)
 
-        for placements in combos:
-            assignment = self._assignment_for(stage_index, placements)
-
+        for entry in combos:
+            assignment = entry[2]
+            if assignment is None:
+                assignment = context.stage_assignment(
+                    partition, self.microbatch_size, self.data_parallel,
+                    entry[0], nodes_used=entry[1])
+                entry[2] = assignment
             if is_last:
                 solution = DPSolution(
                     assignments=[assignment],
@@ -344,46 +504,93 @@ class DPSolver:
                 )
                 if budget is not None and solution.projected_cost(self.num_microbatches) > budget:
                     continue
-                if self._better(solution, best):
-                    best = solution
+                value = self._value(solution)
+                if value < best_value:
+                    best, best_value = solution, value
+                continue
+
+            cutoff = upper_bound if upper_bound < best_value else best_value
+            if pruning and self._suffix_lower_bound(stage_index,
+                                                    assignment) >= cutoff:
+                stats.pruned_branches += 1
                 continue
 
             remaining = self._subtract(resources, assignment.nodes_used)
             if remaining is None:
                 continue
 
-            candidate = self._solve_suffix(stage_index, assignment, remaining, budget)
-            if candidate is not None and self._better(candidate, best):
-                best = candidate
+            if budget is None:
+                # Inlined fast path: clamp + memo probe without the call
+                # overhead of _solve (the overwhelmingly common hit case).
+                child_bound = (self._child_bound(cutoff, assignment)
+                               if pruning else math.inf)
+                if child_clamps is not None:
+                    remaining = self._clamp(remaining, child_clamps)
+                child_entry = memo.get((next_stage, remaining, None))
+                if child_entry is not None and (
+                        child_entry[1] or child_bound <= child_entry[2]):
+                    stats.memo_hits += 1
+                    suffix = child_entry[0]
+                else:
+                    suffix = self._solve(next_stage, remaining, None,
+                                         child_bound)
+                if suffix is None:
+                    continue
+                candidate = self._combine(assignment, suffix)
+            else:
+                candidate = self._solve_suffix(
+                    stage_index, assignment, remaining, budget,
+                    cutoff if pruning else math.inf)
+                if candidate is None:
+                    continue
+            value = self._value(candidate)
+            if value < best_value:
+                best, best_value = candidate, value
 
-        self._memo[key] = best
+        # best_value < upper_bound proves optimality: every pruned branch had
+        # a lower bound >= min(upper_bound, incumbent-at-the-time) and the
+        # incumbent only improves, so nothing better was discarded.
+        exact = best_value < upper_bound or upper_bound == math.inf
+        memo[key] = (best, exact, upper_bound)
         return best
 
-    def _solve_suffix(self, stage_index: int, assignment: StageAssignment,
-                      remaining: ResourceMap,
-                      budget: float | None) -> DPSolution | None:
-        """Combine one stage assignment with the best suffix solution.
+    def _child_bound(self, cutoff: float, assignment: StageAssignment) -> float:
+        """Upper bound to thread into the suffix solve below ``assignment``.
 
-        Implements the straggler-approximation loop of section 4.2.3 when a
-        budget is present: assume the current stage is the straggler, compute
-        the remaining budget, solve the suffix, and retry with the discovered
-        straggler when the assumption turns out wrong.
+        Any completed solution satisfies ``combined >= suffix + t_a`` for the
+        throughput objective and ``combined >= suffix`` for cost, so a suffix
+        at or above the returned bound can never beat the incumbent.  The
+        tiny relative slack absorbs rounding in the subtraction.
+        """
+        if cutoff == math.inf:
+            return math.inf
+        if self.goal is OptimizationGoal.MIN_COST:
+            return cutoff
+        return (cutoff - assignment.compute_time_s) * (1.0 + 1e-12)
+
+    def _solve_suffix(self, stage_index: int, assignment: StageAssignment,
+                      remaining: ResourceKey, budget: float,
+                      cutoff: float) -> DPSolution | None:
+        """Combine one stage assignment with the best budgeted suffix.
+
+        Implements the straggler-approximation loop of section 4.2.3: assume
+        the current stage is the straggler, compute the remaining budget,
+        solve the suffix, and retry with the discovered straggler when the
+        assumption turns out wrong.  (The unbudgeted case is handled by the
+        inlined fast path in :meth:`_solve`.)
         """
         nb = self.num_microbatches
+        child_bound = self._child_bound(cutoff, assignment)
 
-        if budget is None:
-            suffix = self._solve(stage_index + 1, remaining, None)
-            if suffix is None:
-                return None
-            return self._combine(assignment, suffix)
-
+        combined: DPSolution | None = None
         assumed_straggler = assignment.compute_time_s
         for _ in range(self.config.max_budget_iterations):
             stage_cost = assignment.cost_rate_usd_per_s * nb * assumed_straggler
             remaining_budget = budget - stage_cost
             if remaining_budget <= 0:
                 return None
-            suffix = self._solve(stage_index + 1, remaining, remaining_budget)
+            suffix = self._solve(stage_index + 1, remaining, remaining_budget,
+                                 child_bound)
             if suffix is None:
                 return None
             combined = self._combine(assignment, suffix)

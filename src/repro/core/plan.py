@@ -11,7 +11,7 @@ baseline planners, the simulator and the runtime.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.hardware.nodes import NodeSpec, get_node_type
 from repro.models.partition import LayerPartition, uniform_partition
@@ -325,6 +325,57 @@ class PlanEvaluation:
 
 
 @dataclass
+class SearchStats:
+    """Counters describing how much work one planner search performed.
+
+    Filled by the DP solver / search context; all-zero for planners that do
+    not report them (the baselines).  The counters make planner-latency
+    optimisations observable: a faster search should show fewer nodes
+    explored and more memo/cache hits, not just a smaller wall-clock time.
+    """
+
+    nodes_explored: int = 0
+    memo_hits: int = 0
+    pruned_branches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another stats block into this one (parallel driver)."""
+        for name, value in other.as_dict().items():
+            setattr(self, name, getattr(self, name) + value)
+
+    def diff(self, earlier: "SearchStats") -> "SearchStats":
+        """Counters accumulated since ``earlier`` (a snapshot of self)."""
+        return SearchStats(**{name: value - getattr(earlier, name)
+                              for name, value in self.as_dict().items()})
+
+    def copy(self) -> "SearchStats":
+        """Snapshot of the current counters."""
+        return SearchStats(**self.as_dict())
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON serialisation and logging.
+
+        Derived from the dataclass fields so merge/diff/copy/from_dict all
+        follow automatically when a counter is added.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchStats":
+        """Inverse of :meth:`as_dict`; tolerates missing and unknown keys."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{name: int(value) for name, value in data.items()
+                      if name in known})
+
+    def describe(self) -> str:
+        """One-line summary (used by the CLI and examples)."""
+        return (f"nodes={self.nodes_explored} memo_hits={self.memo_hits} "
+                f"pruned={self.pruned_branches} cache_hits={self.cache_hits}")
+
+
+@dataclass
 class PlannerResult:
     """Outcome of one planner invocation."""
 
@@ -335,6 +386,7 @@ class PlannerResult:
     candidates_evaluated: int = 0
     oom_plans_generated: int = 0
     notes: str = ""
+    search_stats: SearchStats = field(default_factory=SearchStats)
 
     @property
     def found(self) -> bool:

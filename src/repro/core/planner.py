@@ -7,15 +7,24 @@ microbatch size) that optimises the user's objective under optional
 constraints.  The search combines:
 
 * the pruning heuristics H1-H6 (:mod:`repro.core.heuristics`),
-* the per-stage dynamic program (:mod:`repro.core.dp_solver`), and
+* the per-stage dynamic program (:mod:`repro.core.dp_solver`), with all
+  per-candidate caches hoisted into a shared
+  :class:`~repro.core.search_cache.PlannerSearchContext`, and
 * the Sailor simulator for the final accuracy check of each candidate
   (:mod:`repro.core.simulator`).
+
+The search decomposes into independent ``(pipeline depth, microbatch size)``
+branches; :class:`ParallelPlanner` is an opt-in driver that fans the
+branches out over a process pool and merges the branch winners
+deterministically (same result as the serial search).
 """
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 
 from repro.core.dp_solver import DPSolver, DPSolverConfig, DPSolution, StageOption
 from repro.core.heuristics import (
@@ -33,13 +42,14 @@ from repro.core.plan import (
     ParallelizationPlan,
     PlanEvaluation,
     PlannerResult,
+    SearchStats,
     StageConfig,
     StageReplica,
 )
+from repro.core.search_cache import PlannerSearchContext
 from repro.core.simulator import SailorSimulator, SimulationEnvironment
 from repro.hardware.nodes import get_node_type
 from repro.hardware.topology import ClusterTopology
-from repro.models.partition import uniform_partition
 from repro.models.spec import TrainingJobSpec
 
 
@@ -54,6 +64,19 @@ class PlannerConfig:
     dp_patience: int = 1
     #: Optional wall-clock limit for one planning call, in seconds.
     time_limit_s: float | None = None
+    #: When > 1, ``SailorPlanner.plan`` fans the (P, mbs) branches out over
+    #: this many worker processes (see :class:`ParallelPlanner`).
+    parallel_workers: int | None = None
+
+
+@dataclass
+class _BranchOutcome:
+    """Best candidate of one (pipeline depth, microbatch size) branch."""
+
+    plan: ParallelizationPlan | None = None
+    evaluation: PlanEvaluation | None = None
+    candidates_evaluated: int = 0
+    oom_plans_generated: int = 0
 
 
 class SailorPlanner:
@@ -73,98 +96,153 @@ class SailorPlanner:
              objective: Objective | None = None) -> PlannerResult:
         """Search for the best plan on the currently-available topology."""
         objective = objective or Objective.max_throughput()
+        workers = self.config.parallel_workers
+        if workers is not None and workers > 1:
+            return ParallelPlanner(self.env, config=self.config,
+                                   max_workers=workers).plan(job, topology,
+                                                             objective)
         start = time.perf_counter()
         heuristics = self.config.heuristics
+        deadline = (None if self.config.time_limit_s is None
+                    else start + self.config.time_limit_s)
 
         consolidated = consolidate_zones(topology, heuristics)
         resources = self._resource_map(consolidated.topology)
         total_nodes = sum(resources.values())
+        context = PlannerSearchContext(self.env, job, objective.goal)
 
-        best_plan: ParallelizationPlan | None = None
-        best_eval: PlanEvaluation | None = None
-        candidates_evaluated = 0
-        oom_plans = 0
-        maximize_throughput = objective.goal is OptimizationGoal.MAX_THROUGHPUT
-        budget = objective.constraint.max_cost_per_iteration_usd
-
-        for pp in pipeline_parallel_candidates(job, total_nodes, heuristics):
-            if self._timed_out(start):
+        outcomes: list[_BranchOutcome] = []
+        for pp, mbs in self._branch_specs(job, total_nodes, heuristics):
+            if deadline is not None and time.perf_counter() > deadline:
                 break
-            partitions = uniform_partition(job.model, pp)
-            for mbs in microbatch_candidates(job, heuristics):
-                if self._timed_out(start):
-                    break
-                tp_req = min_tp_per_stage(
-                    job, partitions, consolidated.topology.node_types(), mbs,
-                    num_microbatches_in_flight_cap=pp, env=self.env,
-                    config=heuristics)
-                if any(not per_stage for per_stage in tp_req):
-                    continue  # some stage fits on no available GPU type
-                tp_options = [tp_options_for_stage(per_stage, heuristics)
-                              for per_stage in tp_req]
-
-                max_dp = self._max_data_parallel(resources, tp_options, pp)
-                dp_candidates = data_parallel_candidates(
-                    job, mbs, max_dp, maximize_throughput=maximize_throughput,
-                    config=heuristics)
-
-                stale = 0
-                best_score_this_branch: float | None = None
-                for dp in dp_candidates:
-                    if self._timed_out(start):
-                        break
-                    num_microbatches = job.num_microbatches(dp, mbs)
-                    solver = DPSolver(
-                        env=self.env, job=job, partitions=partitions,
-                        tp_options_per_stage=tp_options, microbatch_size=mbs,
-                        data_parallel=dp, num_microbatches=num_microbatches,
-                        goal=objective.goal, config=self.config.dp_config)
-                    solution = solver.solve(resources, budget_per_iteration=budget)
-                    if solution is None:
-                        continue
-
-                    plan = self._build_plan(job, partitions, mbs, solution,
-                                            consolidated)
-                    if plan is None:
-                        continue
-                    evaluation = self.simulator.evaluate(plan)
-                    candidates_evaluated += 1
-                    if not evaluation.is_valid:
-                        oom_plans += 1
-                        continue
-                    meets = objective.constraint.satisfied_by(
-                        evaluation, total_gpus=plan.total_gpus)
-
-                    score = objective.score(evaluation)
-                    if meets and objective.better(evaluation, best_eval):
-                        best_plan, best_eval = plan, evaluation
-
-                    # H3/H4 early stop within this (P, mbs) branch.
-                    if heuristics.ordered_data_parallel:
-                        if (best_score_this_branch is not None
-                                and score <= best_score_this_branch + 1e-12):
-                            stale += 1
-                            if stale > self.config.dp_patience:
-                                break
-                        else:
-                            stale = 0
-                        if best_score_this_branch is None or score > best_score_this_branch:
-                            best_score_this_branch = score
+            outcomes.append(self._plan_branch(job, objective, consolidated,
+                                              resources, pp, mbs, context,
+                                              deadline))
+        best_plan, best_eval, candidates, ooms = self._merge_outcomes(
+            objective, outcomes)
 
         return PlannerResult(
             plan=best_plan,
             evaluation=best_eval,
             search_time_s=time.perf_counter() - start,
             planner_name=self.name,
-            candidates_evaluated=candidates_evaluated,
-            oom_plans_generated=oom_plans,
+            candidates_evaluated=candidates,
+            oom_plans_generated=ooms,
+            search_stats=context.stats,
         )
 
-    # -- helpers ------------------------------------------------------------------
+    # -- branch search -----------------------------------------------------------
 
-    def _timed_out(self, start: float) -> bool:
-        limit = self.config.time_limit_s
-        return limit is not None and (time.perf_counter() - start) > limit
+    @staticmethod
+    def _merge_outcomes(objective: Objective,
+                        outcomes: list[_BranchOutcome],
+                        ) -> tuple[ParallelizationPlan | None,
+                                   PlanEvaluation | None, int, int]:
+        """Pick the overall winner among branch outcomes, in branch order.
+
+        Shared by the serial and parallel drivers so their incumbent
+        comparison (and therefore the chosen plan) cannot diverge.
+        """
+        best_plan: ParallelizationPlan | None = None
+        best_eval: PlanEvaluation | None = None
+        candidates = 0
+        ooms = 0
+        for outcome in outcomes:
+            candidates += outcome.candidates_evaluated
+            ooms += outcome.oom_plans_generated
+            if (outcome.evaluation is not None
+                    and objective.better(outcome.evaluation, best_eval)):
+                best_plan, best_eval = outcome.plan, outcome.evaluation
+        return best_plan, best_eval, candidates, ooms
+
+    @staticmethod
+    def _branch_specs(job: TrainingJobSpec, total_nodes: int,
+                      heuristics: HeuristicConfig) -> list[tuple[int, int]]:
+        """Independent (pipeline depth, microbatch size) branches, in the
+        order the serial search explores them."""
+        return [(pp, mbs)
+                for pp in pipeline_parallel_candidates(job, total_nodes,
+                                                       heuristics)
+                for mbs in microbatch_candidates(job, heuristics)]
+
+    def _plan_branch(self, job: TrainingJobSpec, objective: Objective,
+                     consolidated: ConsolidatedTopology,
+                     resources: dict[tuple[str, str], int],
+                     pp: int, mbs: int, context: PlannerSearchContext,
+                     deadline: float | None) -> _BranchOutcome:
+        """Search every data-parallel candidate of one (P, mbs) branch."""
+        heuristics = self.config.heuristics
+        outcome = _BranchOutcome()
+        if deadline is not None and time.perf_counter() > deadline:
+            return outcome  # expired before setup (queued branch task)
+        maximize_throughput = objective.goal is OptimizationGoal.MAX_THROUGHPUT
+        budget = objective.constraint.max_cost_per_iteration_usd
+
+        partitions = context.partitions(pp)
+        tp_req = min_tp_per_stage(
+            job, partitions, consolidated.topology.node_types(), mbs,
+            num_microbatches_in_flight_cap=pp, env=self.env,
+            config=heuristics)
+        if any(not per_stage for per_stage in tp_req):
+            return outcome  # some stage fits on no available GPU type
+        tp_options = [tp_options_for_stage(per_stage, heuristics)
+                      for per_stage in tp_req]
+
+        max_dp = self._max_data_parallel(resources, tp_options, pp)
+        dp_candidates = data_parallel_candidates(
+            job, mbs, max_dp, maximize_throughput=maximize_throughput,
+            config=heuristics)
+
+        stale = 0
+        best_score_this_branch: float | None = None
+        for dp in dp_candidates:
+            if deadline is not None and time.perf_counter() > deadline:
+                break
+            num_microbatches = job.num_microbatches(dp, mbs)
+            solver = DPSolver(
+                env=self.env, job=job, partitions=partitions,
+                tp_options_per_stage=tp_options, microbatch_size=mbs,
+                data_parallel=dp, num_microbatches=num_microbatches,
+                goal=objective.goal, config=self.config.dp_config,
+                context=context)
+            solution = solver.solve(resources, budget_per_iteration=budget)
+            if solution is None:
+                continue
+
+            plan = self._build_plan(job, partitions, mbs, solution,
+                                    consolidated)
+            if plan is None:
+                continue
+            evaluation = self.simulator.evaluate(plan)
+            outcome.candidates_evaluated += 1
+            if not evaluation.is_valid:
+                outcome.oom_plans_generated += 1
+                continue
+            meets = objective.constraint.satisfied_by(
+                evaluation, total_gpus=plan.total_gpus)
+
+            if meets and objective.better(evaluation, outcome.evaluation):
+                outcome.plan, outcome.evaluation = plan, evaluation
+
+            # H3/H4 early stop within this (P, mbs) branch.  Only feasible
+            # candidates may update the branch incumbent or exhaust the
+            # patience: an infeasible candidate's score is not attainable, so
+            # letting it raise the bar could stop the branch before a valid
+            # plan is found.
+            if heuristics.ordered_data_parallel and meets:
+                score = objective.score(evaluation)
+                if (best_score_this_branch is not None
+                        and score <= best_score_this_branch + 1e-12):
+                    stale += 1
+                    if stale > self.config.dp_patience:
+                        break
+                else:
+                    stale = 0
+                if best_score_this_branch is None or score > best_score_this_branch:
+                    best_score_this_branch = score
+        return outcome
+
+    # -- helpers ------------------------------------------------------------------
 
     @staticmethod
     def _resource_map(topology: ClusterTopology) -> dict[tuple[str, str], int]:
@@ -248,3 +326,140 @@ class SailorPlanner:
                                          zone=open_zone))
             open_slots -= option.tensor_parallel
         return replicas
+
+
+# ---------------------------------------------------------------------------
+# Parallel search driver
+# ---------------------------------------------------------------------------
+
+#: Search invariants installed once per worker process (see _init_worker);
+#: only (pp, mbs, wall_deadline) travel with each branch task.  The
+#: in-process fallback path uses a local state dict instead, so a single
+#: ParallelPlanner call in the main process never pins the environment here.
+_WORKER_STATE: dict = {}
+
+
+def _make_worker_state(env, job, objective, config, consolidated,
+                       resources) -> dict:
+    """Bundle one planning call's invariants, including the worker's shared
+    search context (reused across every branch the worker executes)."""
+    return {
+        "planner": SailorPlanner(env, config=config),
+        "job": job,
+        "objective": objective,
+        "consolidated": consolidated,
+        "resources": resources,
+        "context": PlannerSearchContext(env, job, objective.goal),
+    }
+
+
+def _init_worker(env, job, objective, config, consolidated, resources) -> None:
+    """Process-pool initializer: receive the per-call invariants once."""
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(_make_worker_state(env, job, objective, config,
+                                            consolidated, resources))
+
+
+def _plan_branch_task(payload: tuple,
+                      state: dict | None = None,
+                      ) -> tuple[_BranchOutcome, SearchStats]:
+    """Worker entry point: search one (P, mbs) branch.
+
+    ``wall_deadline`` is an absolute ``time.time()`` instant shared by every
+    branch task, so ``time_limit_s`` bounds the whole planning call rather
+    than restarting per branch; it is converted to this process's
+    ``perf_counter`` timeline on entry.  The worker's search context is
+    shared across its branches, so the returned stats are the *delta* this
+    branch contributed (summing deltas across tasks equals the total work).
+    """
+    pp, mbs, wall_deadline = payload
+    if state is None:
+        state = _WORKER_STATE
+    planner = state["planner"]
+    job = state["job"]
+    objective = state["objective"]
+    context = state["context"]
+    before = context.stats.copy()
+    deadline = (None if wall_deadline is None
+                else time.perf_counter() + (wall_deadline - time.time()))
+    outcome = planner._plan_branch(job, objective, state["consolidated"],
+                                   state["resources"], pp, mbs, context,
+                                   deadline)
+    return outcome, context.stats.diff(before)
+
+
+class ParallelPlanner:
+    """Opt-in multi-process driver for the Sailor planner search.
+
+    The (pipeline depth, microbatch size) branches of the search are
+    independent -- they share no incumbent and no early-stop state -- so
+    they can run in separate worker processes.  Each worker builds its own
+    :class:`~repro.core.search_cache.PlannerSearchContext`, returns its
+    branch's best scored plan, and the driver merges the branch winners *in
+    branch order* with the same comparison the serial search uses, so the
+    chosen plan is identical to the serial planner's.
+
+    ``time_limit_s`` bounds the whole planning call: the driver fixes one
+    absolute wall-clock deadline up front and every branch task honours it,
+    so late-starting branches get only the time that remains.
+    """
+
+    name = "sailor"
+
+    def __init__(self, env: SimulationEnvironment,
+                 config: PlannerConfig | None = None,
+                 max_workers: int | None = None) -> None:
+        self.env = env
+        self.config = config or PlannerConfig()
+        self.max_workers = (max_workers or self.config.parallel_workers
+                            or os.cpu_count() or 1)
+
+    def plan(self, job: TrainingJobSpec, topology: ClusterTopology,
+             objective: Objective | None = None) -> PlannerResult:
+        """Search for the best plan, fanning branches out over processes."""
+        objective = objective or Objective.max_throughput()
+        start = time.perf_counter()
+        heuristics = self.config.heuristics
+
+        consolidated = consolidate_zones(topology, heuristics)
+        resources = SailorPlanner._resource_map(consolidated.topology)
+        total_nodes = sum(resources.values())
+        specs = SailorPlanner._branch_specs(job, total_nodes, heuristics)
+
+        # Workers must not recurse into the parallel driver themselves.
+        worker_config = replace(self.config, parallel_workers=None)
+        # One absolute deadline for the whole call, on the wall clock so it
+        # is meaningful in every worker process.
+        wall_deadline = (None if self.config.time_limit_s is None
+                         else time.time() + self.config.time_limit_s)
+        invariants = (self.env, job, objective, worker_config, consolidated,
+                      resources)
+        payloads = [(pp, mbs, wall_deadline) for pp, mbs in specs]
+
+        stats = SearchStats()
+        if len(payloads) <= 1 or self.max_workers <= 1:
+            local_state = _make_worker_state(*invariants)
+            results = [_plan_branch_task(payload, state=local_state)
+                       for payload in payloads]
+        else:
+            workers = min(self.max_workers, len(payloads))
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_init_worker,
+                                     initargs=invariants) as pool:
+                results = list(pool.map(_plan_branch_task, payloads))
+
+        for _, branch_stats in results:
+            stats.merge(branch_stats)
+        best_plan, best_eval, candidates, ooms = SailorPlanner._merge_outcomes(
+            objective, [outcome for outcome, _ in results])
+
+        return PlannerResult(
+            plan=best_plan,
+            evaluation=best_eval,
+            search_time_s=time.perf_counter() - start,
+            planner_name=self.name,
+            candidates_evaluated=candidates,
+            oom_plans_generated=ooms,
+            notes=f"parallel driver, {min(self.max_workers, max(1, len(payloads)))} workers",
+            search_stats=stats,
+        )

@@ -16,6 +16,7 @@ from repro.core.plan import (
     ParallelizationPlan,
     PlanEvaluation,
     PlannerResult,
+    SearchStats,
     StageConfig,
     StageReplica,
 )
@@ -104,6 +105,7 @@ def result_to_dict(result: PlannerResult) -> dict[str, Any]:
         "candidates_evaluated": result.candidates_evaluated,
         "oom_plans_generated": result.oom_plans_generated,
         "notes": result.notes,
+        "search_stats": result.search_stats.as_dict(),
         "plan": plan_to_dict(result.plan) if result.plan is not None else None,
         "evaluation": (evaluation_to_dict(result.evaluation)
                        if result.evaluation is not None else None),
@@ -212,6 +214,7 @@ def result_from_dict(data: dict[str, Any]) -> PlannerResult:
         candidates_evaluated=int(data.get("candidates_evaluated", 0)),
         oom_plans_generated=int(data.get("oom_plans_generated", 0)),
         notes=data.get("notes", ""),
+        search_stats=SearchStats.from_dict(data.get("search_stats", {})),
     )
 
 

@@ -58,6 +58,30 @@ def test_plan_and_simulate_roundtrip(tmp_path, capsys):
     assert "iterations" in out or "iters/s" in out
 
 
+def test_plan_reports_search_stats(capsys):
+    code = main([
+        "plan", "--model", "OPT-350M", "--global-batch-size", "256",
+        "--nodes", "us-central1-a:a2-highgpu-4g:2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "search stats" in out
+    assert "nodes=" in out
+
+
+def test_plan_accepts_workers_flag(tmp_path, capsys):
+    result_path = tmp_path / "result.json"
+    code = main([
+        "plan", "--model", "OPT-350M", "--global-batch-size", "256",
+        "--nodes", "us-central1-a:a2-highgpu-4g:2",
+        "--workers", "2", "--result-output", str(result_path),
+    ])
+    assert code == 0
+    document = json.loads(result_path.read_text())
+    assert "parallel" in document["notes"]
+    assert document["search_stats"]["nodes_explored"] > 0
+
+
 def test_plan_with_impossible_constraint_fails(capsys):
     code = main([
         "plan", "--model", "OPT-350M", "--global-batch-size", "256",

@@ -117,3 +117,197 @@ def test_memoization_reuses_subproblems(opt_env, opt_job):
     assert solver.nodes_explored <= 2 * explored_first
     config = DPSolverConfig(max_combos_per_stage=4)
     assert config.max_combos_per_stage == 4
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+def test_config_rejects_nonpositive_budget_iterations():
+    """Regression: max_budget_iterations <= 0 used to leave the straggler
+    loop's result unbound (NameError) on budget-constrained solves."""
+    with pytest.raises(ValueError):
+        DPSolverConfig(max_budget_iterations=0)
+    with pytest.raises(ValueError):
+        DPSolverConfig(max_budget_iterations=-1)
+
+
+def test_config_rejects_degenerate_knobs():
+    with pytest.raises(ValueError):
+        DPSolverConfig(max_combos_per_stage=0)
+    with pytest.raises(ValueError):
+        DPSolverConfig(max_mixed_types_per_stage=0)
+    with pytest.raises(ValueError):
+        DPSolverConfig(split_fractions=(0.5, 1.0))
+
+
+def test_budget_solve_with_minimal_straggler_iterations(opt_env, opt_job):
+    """One straggler iteration must yield a (possibly coarser) result, not
+    crash -- the NameError regression scenario."""
+    config = DPSolverConfig(max_budget_iterations=1)
+    solver = build_solver(opt_env, opt_job, pp=2, dp=2)
+    solver.config = config
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4}
+    solution = solver.solve(resources, budget_per_iteration=1000.0)
+    assert solution is not None
+
+
+# ---------------------------------------------------------------------------
+# Pruning / caching equivalence
+# ---------------------------------------------------------------------------
+
+def brute_force_value(solver, resources, stage_index=0):
+    """Plain recursive reference: no memo, no bounds, no incumbent.
+
+    Returns the minimum projected objective value over every assignment the
+    combo generator admits, or ``None`` when nothing fits.
+    """
+    from repro.core.dp_solver import DPSolution
+
+    is_last = stage_index == len(solver.partitions) - 1
+    best = None
+    for placements in solver.generate_combos(stage_index, dict(resources)):
+        assignment = solver.context.stage_assignment(
+            solver.partitions[stage_index], solver.microbatch_size,
+            solver.data_parallel, tuple(placements))
+        if is_last:
+            candidate = DPSolution(
+                assignments=[assignment],
+                max_stage_time_s=assignment.compute_time_s,
+                sum_stage_time_s=assignment.compute_time_s,
+                max_sync_time_s=assignment.sync_time_s,
+                cost_rate_usd_per_s=assignment.cost_rate_usd_per_s)
+        else:
+            remaining = dict(resources)
+            feasible = True
+            for key, used in assignment.nodes_used.items():
+                if remaining.get(key, 0) < used:
+                    feasible = False
+                    break
+                remaining[key] -= used
+            if not feasible:
+                continue
+            suffix = brute_force_value(solver, remaining, stage_index + 1)
+            if suffix is None:
+                continue
+            candidate = solver._combine(assignment, suffix)
+        if best is None or solver._value(candidate) < solver._value(best):
+            best = candidate
+    return best
+
+
+SMALL_TOPOLOGIES = [
+    # (label, resources)
+    ("homogeneous", {("us-central1-a", "a2-highgpu-4g"): 4}),
+    ("heterogeneous", {("us-central1-a", "a2-highgpu-4g"): 2,
+                       ("us-central1-a", "n1-standard-v100-4"): 2}),
+]
+
+
+@pytest.mark.parametrize("label,resources", SMALL_TOPOLOGIES)
+@pytest.mark.parametrize("pp,dp", [(1, 2), (2, 1), (2, 2)])
+@pytest.mark.parametrize("goal", [OptimizationGoal.MAX_THROUGHPUT,
+                                  OptimizationGoal.MIN_COST])
+def test_pruned_solver_matches_brute_force(opt_env, opt_job, label, resources,
+                                           pp, dp, goal):
+    """Property: pruning + caching + clamping never change the optimum."""
+    solver = build_solver(opt_env, opt_job, pp=pp, dp=dp, goal=goal)
+    solution = solver.solve(dict(resources))
+    reference = brute_force_value(solver, resources)
+    if reference is None:
+        assert solution is None
+        return
+    assert solution is not None
+    nb = solver.num_microbatches
+    assert solution.projected_iteration_time(nb) == pytest.approx(
+        reference.projected_iteration_time(nb), rel=1e-12)
+    assert solution.projected_cost(nb) == pytest.approx(
+        reference.projected_cost(nb), rel=1e-12)
+
+
+@pytest.mark.parametrize("pp,dp", [(2, 2), (3, 1), (2, 4)])
+@pytest.mark.parametrize("budget", [None, 1000.0, 0.5])
+def test_pruning_on_off_equivalence(opt_env, opt_job, pp, dp, budget):
+    """The branch-and-bound solver returns the same projected time and cost
+    as the exhaustive solver, with and without a budget constraint."""
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    pruned = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+    pruned.config = DPSolverConfig(enable_pruning=True)
+    exhaustive = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+    exhaustive.config = DPSolverConfig(enable_pruning=False)
+
+    a = pruned.solve(dict(resources), budget_per_iteration=budget)
+    b = exhaustive.solve(dict(resources), budget_per_iteration=budget)
+    if a is None or b is None:
+        assert a is None and b is None
+        return
+    nb = pruned.num_microbatches
+    assert a.projected_iteration_time(nb) == pytest.approx(
+        b.projected_iteration_time(nb), rel=1e-12)
+    assert a.projected_cost(nb) == pytest.approx(
+        b.projected_cost(nb), rel=1e-12)
+    assert pruned.stats.pruned_branches >= 0
+    assert exhaustive.stats.pruned_branches == 0
+
+
+def test_budget_dominance_properties(opt_env, opt_job):
+    """Independent checks on the budget-dominance shortcut (which is part of
+    the algorithm, not toggled by enable_pruning):
+
+    * a budget at or above the unconstrained optimum's cost returns exactly
+      the unconstrained optimum,
+    * every budgeted solution respects its budget,
+    * tightening the budget never improves the objective.
+    """
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    solver = build_solver(opt_env, opt_job, pp=2, dp=2)
+    nb = solver.num_microbatches
+
+    unconstrained = solver.solve(dict(resources))
+    assert unconstrained is not None
+    base_cost = unconstrained.projected_cost(nb)
+    base_time = unconstrained.projected_iteration_time(nb)
+
+    generous = solver.solve(dict(resources),
+                            budget_per_iteration=base_cost * 1.0001)
+    assert generous is not None
+    assert generous.projected_iteration_time(nb) == pytest.approx(
+        base_time, rel=1e-12)
+    assert generous.projected_cost(nb) == pytest.approx(base_cost, rel=1e-12)
+
+    previous_time = None
+    for fraction in (1.5, 1.0001, 0.8, 0.6, 0.4):
+        budget = base_cost * fraction
+        solution = solver.solve(dict(resources),
+                                budget_per_iteration=budget)
+        if solution is None:
+            continue
+        assert solution.projected_cost(nb) <= budget * (1 + 1e-9)
+        if previous_time is not None:
+            # Larger budgets were solved first: tightening must not improve.
+            assert solution.projected_iteration_time(nb) >= \
+                previous_time - 1e-12
+        previous_time = solution.projected_iteration_time(nb)
+
+
+def test_pruning_on_off_equivalence_two_zone(opt_env_geo, opt_job):
+    """Same equivalence on a 2-zone heterogeneous-geography topology."""
+    resources = {("us-central1-a", "a2-highgpu-4g"): 2,
+                 ("us-west1-a", "a2-highgpu-4g"): 2}
+    pruned = build_solver(opt_env_geo, opt_job, pp=2, dp=2,
+                          node_types=("a2-highgpu-4g",))
+    exhaustive = build_solver(opt_env_geo, opt_job, pp=2, dp=2,
+                              node_types=("a2-highgpu-4g",))
+    exhaustive.config = DPSolverConfig(enable_pruning=False)
+    a = pruned.solve(dict(resources))
+    b = exhaustive.solve(dict(resources))
+    assert (a is None) == (b is None)
+    if a is not None:
+        nb = pruned.num_microbatches
+        assert a.projected_iteration_time(nb) == pytest.approx(
+            b.projected_iteration_time(nb), rel=1e-12)
+        reference = brute_force_value(pruned, resources)
+        assert a.projected_iteration_time(nb) == pytest.approx(
+            reference.projected_iteration_time(nb), rel=1e-12)

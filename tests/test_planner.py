@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.heuristics import HeuristicConfig
 from repro.core.objectives import Objective
-from repro.core.planner import PlannerConfig, SailorPlanner
+from repro.core.planner import ParallelPlanner, PlannerConfig, SailorPlanner
+from repro.core.serialization import plan_to_json
 from repro.core.simulator import MemoryEstimator, SailorSimulator
 from repro.hardware.topology import ClusterTopology
 
@@ -109,6 +110,98 @@ def test_time_limit_is_honoured(opt_env, opt_job, mixed_topology):
     planner = SailorPlanner(opt_env, config=config)
     result = planner.plan(opt_job, mixed_topology, Objective.max_throughput())
     assert result.search_time_s < 5.0
+
+
+def test_search_stats_are_populated(planner, opt_job, mixed_topology):
+    result = planner.plan(opt_job, mixed_topology, Objective.max_throughput())
+    stats = result.search_stats
+    assert stats.nodes_explored > 0
+    assert stats.memo_hits > 0
+    assert stats.pruned_branches > 0  # B&B must actually cut branches
+    assert stats.cache_hits > 0
+
+
+def test_h3_early_stop_ignores_infeasible_candidates(opt_env, opt_job,
+                                                     mixed_topology):
+    """Regression: an infeasible (constraint-violating) candidate's score
+    must not raise the H3 early-stop bar.  With the bug, high-dp candidates
+    rejected by a max_gpus cap could stop a branch before its best *feasible*
+    plan was reached; the fixed search matches the exhaustive one."""
+    for max_gpus in (8, 12):
+        objective = Objective.max_throughput(max_gpus=max_gpus)
+        fixed = SailorPlanner(opt_env).plan(opt_job, mixed_topology, objective)
+        exhaustive = SailorPlanner(opt_env, config=PlannerConfig(
+            heuristics=HeuristicConfig(ordered_data_parallel=False)),
+        ).plan(opt_job, mixed_topology, objective)
+        assert fixed.found and exhaustive.found
+        assert fixed.plan.total_gpus <= max_gpus
+        assert fixed.evaluation.throughput_iters_per_s == pytest.approx(
+            exhaustive.evaluation.throughput_iters_per_s, rel=1e-9)
+
+
+def test_parallel_planner_matches_serial(opt_env, opt_job, mixed_topology):
+    objective = Objective.max_throughput()
+    serial = SailorPlanner(opt_env).plan(opt_job, mixed_topology, objective)
+    parallel = ParallelPlanner(opt_env, max_workers=2).plan(
+        opt_job, mixed_topology, objective)
+    assert parallel.found
+    assert plan_to_json(parallel.plan) == plan_to_json(serial.plan)
+    assert parallel.candidates_evaluated == serial.candidates_evaluated
+    assert parallel.search_stats.nodes_explored == \
+        serial.search_stats.nodes_explored
+    assert "parallel" in parallel.notes
+
+
+def test_parallel_workers_config_delegates(opt_env, opt_job, mixed_topology):
+    objective = Objective.max_throughput()
+    serial = SailorPlanner(opt_env).plan(opt_job, mixed_topology, objective)
+    via_config = SailorPlanner(opt_env, config=PlannerConfig(
+        parallel_workers=2)).plan(opt_job, mixed_topology, objective)
+    assert via_config.found
+    assert plan_to_json(via_config.plan) == plan_to_json(serial.plan)
+
+
+def test_parallel_time_limit_is_global(opt_env, opt_job, mixed_topology):
+    """time_limit_s bounds the whole parallel call, not each branch."""
+    config = PlannerConfig(time_limit_s=0.05, parallel_workers=2)
+    result = SailorPlanner(opt_env, config=config).plan(
+        opt_job, mixed_topology, Objective.max_throughput())
+    # Generous ceiling: far below branches x limit, which a per-branch
+    # deadline reset would allow.
+    assert result.search_time_s < 5.0
+
+
+def test_solver_rejects_mismatched_context_goal(opt_env, opt_job):
+    from repro.core.dp_solver import DPSolver
+    from repro.core.objectives import OptimizationGoal
+    from repro.core.search_cache import PlannerSearchContext
+    from repro.models.partition import uniform_partition
+
+    context = PlannerSearchContext(opt_env, opt_job)  # MAX_THROUGHPUT
+    with pytest.raises(ValueError):
+        DPSolver(env=opt_env, job=opt_job,
+                 partitions=uniform_partition(opt_job.model, 2),
+                 tp_options_per_stage=[{}, {}], microbatch_size=2,
+                 data_parallel=2, num_microbatches=4,
+                 goal=OptimizationGoal.MIN_COST, context=context)
+
+
+def test_pruning_does_not_change_the_chosen_plan(opt_env, opt_job,
+                                                 mixed_topology):
+    """End-to-end guarantee behind the benchmark claim: branch-and-bound
+    returns a byte-identical plan."""
+    from repro.core.dp_solver import DPSolverConfig
+
+    objective = Objective.max_throughput()
+    pruned = SailorPlanner(opt_env).plan(opt_job, mixed_topology, objective)
+    exhaustive = SailorPlanner(opt_env, config=PlannerConfig(
+        dp_config=DPSolverConfig(enable_pruning=False)),
+    ).plan(opt_job, mixed_topology, objective)
+    assert pruned.found and exhaustive.found
+    assert plan_to_json(pruned.plan) == plan_to_json(exhaustive.plan)
+    assert exhaustive.search_stats.pruned_branches == 0
+    assert pruned.search_stats.nodes_explored <= \
+        exhaustive.search_stats.nodes_explored
 
 
 def test_disabling_h2_can_generate_oom_candidates(neo_env, neo_job,

@@ -97,6 +97,26 @@ def test_planner_result_roundtrip(opt_env, opt_job, a100_topology):
         result.evaluation.throughput_iters_per_s)
 
 
+def test_planner_result_search_stats_roundtrip(opt_env, opt_job, a100_topology):
+    result = SailorPlanner(opt_env).plan(opt_job, a100_topology,
+                                         Objective.max_throughput())
+    assert result.search_stats.nodes_explored > 0
+    restored = result_from_json(result_to_json(result))
+    assert restored.search_stats == result.search_stats
+
+
+def test_result_without_search_stats_decodes_to_zeroes():
+    """Documents written before the search_stats block decode cleanly."""
+    import json
+    from repro.core.serialization import result_from_dict
+
+    data = {"format_version": 1, "planner_name": "sailor",
+            "search_time_s": 1.0, "plan": None, "evaluation": None}
+    restored = result_from_dict(json.loads(json.dumps(data)))
+    assert restored.search_stats.nodes_explored == 0
+    assert restored.search_stats.memo_hits == 0
+
+
 def test_empty_result_roundtrip():
     from repro.core.plan import PlannerResult
 
