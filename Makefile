@@ -3,13 +3,15 @@
 #   make test                       tier-1 test suite
 #   make bench                      planner/core micro-benchmarks -> $(BENCH_OUT)
 #   make bench-compare              diff $(BENCH_BASELINE) vs $(BENCH_OUT);
-#                                   fails on >20% planner regression
+#                                   fails on >20% planner/simulator regression
+#   make profile                    cProfile one planner call (PROFILE_ARGS=...)
 
 PYTHON ?= python
 BENCH_OUT ?= BENCH_new.json
 BENCH_BASELINE ?= BENCH_seed.json
+PROFILE_ARGS ?=
 
-.PHONY: test bench bench-compare
+.PHONY: test bench bench-compare profile
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -21,3 +23,6 @@ bench:
 bench-compare:
 	PYTHONPATH=src $(PYTHON) benchmarks/compare_bench.py \
 		$(BENCH_BASELINE) $(BENCH_OUT)
+
+profile:
+	PYTHONPATH=src $(PYTHON) benchmarks/profile_planner.py $(PROFILE_ARGS)

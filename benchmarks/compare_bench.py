@@ -8,9 +8,12 @@ Intended CI guard for the planner hot path::
 
 Benchmarks present in both files are matched by name and compared on their
 mean time.  The exit code is non-zero when any benchmark whose name matches
-``--filter`` (default: the planner micro-benchmarks) regresses by more than
-``--threshold`` (default 20%).  Non-matching benchmarks are still printed so
-drifts elsewhere stay visible, but they do not fail the run.
+``--filter`` -- a comma-separated list of substrings, any match gates; the
+default covers the planner end-to-end benchmarks *and* the simulator
+micro-benchmarks (evaluation, memory estimation, reference simulation) --
+regresses by more than ``--threshold`` (default 20%).  Non-matching
+benchmarks are still printed so drifts elsewhere stay visible, but they do
+not fail the run.
 
 Only the standard library is used, so the script runs anywhere the JSON
 files do.
@@ -53,6 +56,9 @@ def compare(baseline: dict[str, float], candidate: dict[str, float],
         print("no common benchmarks between the two files", file=sys.stderr)
         return None
 
+    # An empty filter gates every benchmark (the pre-comma-split behaviour
+    # of the '' substring); it must not silently gate nothing.
+    filters = [part for part in name_filter.split(",") if part] or [""]
     regressions = 0
     print(f"{'benchmark':<48} {'baseline':>10} {'current':>10} "
           f"{'ratio':>7}  verdict")
@@ -61,7 +67,7 @@ def compare(baseline: dict[str, float], candidate: dict[str, float],
         old = baseline[name]
         new = candidate[name]
         ratio = new / old if old > 0 else float("inf")
-        gated = name_filter in name
+        gated = any(part in name for part in filters)
         if gated and ratio > 1.0 + threshold:
             verdict = f"REGRESSION (> {threshold:.0%})"
             regressions += 1
@@ -89,9 +95,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed relative slowdown before failing "
                              "(default: 0.20 = 20%%)")
-    parser.add_argument("--filter", default="bench_planner",
-                        help="substring selecting the gated benchmarks "
-                             "(default: bench_planner)")
+    parser.add_argument("--filter",
+                        default="bench_planner,bench_simulator_evaluate,"
+                                "bench_memory_estimator,"
+                                "bench_reference_simulator",
+                        help="comma-separated substrings selecting the gated "
+                             "benchmarks (default: planner end-to-end plus "
+                             "the simulator micro-benchmarks)")
     args = parser.parse_args(argv)
 
     baseline = load_means(args.baseline)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""cProfile the planner hot path (``make profile``).
+
+Runs the heterogeneous planner benchmark scenario (A100 + V100 mixed
+cluster, OPT-350M, max-throughput objective) once to warm the profile
+caches, then profiles a second planning call and prints the hottest
+functions.  Use this to find the next optimisation target before reaching
+for the micro-benchmarks::
+
+    make profile                       # 64 GPUs, top 30 by cumulative time
+    make profile PROFILE_ARGS="--gpus 256 --sort tottime --limit 40"
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.core.objectives import Objective
+from repro.core.planner import SailorPlanner
+from repro.core.simulator import build_environment
+from repro.hardware.topology import ClusterTopology
+from repro.models.catalog import get_model
+from repro.models.spec import TrainingJobSpec
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Profile one Sailor planner call on a mixed A100+V100 "
+                    "cluster.")
+    parser.add_argument("--gpus", type=int, default=64,
+                        help="total GPUs, split evenly between A100 and V100 "
+                             "4-GPU nodes (default: 64)")
+    parser.add_argument("--batch-size", type=int, default=512,
+                        help="global batch size (default: 512)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort order (default: cumulative)")
+    parser.add_argument("--limit", type=int, default=30,
+                        help="rows to print (default: 30)")
+    parser.add_argument("--min-cost", action="store_true",
+                        help="profile the cost objective instead of "
+                             "max-throughput")
+    args = parser.parse_args(argv)
+
+    if args.gpus < 8 or args.gpus % 8:
+        parser.error("--gpus must be a multiple of 8 (two 4-GPU node types)")
+    nodes_per_type = args.gpus // 8
+
+    job = TrainingJobSpec(model=get_model("OPT-350M"),
+                          global_batch_size=args.batch_size)
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": nodes_per_type, "n1-standard-v100-4": nodes_per_type})
+    objective = (Objective.min_cost() if args.min_cost
+                 else Objective.max_throughput())
+
+    print(f"profiling: {args.gpus} GPUs ({nodes_per_type} A100 nodes + "
+          f"{nodes_per_type} V100 nodes), goal={objective.goal.value}")
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+
+    warm_start = time.perf_counter()
+    planner.plan(job, topology, objective)  # warm caches, like the benches
+    print(f"warm-up call: {time.perf_counter() - warm_start:.3f}s")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = planner.plan(job, topology, objective)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    print(f"search_time={result.search_time_s:.3f}s "
+          f"candidates={result.candidates_evaluated} "
+          f"stats=[{result.search_stats.describe()}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

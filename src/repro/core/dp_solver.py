@@ -169,11 +169,19 @@ class DPSolver:
         self._tp_keys = [tp_options_key(opts) for opts in tp_options_per_stage]
         self._memo: dict[tuple, tuple[DPSolution | None, bool, float]] = {}
         # Per-solve state: master combo lists, per-state filtered views and
-        # admissible per-suffix bounds.
+        # admissible per-suffix bounds.  Resource states inside the
+        # recursion are integer-indexed: one count per root (zone, node
+        # type) slot, in the root's sorted order.  The encoding is a
+        # bijection with the canonical tuple form (an exhausted slot is 0
+        # where the tuple form dropped the pair), so memo keys collapse the
+        # exact same states -- but hashing a flat int tuple and scanning
+        # index/count pairs is far cheaper than nested string tuples.
         self._root: ResourceKey = ()
-        self._master: list[list | None] = [None] * len(partitions)
+        self._keys: list[tuple[str, str]] = []
+        self._master_req: list[list | None] = [None] * len(partitions)
         self._combo_cache: dict[tuple, list] = {}
         self._clamp_active: list[bool] = [True] * len(partitions)
+        self._caps_vec: list[tuple[int, ...]] = []
         self._sfx_sum: list[float] = []
         self._sfx_max: list[float] = []
         self._sfx_rate: list[float] = []
@@ -204,7 +212,8 @@ class DPSolver:
         root = tuple(sorted((key, count) for key, count in resources.items()
                             if count > 0))
         self._root = root
-        self._master = [None] * len(self.partitions)
+        self._keys = [key for key, _ in root]
+        self._master_req = [None] * len(self.partitions)
         # A stage's suffix clamp can only ever bind if it binds on the root:
         # descendant states shrink, so when the root is under every cap the
         # clamp is a no-op for the whole search and can be skipped.
@@ -213,9 +222,15 @@ class DPSolver:
                 for (_, node_type), count in root)
             for caps in self._suffix_clamp[:len(self.partitions)]
         ]
+        # Suffix clamps as per-slot cap vectors aligned with the root order.
+        self._caps_vec = [
+            tuple(caps.get(node_type, 0) for _, node_type in self._keys)
+            for caps in self._suffix_clamp
+        ]
         if not self._prepare_bounds(root):
             return None  # some stage can be hosted by no available option
-        return self._solve(0, root, budget_per_iteration, math.inf)
+        root_state = tuple(count for _, count in root)
+        return self._solve(0, root_state, budget_per_iteration, math.inf)
 
     # -- stage metrics -----------------------------------------------------------
 
@@ -265,31 +280,39 @@ class DPSolver:
             self.config.max_mixed_types_per_stage,
             self.config.split_fractions)
 
-    def _combos_for_state(self, stage_index: int, state: ResourceKey) -> list:
+    def _combos_for_state(self, stage_index: int,
+                          state: tuple[int, ...]) -> list:
         """Combos of the root master list that fit one resource state.
 
         A combo generated from a resource subset is exactly a root combo
         whose whole-node footprint fits the subset, so filtering the master
         list (already sorted) and stopping at ``max_combos_per_stage``
         reproduces the per-state enumeration at a fraction of the cost.
+        Returns ``(entry, needs)`` pairs where ``needs`` is the entry's
+        whole-node footprint as ``(slot index, count)`` pairs aligned with
+        the integer state encoding.
         """
         key = (stage_index, state)
         cached = self._combo_cache.get(key)
         if cached is not None:
             return cached
-        master = self._master[stage_index]
-        if master is None:
+        pairs = self._master_req[stage_index]
+        if pairs is None:
             master = self._master_combos(stage_index, self._root)
-            self._master[stage_index] = master
+            index = {node_key: i for i, node_key in enumerate(self._keys)}
+            pairs = [(entry,
+                      tuple((index[node_key], used)
+                            for node_key, used in entry[3]))
+                     for entry in master]
+            self._master_req[stage_index] = pairs
         limit = self.config.max_combos_per_stage
-        available = dict(state)
         fitting = []
-        for entry in master:
-            for node_key, used in entry[1].items():
-                if available.get(node_key, 0) < used:
+        for pair in pairs:
+            for slot, used in pair[1]:
+                if state[slot] < used:
                     break
             else:
-                fitting.append(entry)
+                fitting.append(pair)
                 if len(fitting) >= limit:
                     break
         self._combo_cache[key] = fitting
@@ -418,35 +441,43 @@ class DPSolver:
     # -- recursion ------------------------------------------------------------------
 
     @staticmethod
-    def _subtract(resources: ResourceKey,
-                  nodes_used: dict[tuple[str, str], int]) -> ResourceKey | None:
-        """Remove a stage's nodes from a canonical resource tuple.
+    def _subtract_state(state: tuple[int, ...],
+                        needs: tuple[tuple[int, int], ...],
+                        ) -> tuple[int, ...] | None:
+        """Remove a combo's whole-node footprint from an integer state.
 
-        The input is sorted and stays sorted, so the result is itself a
-        canonical memo key -- no re-sort per recursion step.
+        ``None`` when some slot goes negative (the combo does not fit);
+        exhausted slots stay in the tuple as zeros, which is the same
+        equivalence class the canonical tuple form expressed by dropping
+        the pair.
         """
-        matched = 0
-        remaining: list[tuple[tuple[str, str], int]] = []
-        for key, count in resources:
-            used = nodes_used.get(key)
-            if used is None:
-                remaining.append((key, count))
-                continue
-            matched += 1
-            if used > count:
+        out = list(state)
+        for slot, used in needs:
+            left = out[slot] - used
+            if left < 0:
                 return None
-            if count > used:
-                remaining.append((key, count - used))
-        if matched < len(nodes_used):
-            return None  # a stage wants nodes of a type that ran out entirely
-        return tuple(remaining)
+            out[slot] = left
+        return tuple(out)
 
-    def _solve(self, stage_index: int, resources: ResourceKey,
+    @staticmethod
+    def _clamp_state(state: tuple[int, ...],
+                     caps: tuple[int, ...]) -> tuple[int, ...]:
+        """Clamp an integer state at per-slot caps (no-op returns the input)."""
+        for count, cap in zip(state, caps):
+            if count > cap:
+                return tuple(count if count <= cap else cap
+                             for count, cap in zip(state, caps))
+        return state
+
+    def _solve(self, stage_index: int, resources: tuple[int, ...],
                budget: float | None, upper_bound: float) -> DPSolution | None:
         if self._clamp_active[stage_index]:
-            resources = self._clamp(resources, self._suffix_clamp[stage_index])
-        key = (stage_index, resources,
-               None if budget is None else round(budget, 6))
+            resources = self._clamp_state(resources,
+                                          self._caps_vec[stage_index])
+        # Unbudgeted keys are 2-tuples, budgeted 3-tuples; the lengths can
+        # never collide, and the common case hashes one element less.
+        key = ((stage_index, resources) if budget is None
+               else (stage_index, resources, round(budget, 6)))
         entry = self._memo.get(key)
         if entry is not None:
             solution, exact, bound = entry
@@ -459,12 +490,13 @@ class DPSolver:
 
         if budget is not None:
             # Budget dominance: the unconstrained optimum of this subproblem
-            # is memoised once and shared by every budget the straggler loop
-            # proposes.  When it fits the remaining budget it is also the
-            # budgeted optimum (the constraint is inactive at the optimum);
-            # when the subproblem is infeasible outright, so is every
-            # budgeted variant.  Only genuinely binding budgets fall through
-            # to the budget-threaded search.
+            # is memoised once (under its 2-tuple key) and shared by every
+            # budget the straggler loop proposes.  When it fits the
+            # remaining budget it is also the budgeted optimum (the
+            # constraint is inactive at the optimum); when the subproblem is
+            # infeasible outright, so is every budgeted variant.  Only
+            # genuinely binding budgets fall through to the budget-threaded
+            # search.
             unconstrained = self._solve(stage_index, resources, None, math.inf)
             if unconstrained is None:
                 self._memo[key] = (None, True, upper_bound)
@@ -483,50 +515,85 @@ class DPSolver:
         combos = self._combos_for_state(stage_index, resources)
         is_last = stage_index == len(self.partitions) - 1
         next_stage = stage_index + 1
-        child_clamps = (self._suffix_clamp[next_stage]
+        child_clamps = (self._caps_vec[next_stage]
                         if not is_last and self._clamp_active[next_stage]
                         else None)
+        # Hot-loop locals: the suffix bound and candidate scoring below are
+        # the inlined, allocation-free forms of _suffix_lower_bound /
+        # _combine + _value -- the exact same floating-point operations in
+        # the same order, minus the per-combo call and DPSolution overhead.
+        nb1 = self.num_microbatches - 1
+        is_cost = self.goal is OptimizationGoal.MIN_COST
+        sum_after = self._sfx_sum[next_stage]
+        max_after = self._sfx_max[next_stage]
+        rate_after = self._sfx_rate[next_stage]
 
-        for entry in combos:
+        for combo_index, (entry, needs) in enumerate(combos):
             assignment = entry[2]
             if assignment is None:
-                assignment = context.stage_assignment(
+                assignment = context.build_stage_assignment(
                     partition, self.microbatch_size, self.data_parallel,
-                    entry[0], nodes_used=entry[1])
+                    entry[0], nodes_used=entry[1], compute_time_s=entry[4])
                 entry[2] = assignment
+            t_a = assignment.compute_time_s
+            sync_a = assignment.sync_time_s
             if is_last:
-                solution = DPSolution(
-                    assignments=[assignment],
-                    max_stage_time_s=assignment.compute_time_s,
-                    sum_stage_time_s=assignment.compute_time_s,
-                    max_sync_time_s=assignment.sync_time_s,
-                    cost_rate_usd_per_s=assignment.cost_rate_usd_per_s,
-                )
-                if budget is not None and solution.projected_cost(self.num_microbatches) > budget:
+                time_v = t_a + nb1 * t_a + sync_a
+                if is_cost or budget is not None:
+                    cost_v = assignment.cost_rate_usd_per_s * time_v
+                if budget is not None and cost_v > budget:
                     continue
-                value = self._value(solution)
+                value = cost_v if is_cost else time_v
                 if value < best_value:
-                    best, best_value = solution, value
+                    best = DPSolution(
+                        assignments=[assignment],
+                        max_stage_time_s=t_a,
+                        sum_stage_time_s=t_a,
+                        max_sync_time_s=sync_a,
+                        cost_rate_usd_per_s=assignment.cost_rate_usd_per_s,
+                    )
+                    best_value = value
                 continue
 
             cutoff = upper_bound if upper_bound < best_value else best_value
-            if pruning and self._suffix_lower_bound(stage_index,
-                                                    assignment) >= cutoff:
-                stats.pruned_branches += 1
-                continue
+            if pruning:
+                sum_lb = t_a + sum_after
+                max_lb = t_a if t_a >= max_after else max_after
+                base_lb = sum_lb + nb1 * max_lb
+                if is_cost:
+                    bound = ((assignment.cost_rate_usd_per_s + rate_after)
+                             * (base_lb + sync_a) * _COST_BOUND_SLACK)
+                    if bound >= cutoff:
+                        stats.pruned_branches += 1
+                        continue
+                elif base_lb >= cutoff:
+                    # Combos are sorted by stage compute time, and the
+                    # sync-free bound is monotone in it (IEEE-754 add/mul
+                    # are monotone), so every remaining combo's individual
+                    # bound check would also prune: cut the whole tail.
+                    stats.pruned_branches += len(combos) - combo_index
+                    break
+                elif base_lb + sync_a >= cutoff:
+                    stats.pruned_branches += 1
+                    continue
 
-            remaining = self._subtract(resources, assignment.nodes_used)
+            remaining = self._subtract_state(resources, needs)
             if remaining is None:
                 continue
 
             if budget is None:
                 # Inlined fast path: clamp + memo probe without the call
-                # overhead of _solve (the overwhelmingly common hit case).
-                child_bound = (self._child_bound(cutoff, assignment)
-                               if pruning else math.inf)
+                # overhead of _solve (the overwhelmingly common hit case);
+                # the bound matches _child_bound exactly.
+                if not pruning or cutoff == math.inf:
+                    child_bound = math.inf
+                elif is_cost:
+                    child_bound = cutoff
+                else:
+                    child_bound = (cutoff - t_a) * (1.0 + 1e-12)
                 if child_clamps is not None:
-                    remaining = self._clamp(remaining, child_clamps)
-                child_entry = memo.get((next_stage, remaining, None))
+                    remaining = self._clamp_state(remaining, child_clamps)
+                child_entry = memo.get((next_stage, remaining))
                 if child_entry is not None and (
                         child_entry[1] or child_bound <= child_entry[2]):
                     stats.memo_hits += 1
@@ -536,13 +603,34 @@ class DPSolver:
                                          child_bound)
                 if suffix is None:
                     continue
-                candidate = self._combine(assignment, suffix)
-            else:
-                candidate = self._solve_suffix(
-                    stage_index, assignment, remaining, budget,
-                    cutoff if pruning else math.inf)
-                if candidate is None:
-                    continue
+                sum_t = t_a + suffix.sum_stage_time_s
+                s_max = suffix.max_stage_time_s
+                max_t = t_a if t_a >= s_max else s_max
+                s_sync = suffix.max_sync_time_s
+                sync_t = sync_a if sync_a >= s_sync else s_sync
+                time_v = sum_t + nb1 * max_t + sync_t
+                if is_cost:
+                    value = (assignment.cost_rate_usd_per_s
+                             + suffix.cost_rate_usd_per_s) * time_v
+                else:
+                    value = time_v
+                if value < best_value:
+                    best = DPSolution(
+                        assignments=[assignment] + suffix.assignments,
+                        max_stage_time_s=max_t,
+                        sum_stage_time_s=sum_t,
+                        max_sync_time_s=sync_t,
+                        cost_rate_usd_per_s=(assignment.cost_rate_usd_per_s
+                                             + suffix.cost_rate_usd_per_s),
+                    )
+                    best_value = value
+                continue
+
+            candidate = self._solve_suffix(
+                stage_index, assignment, remaining, budget,
+                cutoff if pruning else math.inf)
+            if candidate is None:
+                continue
             value = self._value(candidate)
             if value < best_value:
                 best, best_value = candidate, value

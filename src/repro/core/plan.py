@@ -339,6 +339,9 @@ class SearchStats:
     pruned_branches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Candidates whose full simulator evaluation was skipped because their
+    #: conservative iteration-time floor already lost to the incumbent.
+    gate_skips: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats block into this one (parallel driver)."""
@@ -372,7 +375,8 @@ class SearchStats:
     def describe(self) -> str:
         """One-line summary (used by the CLI and examples)."""
         return (f"nodes={self.nodes_explored} memo_hits={self.memo_hits} "
-                f"pruned={self.pruned_branches} cache_hits={self.cache_hits}")
+                f"pruned={self.pruned_branches} cache_hits={self.cache_hits} "
+                f"gate_skips={self.gate_skips}")
 
 
 @dataclass

@@ -22,6 +22,7 @@ deterministically (same result as the serial search).
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -67,6 +68,14 @@ class PlannerConfig:
     #: When > 1, ``SailorPlanner.plan`` fans the (P, mbs) branches out over
     #: this many worker processes (see :class:`ParallelPlanner`).
     parallel_workers: int | None = None
+    #: Candidate-level incumbent gate: skip the full simulator evaluation of
+    #: a candidate whose conservative iteration-time floor (pipeline +
+    #: update, no sync) already loses to the branch incumbent.  The gate
+    #: replays the skipped candidate's bookkeeping (OOM counting, H3/H4
+    #: staleness) from cheap vectorized checks, so the chosen plan is
+    #: byte-identical with the gate on or off; ``False`` disables it for
+    #: the equivalence tests.
+    enable_candidate_gate: bool = True
 
 
 @dataclass
@@ -176,7 +185,15 @@ class SailorPlanner:
         if deadline is not None and time.perf_counter() > deadline:
             return outcome  # expired before setup (queued branch task)
         maximize_throughput = objective.goal is OptimizationGoal.MAX_THROUGHPUT
-        budget = objective.constraint.max_cost_per_iteration_usd
+        constraint = objective.constraint
+        budget = constraint.max_cost_per_iteration_usd
+        # The incumbent gate needs to replay a skipped candidate's
+        # constraint bookkeeping exactly; with a cost or throughput bound
+        # that would require the full evaluation, so it only arms when
+        # neither is set (the common unconstrained searches).
+        gate_armed = (self.config.enable_candidate_gate
+                      and budget is None
+                      and constraint.min_throughput_iters_per_s is None)
 
         partitions = context.partitions(pp)
         tp_req = min_tp_per_stage(
@@ -213,6 +230,39 @@ class SailorPlanner:
                                     consolidated)
             if plan is None:
                 continue
+
+            # Candidate-level incumbent gate (ROADMAP): when the
+            # conservative iteration-time floor already loses to the branch
+            # incumbent, the candidate cannot become the new incumbent, so
+            # the full evaluation is skipped.  Every observable side effect
+            # of the full path is replayed from cheap checks -- the OOM
+            # counter from the vectorized memory kernel, and the H3/H4
+            # staleness bookkeeping, whose "score <= branch best" condition
+            # the floor comparison has just proven -- which keeps the chosen
+            # plan byte-identical with the gate on or off.
+            if gate_armed and outcome.evaluation is not None:
+                floor = self.simulator.iteration_time_floor(plan)
+                if maximize_throughput:
+                    beaten = floor >= outcome.evaluation.iteration_time_s
+                else:
+                    gpu_counts = plan.resource_allocation().gpus_by_type()
+                    cost_floor = self.env.prices.compute_cost(gpu_counts, floor)
+                    beaten = (cost_floor
+                              >= outcome.evaluation.cost_per_iteration_usd)
+                if beaten:
+                    context.stats.gate_skips += 1
+                    outcome.candidates_evaluated += 1
+                    if self.simulator.oom_stages(plan):
+                        outcome.oom_plans_generated += 1
+                        continue
+                    meets = (constraint.max_gpus is None
+                             or plan.total_gpus <= constraint.max_gpus)
+                    if heuristics.ordered_data_parallel and meets:
+                        stale += 1
+                        if stale > self.config.dp_patience:
+                            break
+                    continue
+
             evaluation = self.simulator.evaluate(plan)
             outcome.candidates_evaluated += 1
             if not evaluation.is_valid:
@@ -353,11 +403,17 @@ def _make_worker_state(env, job, objective, config, consolidated,
     }
 
 
-def _init_worker(env, job, objective, config, consolidated, resources) -> None:
-    """Process-pool initializer: receive the per-call invariants once."""
+def _init_worker(payload: bytes) -> None:
+    """Process-pool initializer: receive the per-call invariants once.
+
+    The driver pre-serializes the invariants -- dominated by the profile
+    store inside the environment -- into one pickle blob, so the expensive
+    object-graph walk happens once per planning call instead of once per
+    worker process (initargs are re-pickled for every worker; a ``bytes``
+    payload makes that re-pickling a memcpy).
+    """
     _WORKER_STATE.clear()
-    _WORKER_STATE.update(_make_worker_state(env, job, objective, config,
-                                            consolidated, resources))
+    _WORKER_STATE.update(_make_worker_state(*pickle.loads(payload)))
 
 
 def _plan_branch_task(payload: tuple,
@@ -443,9 +499,12 @@ class ParallelPlanner:
                        for payload in payloads]
         else:
             workers = min(self.max_workers, len(payloads))
+            # Serialize the invariants (profiles included) exactly once;
+            # every worker receives the same pre-pickled blob.
+            blob = pickle.dumps(invariants, protocol=pickle.HIGHEST_PROTOCOL)
             with ProcessPoolExecutor(max_workers=workers,
                                      initializer=_init_worker,
-                                     initargs=invariants) as pool:
+                                     initargs=(blob,)) as pool:
                 results = list(pool.map(_plan_branch_task, payloads))
 
         for _, branch_stats in results:

@@ -50,9 +50,16 @@ node specs / prices    ``node_type``
 per-stage tensor-parallel option dict.
 
 The context also owns the :class:`~repro.core.plan.SearchStats` counters
-(nodes explored, memo hits, pruned branches, cache hits/misses) that
+(nodes explored, memo hits, pruned branches, cache hits/misses, and the
+candidate-level incumbent gate's ``gate_skips``) that
 :class:`~repro.core.plan.PlannerResult` exposes, which is what makes the
 speedup observable from benchmarks and ``examples/compare_planners.py``.
+
+The *evaluation* side of the planner has a sibling context:
+:class:`~repro.core.simulator.eval_context.EvaluationContext` plays the
+same role for ``SailorSimulator.evaluate`` (per-environment caches plus
+vectorized kernels over canonical plan arrays) that this class plays for
+the DP search.
 """
 
 from __future__ import annotations
@@ -173,6 +180,7 @@ class PlannerSearchContext:
         self._region: dict[str, str] = {}
         self._gpus_per_node: dict[str, int] = {}
         self._gpu_price: dict[str, float] = {}
+        self._replicas_per_node: dict[tuple[str, int], int] = {}
 
     # -- hardware lookups -------------------------------------------------------
 
@@ -189,6 +197,19 @@ class PlannerSearchContext:
             count = get_node_type(node_type).gpus_per_node
             self._gpus_per_node[node_type] = count
         return count
+
+    def replicas_per_node(self, node_type: str, tensor_parallel: int) -> int:
+        """Replicas of one (node type, TP) choice that fit on one node.
+
+        Context-scoped (like every hardware lookup here) so a re-registered
+        node type can never leak a stale value across planning calls.
+        """
+        key = (node_type, tensor_parallel)
+        cached = self._replicas_per_node.get(key)
+        if cached is None:
+            cached = max(1, self.gpus_per_node(node_type) // tensor_parallel)
+            self._replicas_per_node[key] = cached
+        return cached
 
     def gpu_price_per_second(self, node_type: str) -> float:
         price = self._gpu_price.get(node_type)
@@ -299,17 +320,38 @@ class PlannerSearchContext:
             self.stats.cache_hits += 1
             return cached
         self.stats.cache_misses += 1
-        compute = max(self.stage_compute_time(partition, microbatch_size,
-                                              opt.node_type, opt.tensor_parallel)
-                      for opt, _ in placements)
-        sync = self.stage_sync_time(partition, data_parallel, placements)
-        cost_rate = self.stage_cost_rate(placements)
-        assignment = StageAssignment(
-            stage_index=partition.stage_index, placements=placements,
-            compute_time_s=compute, sync_time_s=sync,
-            cost_rate_usd_per_s=cost_rate, nodes_used=nodes_used)
+        assignment = self.build_stage_assignment(
+            partition, microbatch_size, data_parallel, placements,
+            nodes_used=nodes_used)
         self._assignment[key] = assignment
         return assignment
+
+    def build_stage_assignment(self, partition: LayerPartition,
+                               microbatch_size: int, data_parallel: int,
+                               placements: tuple[tuple[StageOption, int], ...],
+                               nodes_used: dict[tuple[str, str], int] | None = None,
+                               compute_time_s: float | None = None,
+                               ) -> StageAssignment:
+        """Construct a fully-costed assignment without the keyed memo.
+
+        The DP solver stores the assignment on its master-combo entry, which
+        already deduplicates within a planner call, so the keyed memo above
+        would only add (partition, placements)-hashing overhead on that
+        path; the component caches (compute/sync/cost) still apply.
+        ``compute_time_s`` lets the caller pass the stage compute time the
+        master-combo ranking already established for these placements.
+        """
+        if compute_time_s is None:
+            compute_time_s = max(
+                self.stage_compute_time(partition, microbatch_size,
+                                        opt.node_type, opt.tensor_parallel)
+                for opt, _ in placements)
+        sync = self.stage_sync_time(partition, data_parallel, placements)
+        cost_rate = self.stage_cost_rate(placements)
+        return StageAssignment(
+            stage_index=partition.stage_index, placements=placements,
+            compute_time_s=compute_time_s, sync_time_s=sync,
+            cost_rate_usd_per_s=cost_rate, nodes_used=nodes_used)
 
     # -- combo enumeration ------------------------------------------------------
 
@@ -329,7 +371,7 @@ class PlannerSearchContext:
             for tp in tp_options[node_type]:
                 option = StageOption(zone=zone, node_type=node_type,
                                      tensor_parallel=tp)
-                max_replicas = count * option.replicas_per_node
+                max_replicas = count * self.replicas_per_node(node_type, tp)
                 if max_replicas >= 1:
                     options.append((option, max_replicas))
         self._options[key] = options
@@ -344,9 +386,10 @@ class PlannerSearchContext:
 
         Honours H5: every combo stays within a single region.  Combos are
         ranked by the stage compute time they imply (cost rate for the cost
-        objective) and returned *untruncated* as mutable
-        ``[placements, whole-node footprint, lazily-built StageAssignment]``
-        entries.  The DP solver filters this master list per resource state
+        objective) and returned *untruncated* as mutable ``[placements,
+        whole-node footprint, lazily-built StageAssignment, frozen
+        footprint items, stage compute time]`` entries.  The DP solver
+        filters this master list per resource state
         (a combo generated from a resource subset is exactly a master combo
         whose node footprint fits the subset), which replaces a quadratic
         enumeration plus sort per DP node with one linear scan.
@@ -382,18 +425,30 @@ class PlannerSearchContext:
                         if k <= max_a and (needed - k) <= max_b:
                             combos.append(((opt_a, k), (opt_b, needed - k)))
 
-        # Entries are [placements, footprint, assignment-or-None]: the
-        # footprint and ranking need only cached per-option scalars, while
-        # the full assignment (whose sync time is the expensive part) is
-        # built lazily by the solver for combos that actually fit a state.
+        # Entries are [placements, footprint, assignment-or-None,
+        # footprint-items, stage-compute-time]: the footprint and ranking
+        # need only cached per-option scalars, while the full assignment
+        # (whose sync time is the expensive part) is built lazily by the
+        # solver for combos that actually fit a state.  The items tuple is
+        # the footprint frozen for the solver's per-state fit scan (no dict
+        # iteration per DP node), and the compute time -- needed for the
+        # throughput ranking anyway -- is reused by the lazy assignment
+        # build instead of being recomputed per combo.
         entries = []
         for placements in combos:
             footprint: dict[tuple[str, str], int] = {}
             for option, count in placements:
                 node_key = (option.zone, option.node_type)
+                per_node = self.replicas_per_node(option.node_type,
+                                                  option.tensor_parallel)
                 footprint[node_key] = (footprint.get(node_key, 0)
-                                       + option.nodes_needed(count))
-            entries.append([placements, footprint, None])
+                                       + math.ceil(count / per_node))
+            compute = max(
+                self.stage_compute_time(partition, microbatch_size,
+                                        opt.node_type, opt.tensor_parallel)
+                for opt, _ in placements)
+            entries.append([placements, footprint, None,
+                            tuple(footprint.items()), compute])
 
         # Rank by the stage metric, breaking ties on the canonical placement
         # tuple.  The tiebreak matters for correctness of the per-state
@@ -410,10 +465,7 @@ class PlannerSearchContext:
             entries.sort(key=lambda entry: (self.stage_cost_rate(entry[0]),
                                             tiebreak(entry[0])))
         else:
-            entries.sort(key=lambda entry: (max(
-                self.stage_compute_time(partition, microbatch_size,
-                                        opt.node_type, opt.tensor_parallel)
-                for opt, _ in entry[0]), tiebreak(entry[0])))
+            entries.sort(key=lambda entry: (entry[4], tiebreak(entry[0])))
         self._combos[key] = entries
         return entries
 

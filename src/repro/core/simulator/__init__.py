@@ -10,13 +10,49 @@ deploying them (paper section 4.3).  The package splits the estimation into:
 * :mod:`repro.core.simulator.timing` -- 1F1B iteration-time estimation with
   straggler effects.
 * :mod:`repro.core.simulator.cost` -- USD per iteration (compute + egress).
+* :mod:`repro.core.simulator.eval_context` -- the vectorized evaluation
+  layer: canonical per-stage/per-replica NumPy arrays plus fused kernels.
 * :mod:`repro.core.simulator.evaluator` -- the :class:`SailorSimulator`
-  facade combining the three.
+  facade combining the estimators.
 * :mod:`repro.core.simulator.reference` -- a fine-grained event-driven
   reference simulator standing in for "real hardware" measurements.
+
+Two-path architecture
+---------------------
+Evaluation runs on one of two paths that produce **bit-identical** numbers:
+
+* The **vectorized path** (the default).  An
+  :class:`~repro.core.simulator.eval_context.EvaluationContext` -- the
+  evaluation-side sibling of the planner's
+  :class:`~repro.core.search_cache.PlannerSearchContext` -- canonicalizes
+  each plan into flat per-stage/per-replica arrays (layer counts, profiled
+  timings, TP degrees, activation/boundary bytes, device capacities) and
+  computes compute, update, p2p, memory peaks, OOM and the 1F1B closed form
+  in one fused NumPy pass.  Profile lookups are cached per replica class,
+  link transfers per class pair, gradient sync per stage shape, and whole
+  plan arrays / ``PlanEvaluation`` results per plan signature, so repeated
+  and structurally-similar candidates cost almost nothing.
+* The **scalar path** (``SailorSimulator(env, vectorized=False)``).  The
+  original per-replica walks over :class:`MemoryEstimator` /
+  :class:`TimingEstimator` / :class:`CostEstimator`, retained as the
+  reference implementation; the equivalence test suite asserts the
+  vectorized kernels reproduce it bit-for-bit (the kernels replicate the
+  scalar floating-point operation order, including explicit left-to-right
+  reductions where ``np.sum`` would reassociate).
+
+The vectorized path additionally exposes
+:meth:`SailorSimulator.evaluate_many` (batch evaluation over the shared
+caches) and :meth:`SailorSimulator.iteration_time_floor` (a conservative
+lower bound the planner's candidate-level incumbent gate uses to skip full
+evaluation of candidates that provably cannot beat the incumbent).
 """
 
 from repro.core.simulator.environment import SimulationEnvironment, build_environment
+from repro.core.simulator.eval_context import (
+    EvaluationContext,
+    PlanArrays,
+    plan_signature,
+)
 from repro.core.simulator.memory import MemoryEstimator, MemoryBreakdown
 from repro.core.simulator.timing import TimingEstimator, TimingBreakdown
 from repro.core.simulator.cost import CostEstimator, CostBreakdown
@@ -26,6 +62,9 @@ from repro.core.simulator.reference import ReferenceSimulator
 __all__ = [
     "SimulationEnvironment",
     "build_environment",
+    "EvaluationContext",
+    "PlanArrays",
+    "plan_signature",
     "MemoryEstimator",
     "MemoryBreakdown",
     "TimingEstimator",

@@ -59,6 +59,12 @@ class CostEstimator:
         out: dict[LinkClass, float] = {
             LinkClass.INTER_ZONE: 0.0, LinkClass.INTER_REGION: 0.0}
 
+        # A plan confined to one zone generates no cross-zone traffic at
+        # all; skip the per-pipeline boundary walk (the common case on the
+        # planner's evaluation hot path).
+        if len(plan.zones()) == 1:
+            return out
+
         # Pipeline-parallel traffic: activations forward and gradients
         # backward cross every stage boundary once per microbatch.
         num_microbatches = plan.num_microbatches

@@ -64,8 +64,19 @@ class SimulationEnvironment:
         worst: NetworkProfile | None = None
         worst_bw = float("inf")
         probe = 64 * 1024 * 1024  # 64 MiB, a typical gradient bucket
+        # A pair's profile depends only on (node types, link class), so a
+        # repeated combination yields the same bandwidth and -- the
+        # comparison being strict -- can never displace the incumbent:
+        # probing each distinct combination once is behavior-preserving and
+        # turns the O(D^2) curve evaluations into O(distinct classes).
+        seen: set[tuple[str, str, LinkClass]] = set()
         for i, a in enumerate(replicas):
             for b in replicas[i + 1:]:
+                pair_key = (a.node_type, b.node_type,
+                            self.link_class(a.zone, b.zone))
+                if pair_key in seen:
+                    continue
+                seen.add(pair_key)
                 profile = self.link_between(a, b)
                 bw = profile.bandwidth(probe)
                 if bw < worst_bw:

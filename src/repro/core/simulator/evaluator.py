@@ -3,25 +3,53 @@
 Combines memory, timing and cost estimation into a single
 :meth:`SailorSimulator.evaluate` call that the planner (and the baselines,
 when asked to use Sailor's estimator) invokes for every candidate plan.
+
+Two execution paths produce bit-identical results:
+
+* the **vectorized path** (default): plans are canonicalized into flat
+  NumPy arrays by a shared :class:`~repro.core.simulator.eval_context.
+  EvaluationContext` and evaluated in one fused pass, with full
+  ``PlanEvaluation`` results cached per plan signature;
+* the **scalar path** (``vectorized=False``): the original per-replica
+  walks over the estimator objects, retained as the reference the
+  equivalence test suite checks the kernels against.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.plan import ParallelizationPlan, PlanEvaluation
 from repro.core.simulator.cost import CostEstimator
 from repro.core.simulator.environment import SimulationEnvironment
+from repro.core.simulator.eval_context import EvaluationContext, plan_signature
 from repro.core.simulator.memory import MemoryEstimator
 from repro.core.simulator.timing import TimingEstimator
 
 
 class SailorSimulator:
-    """Estimates memory footprint, iteration time and cost of a plan."""
+    """Estimates memory footprint, iteration time and cost of a plan.
 
-    def __init__(self, env: SimulationEnvironment) -> None:
+    ``vectorized=False`` selects the scalar reference path;
+    ``cache_evaluations`` / ``cache_plans`` control the per-plan-signature
+    caches of the vectorized path (benchmarks disable them to measure the
+    cold fused pass).
+    """
+
+    def __init__(self, env: SimulationEnvironment, *,
+                 vectorized: bool = True,
+                 cache_evaluations: bool = True,
+                 cache_plans: bool = True) -> None:
         self.env = env
         self.memory = MemoryEstimator(env)
         self.timing = TimingEstimator(env)
         self.cost = CostEstimator(env)
+        self.context = (EvaluationContext(env, cache_plans=cache_plans)
+                        if vectorized else None)
+        self._eval_cache: dict[tuple, PlanEvaluation] | None = \
+            {} if (vectorized and cache_evaluations) else None
+        self.eval_cache_hits = 0
+        self.eval_cache_misses = 0
 
     def evaluate(self, plan: ParallelizationPlan,
                  *, check_memory: bool = True) -> PlanEvaluation:
@@ -30,8 +58,92 @@ class SailorSimulator:
         ``check_memory=False`` skips the OOM check (used by estimator-error
         experiments that want timing for configurations known to fit).
         """
-        oom_stages = self.memory.oom_stages(plan) if check_memory else []
-        stage_peaks = self.memory.stage_peaks(plan)
+        if self.context is None:
+            return self._evaluate_scalar(plan, check_memory=check_memory)
+
+        key = None
+        if self._eval_cache is not None:
+            key = (plan_signature(plan), check_memory)
+            cached = self._eval_cache.get(key)
+            if cached is not None:
+                self.eval_cache_hits += 1
+                return self._copy(cached)
+            self.eval_cache_misses += 1
+
+        arrays = self.context.plan_arrays(plan)
+        oom_stages = list(arrays.oom_stages) if check_memory else []
+        timing = self.context.timing_breakdown(plan)
+        iteration_time = timing.iteration_time_s
+        cost = self.cost.breakdown(plan, iteration_time)
+        evaluation = PlanEvaluation(
+            iteration_time_s=iteration_time,
+            throughput_iters_per_s=(1.0 / iteration_time if iteration_time > 0 else 0.0),
+            cost_per_iteration_usd=cost.total_usd,
+            peak_memory_bytes_per_stage=arrays.stage_peaks.tolist(),
+            is_valid=not oom_stages,
+            oom_stages=oom_stages,
+            compute_cost_usd=cost.compute_usd,
+            communication_cost_usd=cost.communication_usd,
+            pipeline_time_s=timing.pipeline_time_s,
+            sync_time_s=timing.sync_time_s,
+            update_time_s=timing.update_time_s,
+            straggler_stage=timing.straggler_stage,
+        )
+        if self._eval_cache is not None:
+            self._eval_cache[key] = evaluation
+            return self._copy(evaluation)
+        return evaluation
+
+    def evaluate_many(self, plans: list[ParallelizationPlan],
+                      *, check_memory: bool = True) -> list[PlanEvaluation]:
+        """Evaluate several plans, sharing every per-environment cache.
+
+        Returns one :class:`PlanEvaluation` per input plan, in input order.
+        """
+        return [self.evaluate(plan, check_memory=check_memory)
+                for plan in plans]
+
+    def iteration_time_floor(self, plan: ParallelizationPlan) -> float:
+        """Conservative lower bound on :attr:`PlanEvaluation.iteration_time_s`.
+
+        Exactly the pipeline + optimizer-update terms of the full estimate
+        with the gradient-sync term dropped; since sync time is non-negative
+        and IEEE-754 addition is monotone, the floor never exceeds the full
+        estimate (bitwise).  The planner's candidate-level incumbent gate
+        skips full evaluation when this floor already loses to the incumbent.
+        """
+        if self.context is not None:
+            return self.context.plan_arrays(plan).iteration_time_floor_s
+        pipeline = max(self.timing.pipeline_time(plan, d)
+                       for d in range(plan.data_parallel))
+        update = max(self.timing.replica_update_time(plan, stage, replica)
+                     for stage in plan.stages for replica in stage.replicas)
+        return pipeline + update
+
+    def oom_stages(self, plan: ParallelizationPlan) -> list[int]:
+        """Stage indices with at least one worker that does not fit.
+
+        Identical to the OOM list :meth:`evaluate` reports; the planner's
+        incumbent gate uses it to keep gated-candidate bookkeeping exact.
+        """
+        if self.context is not None:
+            return list(self.context.plan_arrays(plan).oom_stages)
+        return self.memory.oom_stages(plan)
+
+    # -- scalar reference path ----------------------------------------------
+
+    def _evaluate_scalar(self, plan: ParallelizationPlan,
+                         *, check_memory: bool = True) -> PlanEvaluation:
+        """Original per-replica evaluation (the equivalence reference)."""
+        # One memory pass serves both the OOM check and the per-stage peaks.
+        breakdowns = self.memory.plan_breakdowns(plan)
+        oom_stages = []
+        if check_memory:
+            for stage, per_stage in zip(plan.stages, breakdowns):
+                if any(not b.fits for b in per_stage):
+                    oom_stages.append(stage.stage_index)
+        stage_peaks = [max(b.peak_bytes for b in per_stage)
+                       for per_stage in breakdowns]
 
         timing = self.timing.breakdown(plan)
         iteration_time = timing.iteration_time_s
@@ -52,8 +164,18 @@ class SailorSimulator:
             straggler_stage=timing.straggler_stage,
         )
 
+    @staticmethod
+    def _copy(evaluation: PlanEvaluation) -> PlanEvaluation:
+        """Fresh evaluation so cached list fields never alias across callers."""
+        return replace(
+            evaluation,
+            peak_memory_bytes_per_stage=list(evaluation.peak_memory_bytes_per_stage),
+            oom_stages=list(evaluation.oom_stages))
+
     def iteration_time(self, plan: ParallelizationPlan) -> float:
         """Convenience: seconds per iteration."""
+        if self.context is not None:
+            return self.context.timing_breakdown(plan).iteration_time_s
         return self.timing.iteration_time(plan)
 
     def throughput(self, plan: ParallelizationPlan) -> float:
@@ -63,4 +185,8 @@ class SailorSimulator:
 
     def peak_memory_gb(self, plan: ParallelizationPlan) -> list[float]:
         """Convenience: per-stage peak memory in GiB."""
-        return [p / (1024 ** 3) for p in self.memory.stage_peaks(plan)]
+        if self.context is not None:
+            peaks = self.context.plan_arrays(plan).stage_peaks.tolist()
+        else:
+            peaks = self.memory.stage_peaks(plan)
+        return [p / (1024 ** 3) for p in peaks]

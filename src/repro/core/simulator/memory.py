@@ -106,6 +106,18 @@ class MemoryEstimator:
 
     # -- per-plan -----------------------------------------------------------
 
+    def plan_breakdowns(self, plan: ParallelizationPlan,
+                        ) -> list[list[MemoryBreakdown]]:
+        """Per-stage lists of per-replica breakdowns, computed in one pass.
+
+        The evaluator derives both the OOM check and the per-stage peaks
+        from this single walk instead of recomputing ``replica_memory``
+        once per consumer.
+        """
+        return [[self.replica_memory(plan, stage, replica)
+                 for replica in stage.replicas]
+                for stage in plan.stages]
+
     def stage_peaks(self, plan: ParallelizationPlan) -> list[float]:
         """Worst-case peak bytes per stage (max over that stage's replicas)."""
         peaks = []

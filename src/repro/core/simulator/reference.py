@@ -14,17 +14,31 @@ effects the analytic estimators approximate or ignore:
 
 Estimator error for any planner is then ``|estimate - reference| / reference``,
 which is how the estimation-error experiments are computed.
+
+The event loop is integer-indexed: ops are numbered per stage in 1F1B
+schedule order, dependencies are resolved with a Kahn-style ready queue
+(every op enters the queue exactly once, O(total ops) overall), and kernel
+jitter is pre-drawn per ``(stage, kind, microbatch)`` slot so the result is
+independent of scheduling order.
+
+Determinism: :meth:`ReferenceSimulator.measure` re-seeds its jitter RNG
+from ``(seed, plan)`` on every call, so a measurement depends only on the
+simulator's seed and the plan -- never on how many plans were measured
+before it.  Estimation-error experiments therefore see the same numbers
+regardless of call order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from collections import deque
 
 import numpy as np
 
 from repro.core.plan import ParallelizationPlan, PlanEvaluation
 from repro.core.simulator.cost import CostEstimator
 from repro.core.simulator.environment import SimulationEnvironment
+from repro.core.simulator.eval_context import plan_signature
 from repro.core.simulator.memory import MemoryEstimator
 from repro.core.simulator.timing import TimingEstimator
 
@@ -36,14 +50,8 @@ DEFAULT_SYNC_OVERLAP = 0.30
 REFERENCE_FRAGMENTATION = 1.10
 REFERENCE_OVERHEAD_BYTES = 1.8 * (1024 ** 3)
 
-
-@dataclass(frozen=True)
-class _Op:
-    """One forward or backward pass of one microbatch on one stage."""
-
-    stage: int
-    microbatch: int
-    kind: str  # "fwd" or "bwd"
+#: Op-kind codes of the integer-indexed schedule.
+_FWD, _BWD = 0, 1
 
 
 class ReferenceSimulator:
@@ -55,9 +63,9 @@ class ReferenceSimulator:
         if not 0.0 <= sync_overlap < 1.0:
             raise ValueError("sync_overlap must be in [0, 1)")
         self.env = env
+        self.seed = seed
         self.sync_overlap = sync_overlap
         self.jitter_std = jitter_std
-        self._rng = np.random.default_rng(seed)
         self._timing = TimingEstimator(env)
         self._memory = MemoryEstimator(env)
         self._cost = CostEstimator(env)
@@ -65,8 +73,13 @@ class ReferenceSimulator:
     # -- public API ---------------------------------------------------------
 
     def measure(self, plan: ParallelizationPlan) -> PlanEvaluation:
-        """Run the reference simulation and report measured numbers."""
-        pipeline_times = [self._simulate_pipeline(plan, d)
+        """Run the reference simulation and report measured numbers.
+
+        Deterministic per ``(seed, plan)``: repeated measurements of the
+        same plan return identical numbers regardless of call order.
+        """
+        rng = self._plan_rng(plan)
+        pipeline_times = [self._simulate_pipeline(plan, d, rng)
                           for d in range(plan.data_parallel)]
         pipeline_time = max(pipeline_times)
 
@@ -115,13 +128,29 @@ class ReferenceSimulator:
 
     # -- 1F1B event simulation ------------------------------------------------
 
-    def _jitter(self) -> float:
+    def _plan_rng(self, plan: ParallelizationPlan) -> np.random.Generator:
+        """Jitter RNG seeded from (simulator seed, canonical plan identity)."""
+        digest = hashlib.blake2b(repr(plan_signature(plan)).encode("utf-8"),
+                                 digest_size=8).digest()
+        return np.random.default_rng(
+            [self.seed, int.from_bytes(digest, "big")])
+
+    def _jitter_grid(self, rng: np.random.Generator, num_stages: int,
+                     num_microbatches: int) -> np.ndarray | None:
+        """Per-(stage, kind, microbatch) jitter factors, pre-drawn.
+
+        Drawing by slot rather than by scheduling order keeps the result
+        independent of the event loop's traversal.
+        """
         if self.jitter_std <= 0:
-            return 1.0
-        return float(max(0.8, self._rng.normal(1.0, self.jitter_std)))
+            return None
+        draws = rng.normal(1.0, self.jitter_std,
+                           size=(num_stages, 2, num_microbatches))
+        return np.maximum(0.8, draws)
 
     def _simulate_pipeline(self, plan: ParallelizationPlan,
-                           data_parallel_index: int) -> float:
+                           data_parallel_index: int,
+                           rng: np.random.Generator) -> float:
         num_stages = plan.pipeline_parallel
         num_microbatches = plan.num_microbatches
         chain = plan.pipeline(data_parallel_index)
@@ -143,82 +172,125 @@ class ReferenceSimulator:
             fwd_time.append(fwd)
             bwd_time.append(bwd)
 
-        p2p = [0.0] * max(0, num_stages - 1)
-        for i in range(num_stages - 1):
-            p2p[i] = self._timing.p2p_time(plan, chain[i], chain[i + 1])
+        p2p = [self._timing.p2p_time(plan, chain[i], chain[i + 1])
+               for i in range(num_stages - 1)]
 
-        schedules = [self._stage_schedule(i, num_stages, num_microbatches)
-                     for i in range(num_stages)]
+        # Per-op durations, jitter applied per (stage, kind, microbatch).
+        jitter = self._jitter_grid(rng, num_stages, num_microbatches)
+        if jitter is None:
+            durations = [[[fwd_time[i]] * num_microbatches,
+                          [bwd_time[i]] * num_microbatches]
+                         for i in range(num_stages)]
+        else:
+            base = np.empty((num_stages, 2, 1))
+            base[:, _FWD, 0] = fwd_time
+            base[:, _BWD, 0] = bwd_time
+            durations = (base * jitter).tolist()
 
-        finish: dict[_Op, float] = {}
-        stage_free = [0.0] * num_stages
-        pointers = [0] * num_stages
-        total_ops = sum(len(s) for s in schedules)
+        # Integer-indexed 1F1B schedules: kind/microbatch arrays per stage,
+        # plus the position of every (kind, microbatch) within its stage.
+        kinds: list[list[int]] = []
+        mbs_of: list[list[int]] = []
+        pos_of = [[[0] * num_microbatches for _ in range(2)]
+                  for _ in range(num_stages)]
+        for i in range(num_stages):
+            k_row, m_row = self._stage_schedule(i, num_stages, num_microbatches)
+            kinds.append(k_row)
+            mbs_of.append(m_row)
+            row_pos = pos_of[i]
+            for position, (kind, m) in enumerate(zip(k_row, m_row)):
+                row_pos[kind][m] = position
+
+        # Kahn-style ready queue over the dependency DAG: each op waits for
+        # its same-stage predecessor and (except first-stage forwards) one
+        # cross dependency.  Every op enters the queue exactly once.
+        ops_per_stage = 2 * num_microbatches
+        indegree = [[0] * ops_per_stage for _ in range(num_stages)]
+        cross_ready = [[0.0] * ops_per_stage for _ in range(num_stages)]
+        finish = [[0.0] * ops_per_stage for _ in range(num_stages)]
+        for i in range(num_stages):
+            row = indegree[i]
+            k_row = kinds[i]
+            for position in range(ops_per_stage):
+                deps = 1 if position > 0 else 0
+                if not (k_row[position] == _FWD and i == 0):
+                    deps += 1  # cross dependency (or last-stage fwd->bwd)
+                row[position] = deps
+
+        ready: deque[tuple[int, int]] = deque()
+        for i in range(num_stages):
+            if indegree[i][0] == 0:
+                ready.append((i, 0))
         scheduled = 0
+        total_ops = num_stages * ops_per_stage
+        last_stage = num_stages - 1
+        while ready:
+            i, position = ready.popleft()
+            kind = kinds[i][position]
+            m = mbs_of[i][position]
+            prev_finish = finish[i][position - 1] if position > 0 else 0.0
+            cross = cross_ready[i][position]
+            start = prev_finish if prev_finish >= cross else cross
+            done = start + durations[i][kind][m]
+            finish[i][position] = done
+            scheduled += 1
 
-        while scheduled < total_ops:
-            progress = False
-            for i in range(num_stages):
-                while pointers[i] < len(schedules[i]):
-                    op = schedules[i][pointers[i]]
-                    ready = self._ready_time(op, finish, p2p, num_stages)
-                    if ready is None:
-                        break
-                    duration = (fwd_time[i] if op.kind == "fwd" else bwd_time[i])
-                    duration *= self._jitter()
-                    start = max(stage_free[i], ready)
-                    finish[op] = start + duration
-                    stage_free[i] = finish[op]
-                    pointers[i] += 1
-                    scheduled += 1
-                    progress = True
-            if not progress:
-                raise RuntimeError("1F1B schedule deadlocked (internal error)")
+            # Unlock the same-stage successor.
+            nxt = position + 1
+            if nxt < ops_per_stage:
+                indegree[i][nxt] -= 1
+                if indegree[i][nxt] == 0:
+                    ready.append((i, nxt))
+            # Unlock cross-stage dependents, recording their ready times.
+            if kind == _FWD:
+                if i < last_stage:
+                    dep_pos = pos_of[i + 1][_FWD][m]
+                    cross_ready[i + 1][dep_pos] = done + p2p[i]
+                    indegree[i + 1][dep_pos] -= 1
+                    if indegree[i + 1][dep_pos] == 0:
+                        ready.append((i + 1, dep_pos))
+                else:
+                    dep_pos = pos_of[i][_BWD][m]
+                    cross_ready[i][dep_pos] = done
+                    indegree[i][dep_pos] -= 1
+                    if indegree[i][dep_pos] == 0:
+                        ready.append((i, dep_pos))
+            elif i > 0:
+                dep_pos = pos_of[i - 1][_BWD][m]
+                cross_ready[i - 1][dep_pos] = done + p2p[i - 1]
+                indegree[i - 1][dep_pos] -= 1
+                if indegree[i - 1][dep_pos] == 0:
+                    ready.append((i - 1, dep_pos))
 
-        return max(stage_free)
+        if scheduled != total_ops:
+            raise RuntimeError("1F1B schedule deadlocked (internal error)")
+        return max(finish[i][-1] for i in range(num_stages))
 
     @staticmethod
-    def _stage_schedule(stage: int, num_stages: int,
-                        num_microbatches: int) -> list[_Op]:
-        """1F1B op order for one stage: warm-up fwds, steady 1F1B, cool-down."""
+    def _stage_schedule(stage: int, num_stages: int, num_microbatches: int,
+                        ) -> tuple[list[int], list[int]]:
+        """1F1B op order for one stage: warm-up fwds, steady 1F1B, cool-down.
+
+        Returns parallel ``(kinds, microbatches)`` lists of length
+        ``2 * num_microbatches``.
+        """
         warmup = min(num_stages - stage - 1, num_microbatches)
-        ops: list[_Op] = []
+        kinds: list[int] = []
+        microbatches: list[int] = []
         for m in range(warmup):
-            ops.append(_Op(stage, m, "fwd"))
+            kinds.append(_FWD)
+            microbatches.append(m)
         next_fwd = warmup
         next_bwd = 0
-        remaining = num_microbatches - warmup
-        for _ in range(remaining):
-            ops.append(_Op(stage, next_fwd, "fwd"))
+        for _ in range(num_microbatches - warmup):
+            kinds.append(_FWD)
+            microbatches.append(next_fwd)
             next_fwd += 1
-            ops.append(_Op(stage, next_bwd, "bwd"))
+            kinds.append(_BWD)
+            microbatches.append(next_bwd)
             next_bwd += 1
         while next_bwd < num_microbatches:
-            ops.append(_Op(stage, next_bwd, "bwd"))
+            kinds.append(_BWD)
+            microbatches.append(next_bwd)
             next_bwd += 1
-        return ops
-
-    @staticmethod
-    def _ready_time(op: _Op, finish: dict[_Op, float], p2p: list[float],
-                    num_stages: int) -> float | None:
-        """Earliest time an op's cross-stage dependency is satisfied.
-
-        Returns ``None`` when the dependency has not been scheduled yet.
-        """
-        if op.kind == "fwd":
-            if op.stage == 0:
-                return 0.0
-            dep = _Op(op.stage - 1, op.microbatch, "fwd")
-            if dep not in finish:
-                return None
-            return finish[dep] + p2p[op.stage - 1]
-        # backward
-        if op.stage == num_stages - 1:
-            dep = _Op(op.stage, op.microbatch, "fwd")
-            if dep not in finish:
-                return None
-            return finish[dep]
-        dep = _Op(op.stage + 1, op.microbatch, "bwd")
-        if dep not in finish:
-            return None
-        return finish[dep] + p2p[op.stage]
+        return kinds, microbatches

@@ -11,6 +11,11 @@ activation/gradient transfers), ``T_sync`` is the gradient all-reduce at the
 end of the iteration (worst stage), and ``T_update`` the optimizer step.
 Heterogeneity in GPU generations, interconnects and placements enters through
 the per-GPU-type profiles and per-link fitted bandwidth curves.
+
+This estimator is the *scalar reference path*: the vectorized kernels in
+:mod:`repro.core.simulator.eval_context` reproduce its results bit-for-bit
+over canonical plan arrays (the equivalence suite enforces this), so any
+change to the formulas here must be mirrored there.
 """
 
 from __future__ import annotations
@@ -132,15 +137,21 @@ class TimingEstimator:
 
     # -- pipelines ------------------------------------------------------------
 
-    def pipeline_time(self, plan: ParallelizationPlan,
-                      data_parallel_index: int) -> float:
-        """1F1B time of one pipeline: warm-up + steady + cool-down + p2p."""
-        num_microbatches = plan.num_microbatches
+    def _chain_times(self, plan: ParallelizationPlan,
+                     data_parallel_index: int,
+                     ) -> tuple[list[float], list[float]]:
+        """Per-stage compute and inter-stage transfer times of one pipeline."""
         chain = plan.pipeline(data_parallel_index)
         stage_times = [self.replica_compute_time(plan, stage, replica)
                        for stage, replica in zip(plan.stages, chain)]
         p2p_times = [self.p2p_time(plan, chain[i], chain[i + 1])
                      for i in range(len(chain) - 1)]
+        return stage_times, p2p_times
+
+    @staticmethod
+    def _closed_form(stage_times: list[float], p2p_times: list[float],
+                     num_microbatches: int) -> float:
+        """1F1B closed form: warm-up/cool-down + straggler-bounded steady."""
         # The steady-state period is bounded by the slowest stage *or* the
         # slowest inter-stage link: a transfer that takes longer than the
         # straggler stage cannot be hidden and stalls the pipeline (this is
@@ -152,22 +163,34 @@ class TimingEstimator:
         steady = (num_microbatches - 1) * straggler
         return warmup_cooldown + steady
 
+    def pipeline_time(self, plan: ParallelizationPlan,
+                      data_parallel_index: int) -> float:
+        """1F1B time of one pipeline: warm-up + steady + cool-down + p2p."""
+        stage_times, p2p_times = self._chain_times(plan, data_parallel_index)
+        return self._closed_form(stage_times, p2p_times, plan.num_microbatches)
+
     # -- full iteration ---------------------------------------------------------
 
     def breakdown(self, plan: ParallelizationPlan) -> TimingBreakdown:
-        """Full timing breakdown of one iteration."""
-        pipeline_times = [self.pipeline_time(plan, d)
-                          for d in range(plan.data_parallel)]
+        """Full timing breakdown of one iteration.
+
+        Each pipeline's chain is walked once: the same per-boundary transfer
+        times feed both the closed form and the reported p2p list (they were
+        previously recomputed per consumer).
+        """
+        num_microbatches = plan.num_microbatches
+        pipeline_times = []
+        p2p_times: list[float] = []
+        for d in range(plan.data_parallel):
+            stage_times, chain_p2p = self._chain_times(plan, d)
+            pipeline_times.append(
+                self._closed_form(stage_times, chain_p2p, num_microbatches))
+            p2p_times.extend(chain_p2p)
         stage_compute = [self.stage_compute_time(plan, s) for s in plan.stages]
         stage_sync = [self.stage_sync_time(plan, s) for s in plan.stages]
         update = max(
             self.replica_update_time(plan, stage, replica)
             for stage in plan.stages for replica in stage.replicas)
-        p2p_times = []
-        for d in range(plan.data_parallel):
-            chain = plan.pipeline(d)
-            for i in range(len(chain) - 1):
-                p2p_times.append(self.p2p_time(plan, chain[i], chain[i + 1]))
         straggler_stage = max(range(len(stage_compute)),
                               key=lambda i: stage_compute[i])
         return TimingBreakdown(

@@ -1,11 +1,11 @@
 """Figure 8: heterogeneous A100+V100 clusters, OPT-350M.
 
-Two GPU-ratio scenarios -- 50%/50% (8a) and 25%/75% (8b) -- at three cluster
-sizes each.  Compared planners: the heterogeneity-aware baselines (AMP,
-FlashFlex, Metis), Sailor restricted to each homogeneous pool
-(Sailor-A100, Sailor-V100) and full Sailor.  The paper reports throughput,
-cost per iteration and the number of OOM plans each baseline generated
-before a valid one.
+Two GPU-ratio scenarios -- 50%/50% (8a) and 25%/75% (8b) -- scaling up to
+512 GPUs each (the paper's largest point).  Compared planners: the
+heterogeneity-aware baselines (AMP, FlashFlex, Metis), Sailor restricted to
+each homogeneous pool (Sailor-A100, Sailor-V100) and full Sailor.  The
+paper reports throughput, cost per iteration and the number of OOM plans
+each baseline generated before a valid one.
 """
 
 from __future__ import annotations
@@ -25,9 +25,10 @@ from repro.models.spec import TrainingJobSpec
 
 HET_PLANNERS = ("amp", "flashflex", "metis", "sailor")
 
-#: (num A100, num V100) pairs: 50/50 and 25/75 mixes.
+#: (num A100, num V100) pairs: 50/50 and 25/75 mixes, both scaling out to
+#: the paper's 512-GPU point.
 FIGURE8_SETUPS: dict[str, tuple[tuple[int, int], ...]] = {
-    "50/50": ((32, 32), (80, 80), (128, 128)),
+    "50/50": ((32, 32), (80, 80), (128, 128), (256, 256)),
     "25/75": ((32, 96), (80, 240), (128, 384)),
 }
 

@@ -1,0 +1,293 @@
+"""Equivalence suite for the vectorized evaluation layer.
+
+Asserts that the vectorized path (``EvaluationContext`` + fused kernels +
+evaluation cache) reproduces the retained scalar reference path
+*bit-for-bit* over homogeneous, heterogeneous and multi-zone plans; that
+``evaluate_many`` preserves input order; that the planner's candidate-level
+incumbent gate never changes the chosen plan; and that the context's
+per-plan cache hit/miss accounting behaves as documented.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.objectives import Objective
+from repro.core.plan import ParallelizationPlan, StageConfig, StageReplica
+from repro.core.planner import PlannerConfig, SailorPlanner
+from repro.core.simulator import EvaluationContext, SailorSimulator, plan_signature
+from repro.models.partition import uniform_partition
+
+
+def evaluations_equal(a, b) -> bool:
+    """Bitwise equality of two PlanEvaluations (no tolerance)."""
+    return dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def heterogeneous_plan(job, microbatch_size: int = 2) -> ParallelizationPlan:
+    """Two stages mixing GPU types and TP degrees within one zone."""
+    parts = uniform_partition(job.model, 2)
+    zone = "us-central1-a"
+    stages = [
+        StageConfig(partition=parts[0], replicas=[
+            StageReplica("a2-highgpu-4g", 2, zone),
+            StageReplica("n1-standard-v100-4", 4, zone),
+        ]),
+        StageConfig(partition=parts[1], replicas=[
+            StageReplica("n1-standard-v100-4", 2, zone),
+            StageReplica("n1-standard-v100-4", 2, zone),
+        ]),
+    ]
+    return ParallelizationPlan(job=job, stages=stages,
+                               microbatch_size=microbatch_size)
+
+
+def multizone_plan(job, microbatch_size: int = 2) -> ParallelizationPlan:
+    """Two stages whose data-parallel groups span zones and regions."""
+    parts = uniform_partition(job.model, 2)
+    stages = [
+        StageConfig(partition=parts[0], replicas=[
+            StageReplica("a2-highgpu-4g", 4, "us-central1-a"),
+            StageReplica("a2-highgpu-4g", 4, "us-central1-b"),
+        ]),
+        StageConfig(partition=parts[1], replicas=[
+            StageReplica("a2-highgpu-4g", 4, "us-central1-b"),
+            StageReplica("a2-highgpu-4g", 4, "us-west1-a"),
+        ]),
+    ]
+    return ParallelizationPlan(job=job, stages=stages,
+                               microbatch_size=microbatch_size)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized vs scalar equivalence
+# ---------------------------------------------------------------------------
+
+VALID_CONFIGS = st.tuples(
+    st.sampled_from([1, 2, 4]),          # pipeline parallel
+    st.sampled_from([1, 2, 4]),          # data parallel
+    st.sampled_from([1, 2, 4]),          # tensor parallel
+    st.sampled_from([1, 2, 4]),          # microbatch size
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=VALID_CONFIGS, check_memory=st.booleans())
+def test_vectorized_matches_scalar_homogeneous(opt_env, opt_job, config,
+                                               check_memory):
+    pp, dp, tp, mbs = config
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g",
+                                           pp, dp, tp, mbs)
+    vectorized = SailorSimulator(opt_env).evaluate(plan,
+                                                   check_memory=check_memory)
+    scalar = SailorSimulator(opt_env, vectorized=False).evaluate(
+        plan, check_memory=check_memory)
+    assert evaluations_equal(vectorized, scalar)
+
+
+@pytest.mark.parametrize("mbs", [1, 2, 4])
+def test_vectorized_matches_scalar_heterogeneous(opt_env, opt_job, mbs):
+    plan = heterogeneous_plan(opt_job, microbatch_size=mbs)
+    vectorized = SailorSimulator(opt_env).evaluate(plan)
+    scalar = SailorSimulator(opt_env, vectorized=False).evaluate(plan)
+    assert evaluations_equal(vectorized, scalar)
+
+
+def test_vectorized_matches_scalar_multizone(opt_env_geo, opt_job):
+    plan = multizone_plan(opt_job)
+    vectorized = SailorSimulator(opt_env_geo).evaluate(plan)
+    scalar = SailorSimulator(opt_env_geo, vectorized=False).evaluate(plan)
+    assert evaluations_equal(vectorized, scalar)
+    # Cross-zone plans must exercise the egress-cost path.
+    assert vectorized.communication_cost_usd > 0
+
+
+def test_vectorized_matches_scalar_with_checkpointing(opt_env, opt_job):
+    job = dataclasses.replace(opt_job, activation_checkpointing=True)
+    plan = ParallelizationPlan.homogeneous(job, "a2-highgpu-4g", 4, 2, 4, 2)
+    vectorized = SailorSimulator(opt_env).evaluate(plan)
+    scalar = SailorSimulator(opt_env, vectorized=False).evaluate(plan)
+    assert evaluations_equal(vectorized, scalar)
+
+
+def test_oom_detection_identical_on_too_small_gpus(neo_env, neo_job):
+    """A plan that OOMs scalar-side must OOM identically vectorized."""
+    plan = ParallelizationPlan.homogeneous(neo_job, "n1-standard-v100-4",
+                                           1, 2, 1, 1)
+    vectorized = SailorSimulator(neo_env).evaluate(plan)
+    scalar = SailorSimulator(neo_env, vectorized=False).evaluate(plan)
+    assert evaluations_equal(vectorized, scalar)
+    assert not vectorized.is_valid
+    assert vectorized.oom_stages == [0]
+    assert SailorSimulator(neo_env).oom_stages(plan) == [0]
+
+
+def test_floor_never_exceeds_full_estimate(opt_env, opt_job):
+    simulator = SailorSimulator(opt_env)
+    plans = [
+        ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2),
+        ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 1, 4, 2, 1),
+        heterogeneous_plan(opt_job),
+    ]
+    for plan in plans:
+        floor = simulator.iteration_time_floor(plan)
+        assert floor <= simulator.evaluate(plan).iteration_time_s
+        assert floor > 0
+
+
+# ---------------------------------------------------------------------------
+# evaluate_many
+# ---------------------------------------------------------------------------
+
+def test_evaluate_many_preserves_input_order(opt_env, opt_job):
+    simulator = SailorSimulator(opt_env)
+    plans = [
+        ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2),
+        heterogeneous_plan(opt_job),
+        ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 2, 2, 2, 4),
+        # Duplicate of the first plan: must produce an equal result even
+        # though it is served from the evaluation cache.
+        ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2),
+    ]
+    batched = simulator.evaluate_many(plans)
+    assert len(batched) == len(plans)
+    reference = SailorSimulator(opt_env, vectorized=False)
+    for plan, result in zip(plans, batched):
+        assert evaluations_equal(result, reference.evaluate(plan))
+    assert evaluations_equal(batched[0], batched[3])
+
+
+def test_cached_evaluations_do_not_alias(opt_env, opt_job):
+    """Mutating one returned evaluation must not corrupt the cache."""
+    simulator = SailorSimulator(opt_env)
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2)
+    first = simulator.evaluate(plan)
+    first.peak_memory_bytes_per_stage.append(-1.0)
+    first.oom_stages.append(99)
+    second = simulator.evaluate(plan)
+    assert second.oom_stages == []
+    assert -1.0 not in second.peak_memory_bytes_per_stage
+
+
+# ---------------------------------------------------------------------------
+# EvaluationContext cache semantics
+# ---------------------------------------------------------------------------
+
+def test_plan_cache_hit_miss_accounting(opt_env, opt_job):
+    context = EvaluationContext(opt_env)
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2)
+    assert (context.plan_cache_hits, context.plan_cache_misses) == (0, 0)
+    first = context.plan_arrays(plan)
+    assert (context.plan_cache_hits, context.plan_cache_misses) == (0, 1)
+    again = context.plan_arrays(plan)
+    assert again is first
+    assert (context.plan_cache_hits, context.plan_cache_misses) == (1, 1)
+    # A *structurally equal* but distinct plan object hits the same entry.
+    twin = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2)
+    assert context.plan_arrays(twin) is first
+    assert (context.plan_cache_hits, context.plan_cache_misses) == (2, 1)
+    # Any structural difference is a distinct entry.
+    other = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 1)
+    assert context.plan_arrays(other) is not first
+    assert (context.plan_cache_hits, context.plan_cache_misses) == (2, 2)
+
+
+def test_plan_cache_disabled_rebuilds(opt_env, opt_job):
+    context = EvaluationContext(opt_env, cache_plans=False)
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2)
+    assert context.plan_arrays(plan) is not context.plan_arrays(plan)
+    assert (context.plan_cache_hits, context.plan_cache_misses) == (0, 0)
+
+
+def test_plan_signature_distinguishes_evaluation_inputs(opt_job):
+    base = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2)
+    twin = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2)
+    assert plan_signature(base) == plan_signature(twin)
+    for different in (
+            ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 1),
+            ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 2, 2, 4, 2),
+            ParallelizationPlan.homogeneous(opt_job, "n1-standard-v100-4", 4, 2, 4, 2),
+            ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2,
+                                            zone="us-central1-b"),
+            ParallelizationPlan.homogeneous(
+                dataclasses.replace(opt_job, activation_checkpointing=True),
+                "a2-highgpu-4g", 4, 2, 4, 2),
+    ):
+        assert plan_signature(different) != plan_signature(base)
+
+
+def test_simulator_eval_cache_accounting(opt_env, opt_job):
+    simulator = SailorSimulator(opt_env)
+    plan = ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2)
+    simulator.evaluate(plan)
+    simulator.evaluate(plan)
+    simulator.evaluate(plan, check_memory=False)  # distinct cache key
+    assert simulator.eval_cache_misses == 2
+    assert simulator.eval_cache_hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Incumbent gate: never skips the optimum
+# ---------------------------------------------------------------------------
+
+def _plans_identical(a, b) -> bool:
+    if (a.plan is None) != (b.plan is None):
+        return False
+    if a.plan is None:
+        return True
+    return (a.plan.describe() == b.plan.describe()
+            and evaluations_equal(a.evaluation, b.evaluation))
+
+
+@pytest.mark.parametrize("objective", [
+    Objective.max_throughput(),
+    Objective.min_cost(),
+    Objective.max_throughput(max_gpus=16),
+], ids=["throughput", "cost", "throughput-max-gpus"])
+def test_gate_on_off_chooses_identical_plans(opt_env, opt_job, mixed_topology,
+                                             objective):
+    gate_on = SailorPlanner(opt_env, config=PlannerConfig()).plan(
+        opt_job, mixed_topology, objective)
+    gate_off = SailorPlanner(opt_env, config=PlannerConfig(
+        enable_candidate_gate=False)).plan(opt_job, mixed_topology, objective)
+    assert _plans_identical(gate_on, gate_off)
+    assert gate_on.candidates_evaluated == gate_off.candidates_evaluated
+    assert gate_on.oom_plans_generated == gate_off.oom_plans_generated
+    assert gate_off.search_stats.gate_skips == 0
+
+
+def test_gate_on_off_identical_on_geo_topology(opt_env_geo, opt_job,
+                                               geo_topology_2regions):
+    objective = Objective.max_throughput()
+    gate_on = SailorPlanner(opt_env_geo).plan(
+        opt_job, geo_topology_2regions, objective)
+    gate_off = SailorPlanner(opt_env_geo, config=PlannerConfig(
+        enable_candidate_gate=False)).plan(
+        opt_job, geo_topology_2regions, objective)
+    assert _plans_identical(gate_on, gate_off)
+
+
+def test_gate_disarms_under_cost_or_throughput_constraints(opt_env, opt_job,
+                                                           mixed_topology):
+    """With a budget/throughput bound the gate must not fire at all."""
+    unconstrained = SailorPlanner(opt_env).plan(
+        opt_job, mixed_topology, Objective.max_throughput())
+    budget = unconstrained.evaluation.cost_per_iteration_usd * 1.5
+    result = SailorPlanner(opt_env).plan(
+        opt_job, mixed_topology,
+        Objective.max_throughput(max_cost_per_iteration_usd=budget))
+    assert result.search_stats.gate_skips == 0
+    reference = SailorPlanner(opt_env, config=PlannerConfig(
+        enable_candidate_gate=False)).plan(
+        opt_job, mixed_topology,
+        Objective.max_throughput(max_cost_per_iteration_usd=budget))
+    assert _plans_identical(result, reference)
+
+
+def test_gate_actually_skips_candidates(opt_env, opt_job, mixed_topology):
+    result = SailorPlanner(opt_env).plan(opt_job, mixed_topology,
+                                         Objective.max_throughput())
+    assert result.search_stats.gate_skips > 0

@@ -80,6 +80,22 @@ def test_reference_is_deterministic_per_seed(opt_env, opt_job):
     assert a.iteration_time_s != c.iteration_time_s
 
 
+def test_reference_is_independent_of_call_order(opt_env, opt_job):
+    """measure() re-seeds from (seed, plan): results never depend on what
+    was measured before (estimation-error experiments rely on this)."""
+    plan_a = plan_for(opt_job)
+    plan_b = plan_for(opt_job, pipeline_parallel=2, tensor_parallel=2,
+                      microbatch_size=4)
+    reference = ReferenceSimulator(opt_env, seed=5)
+    first = reference.measure(plan_a).iteration_time_s
+    reference.measure(plan_b)
+    reference.measure(plan_b)
+    assert reference.measure(plan_a).iteration_time_s == first
+    # A fresh instance with the same seed agrees measurement-for-measurement.
+    assert ReferenceSimulator(opt_env, seed=5).measure(plan_a).iteration_time_s \
+        == first
+
+
 def test_reference_pipeline_slower_with_fewer_resources(reference, opt_job):
     small = plan_for(opt_job, data_parallel=1)
     large = plan_for(opt_job, data_parallel=4)
