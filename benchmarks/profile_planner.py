@@ -8,7 +8,11 @@ functions.  Use this to find the next optimisation target before reaching
 for the micro-benchmarks::
 
     make profile                       # 64 GPUs, top 30 by cumulative time
-    make profile PROFILE_ARGS="--gpus 256 --sort tottime --limit 40"
+    make profile PROFILE_ARGS="--gpus 256 --sort tottime --top 40"
+
+The ``--top N`` / ``--sort`` pair is the regression-eyeballing interface:
+``--sort tottime --top 10`` shows at a glance whether a new hot row crept
+into the DP engine (``--limit`` is kept as an alias of ``--top``).
 """
 
 from __future__ import annotations
@@ -39,8 +43,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sort", default="cumulative",
                         choices=["cumulative", "tottime", "ncalls"],
                         help="pstats sort order (default: cumulative)")
-    parser.add_argument("--limit", type=int, default=30,
-                        help="rows to print (default: 30)")
+    parser.add_argument("--top", "--limit", dest="top", type=int, default=30,
+                        help="rows to print (default: 30; --limit is an "
+                             "alias)")
     parser.add_argument("--min-cost", action="store_true",
                         help="profile the cost objective instead of "
                              "max-throughput")
@@ -72,7 +77,7 @@ def main(argv: list[str] | None = None) -> int:
     profiler.disable()
 
     stats = pstats.Stats(profiler)
-    stats.sort_stats(args.sort).print_stats(args.limit)
+    stats.sort_stats(args.sort).print_stats(args.top)
     print(f"search_time={result.search_time_s:.3f}s "
           f"candidates={result.candidates_evaluated} "
           f"stats=[{result.search_stats.describe()}]")

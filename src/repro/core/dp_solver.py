@@ -12,16 +12,36 @@ iteration time
 ``T = sum_i t_i + (Nb - 1) * max_i t_i + max_i sync_i``
 
 (or the projected cost when the objective is cost minimisation).  Results
-are memoised on ``(stage, remaining resources, remaining budget)``.
+are memoised on ``(stage, remaining resources)`` -- plus a *budget
+interval* when a budget constraint is active (see below).
 
-Two things keep the search fast (the planner's latency is what the paper's
-Tables 1-3 hinge on):
+Three things keep the search fast (the planner's latency is what the
+paper's Tables 1-3 hinge on):
 
 * **Shared search context.**  Stage compute/sync times, cost rates and the
   combo enumeration are cached on a
   :class:`~repro.core.search_cache.PlannerSearchContext` keyed independently
   of the data-parallel candidate, so a planner call computes each of them
   once instead of once per DP candidate.
+* **The resource-state engine.**  Resource states are array-encoded by a
+  :class:`~repro.core.resource_state.ResourceStateCodec` (fixed-width
+  count vectors, one slot per root (zone, node type) pair) whose encoding
+  is a bijection with the canonical tuple-of-tuples form -- memo keys
+  collapse exactly the same states, so plans are byte-identical to the
+  tuple encoding.  On wide pools, unconstrained solves skip the recursion
+  entirely: a :class:`~repro.core.resource_state.ResourceStateEngine`
+  computes the same table bottom-up, one whole stage layer of states per
+  batched kernel call (see its docstring for the forward/backward passes
+  and the bit-equivalence argument).  Where the recursion still runs (the
+  budget straggler loop, and ``enable_pruning=False``), each state's
+  fitting combos, child states (footprint subtracted, per-stage caps
+  clamped) and child memo keys are computed once and cached -- via the
+  vectorized :class:`~repro.core.resource_state.StageComboTable` kernels
+  on wide pools, via scalar scans over tuple states on tiny pools where
+  NumPy call overhead cannot amortise (``DPSolver.engine_min_states``
+  picks the regime; both produce the identical fit order, and a mode's
+  memo keys -- state bytes for vector, the state tuples themselves for
+  scalar -- never mix within one solve).
 * **Branch-and-bound.**  Before recursing on a combo the solver computes an
   admissible lower bound on the objective of any completed solution through
   that combo (best achievable compute time / cost rate of the remaining
@@ -38,14 +58,39 @@ straggler-approximation loop: it first assumes the current stage is the
 pipeline straggler to estimate the budget left for the remaining stages,
 solves them, and re-iterates with the discovered straggler when the
 assumption was wrong (section 4.2.3).  This is what makes budget-constrained
-searches slower (Table 3).  A *budget-dominance* shortcut answers most of
-those queries from the unconstrained optimum instead: whenever the
-unconstrained optimum of a subproblem fits the remaining budget it is also
-the budgeted optimum, so only genuinely binding budgets enter the straggler
-loop.  Unlike branch-and-bound this shortcut is part of the algorithm (it is
-*not* disabled by ``enable_pruning=False``; it can only return equal-or-
-better solutions than the straggler approximation) and is covered by its own
-dominance property tests.
+searches slower (Table 3).  Two mechanisms answer most of those queries
+without a fresh search:
+
+* A *budget-dominance* shortcut: whenever the unconstrained optimum of a
+  subproblem fits the remaining budget it is also the budgeted optimum, so
+  only genuinely binding budgets enter the straggler loop.  Unlike
+  branch-and-bound this shortcut is part of the algorithm (it is *not*
+  disabled by ``enable_pruning=False``; it can only return equal-or-better
+  solutions than the straggler approximation) and is covered by its own
+  dominance property tests.
+* **Interval-keyed budget memoisation.**  A suffix optimum found under
+  budget ``b`` with cost ``c <= b`` is provably optimal for *every* budget
+  in ``[c, b]``: a smaller budget ``b'`` in that range still admits the
+  solution, and anything beating it under ``b'`` would also be feasible
+  under ``b``, contradicting optimality.  (Symmetrically, infeasibility
+  under ``b`` implies infeasibility for every ``b' <= b``.)  Budgeted memo
+  entries therefore store the budget *interval* they answer instead of
+  forking one entry per rounded budget the straggler loop proposes; every
+  budget inside a stored interval is answered from the one entry.  The
+  dominance shortcut is the special case ``[c, +inf)``.
+
+  One honest caveat: the proof is exact for true optima, while the
+  straggler loop only *approximates* the budgeted optimum, so answering a
+  sub-budget from a stored interval is not always identical to re-running
+  the approximation at that exact budget (a fresh run threads a different
+  remaining budget and can land on a different approximate answer).  The
+  reuse is deliberate -- the interval answer is a feasible solution whose
+  optimality claim is at least as strong as the stored search's -- and the
+  observed effect on the planner is bounded to occasional extra feasible
+  candidates (chosen plans stayed byte-identical across the equivalence
+  matrix); the budget property tests in ``tests/test_dp_solver.py`` pin
+  the sound guarantees (budget respected, never beats brute force,
+  non-binding budgets exact).
 """
 
 from __future__ import annotations
@@ -53,7 +98,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.objectives import OptimizationGoal
+from repro.core.resource_state import (
+    ResourceStateCodec,
+    ResourceStateEngine,
+    StageComboTable,
+    StageKernelTable,
+)
 from repro.core.search_cache import (
     PlannerSearchContext,
     ResourceKey,
@@ -167,24 +220,44 @@ class DPSolver:
                 f"context goal {context.goal} does not match solver goal {goal}")
         self.context = context or PlannerSearchContext(env, job, goal)
         self._tp_keys = [tp_options_key(opts) for opts in tp_options_per_stage]
-        self._memo: dict[tuple, tuple[DPSolution | None, bool, float]] = {}
-        # Per-solve state: master combo lists, per-state filtered views and
-        # admissible per-suffix bounds.  Resource states inside the
-        # recursion are integer-indexed: one count per root (zone, node
-        # type) slot, in the root's sorted order.  The encoding is a
-        # bijection with the canonical tuple form (an exhausted slot is 0
-        # where the tuple form dropped the pair), so memo keys collapse the
-        # exact same states -- but hashing a flat int tuple and scanning
-        # index/count pairs is far cheaper than nested string tuples.
+        # Per-solve state, rebuilt by :meth:`solve`: the resource-state
+        # codec (array encoding of the root's states), per-stage combo
+        # tables, per-state filtered combo views (child states and memo
+        # keys precomputed), clamp vectors, admissible per-suffix bounds,
+        # and the memos.  Memo keys are the stage index prefixed to the
+        # state raw bytes, one dict per stage; budgeted entries live
+        # in ``_budget_memo`` as interval lists (see the module docstring).
         self._root: ResourceKey = ()
-        self._keys: list[tuple[str, str]] = []
-        self._master_req: list[list | None] = [None] * len(partitions)
-        self._combo_cache: dict[tuple, list] = {}
+        self._codec: ResourceStateCodec | None = None
+        self._tables: list[StageComboTable | None] = [None] * len(partitions)
+        self._engine: ResourceStateEngine | None = None
+        self._mat_cache: dict[tuple[int, int], DPSolution] = {}
+        self._vector_states = True
+        self._caps_list: list[tuple[int, ...]] = []
+        self._memo: list[dict[bytes, tuple[DPSolution | None, bool, float]]] = \
+            [{} for _ in partitions]
+        self._budget_memo: list[dict[bytes, list[list]]] = \
+            [{} for _ in partitions]
+        self._combo_cache: list[dict[bytes, tuple]] = [{} for _ in partitions]
         self._clamp_active: list[bool] = [True] * len(partitions)
-        self._caps_vec: list[tuple[int, ...]] = []
+        self._caps_vec: list[np.ndarray] = []
         self._sfx_sum: list[float] = []
         self._sfx_max: list[float] = []
         self._sfx_rate: list[float] = []
+        #: Layered-engine dispatch threshold: the engine's batched kernels
+        #: amortise their fixed NumPy cost only when the per-stage state
+        #: layers are wide, which ``prod(root count + 1)`` (an upper bound
+        #: on any layer's size) predicts well.  Below the threshold the
+        #: B&B recursion -- byte-identical by the equivalence suites -- is
+        #: faster.  Tests pin this to 0 to force the engine.
+        self.engine_min_states = 100
+        #: Observability for the interval-memo property tests: when
+        #: ``track_budget_forks`` is set (tests only; off the hot path by
+        #: default), ``fork_keys`` collects the distinct ``(stage, state,
+        #: rounded budget)`` triples the old per-budget memo would have
+        #: keyed entries under, for comparison with ``budget_memo_entries``.
+        self.track_budget_forks = False
+        self.fork_keys: set[tuple] = set()
         self._prepare_clamps()
 
     @property
@@ -202,18 +275,28 @@ class DPSolver:
         """
         return self.context.stats.nodes_explored
 
+    def budget_memo_entries(self) -> int:
+        """Total interval entries currently stored in the budgeted memo."""
+        return sum(len(entries)
+                   for per_stage in self._budget_memo
+                   for entries in per_stage.values())
+
     # -- public API ------------------------------------------------------------
 
     def solve(self, resources: ResourceMap,
               budget_per_iteration: float | None = None) -> DPSolution | None:
         """Assign resources to every stage; ``None`` when nothing fits."""
-        self._memo.clear()
-        self._combo_cache.clear()
+        num_stages = len(self.partitions)
+        self._memo = [{} for _ in range(num_stages)]
+        self._budget_memo = [{} for _ in range(num_stages)]
+        self._combo_cache = [{} for _ in range(num_stages)]
+        self.fork_keys.clear()
         root = tuple(sorted((key, count) for key, count in resources.items()
                             if count > 0))
         self._root = root
-        self._keys = [key for key, _ in root]
-        self._master_req = [None] * len(self.partitions)
+        codec = ResourceStateCodec(root)
+        self._codec = codec
+        self._tables = [None] * len(self.partitions)
         # A stage's suffix clamp can only ever bind if it binds on the root:
         # descendant states shrink, so when the root is under every cap the
         # clamp is a no-op for the whole search and can be skipped.
@@ -222,15 +305,117 @@ class DPSolver:
                 for (_, node_type), count in root)
             for caps in self._suffix_clamp[:len(self.partitions)]
         ]
-        # Suffix clamps as per-slot cap vectors aligned with the root order.
-        self._caps_vec = [
-            tuple(caps.get(node_type, 0) for _, node_type in self._keys)
-            for caps in self._suffix_clamp
-        ]
+        # Suffix clamps as per-slot cap vectors aligned with the slot order.
+        self._caps_vec = [codec.caps_vector(caps)
+                          for caps in self._suffix_clamp]
         if not self._prepare_bounds(root):
             return None  # some stage can be hosted by no available option
-        root_state = tuple(count for _, count in root)
-        return self._solve(0, root_state, budget_per_iteration, math.inf)
+        state = codec.root_state
+        if self._clamp_active[0]:
+            state = codec.clamp(state, self._caps_vec[0])
+        # Adaptive dispatch on the (upper bound of the) reachable state
+        # space.  Wide pools: the layered engine answers unconstrained
+        # solves outright (and the budget search's dominance probes), and
+        # any remaining recursion runs on array states with the vectorized
+        # kernels.  Tiny pools: the batched kernels cannot amortise their
+        # fixed NumPy cost, so the recursion runs on plain int tuples with
+        # scalar scans instead -- same fit order, same (struct-packed) memo
+        # keys, byte-identical plans.  ``enable_pruning=False`` keeps the
+        # plain exhaustive recursion as the independent reference the
+        # equivalence property tests compare against.
+        self._engine = None
+        self._mat_cache = {}
+        state_space = 1
+        for count in codec.root_state.tolist():
+            state_space *= count + 1
+        self._vector_states = state_space >= self.engine_min_states
+        if not self._vector_states:
+            # Scalar mode keys memos on the state tuples themselves (the
+            # original tuple encoding's keying; pack()-ing bytes here would
+            # only add per-child overhead the small pool cannot amortise).
+            self._caps_list = [tuple(caps.tolist()) for caps in self._caps_vec]
+            scalar = tuple(state.tolist())
+            return self._solve(0, scalar, budget_per_iteration, math.inf,
+                               scalar)
+        if self.config.enable_pruning:
+            engine = self._build_engine()
+            engine.run(state)
+            self.stats.nodes_explored += engine.states_computed
+            self.stats.memo_hits += engine.dedup_hits
+            self._engine = engine
+            if budget_per_iteration is None:
+                if not engine.feasible(0, 0):
+                    return None
+                return self._materialize(0, 0)
+        return self._solve(0, state, budget_per_iteration, math.inf,
+                           state.tobytes())
+
+    def _build_engine(self) -> ResourceStateEngine:
+        """Assemble the per-stage kernel tables and the layered engine.
+
+        The kernel tables extend the recursion's combo tables with eager
+        per-combo scalar arrays (compute, sync, cost rate -- all served
+        from the shared context's caches), and are installed into
+        ``_tables`` so the budget recursion and :meth:`_combos_for_state`
+        reuse the same objects.
+        """
+        tables: list[StageKernelTable] = []
+        context = self.context
+        for stage_index, partition in enumerate(self.partitions):
+            master = self._master_combos(stage_index, self._root)
+            plain = self._codec.combo_table(master)
+            table = StageKernelTable(
+                entries=plain.entries,
+                req=plain.req,
+                pairs=plain.pairs,
+                compute=np.array([entry[4] for entry in master]),
+                sync=np.array([context.stage_sync_time(
+                    partition, self.data_parallel, entry[0])
+                    for entry in master]),
+                rate=np.array([context.stage_cost_rate(entry[0])
+                               for entry in master]),
+            )
+            tables.append(table)
+            self._tables[stage_index] = table
+        return ResourceStateEngine(
+            self._codec, tables, self._caps_vec, self._clamp_active,
+            self.num_microbatches,
+            self.goal is OptimizationGoal.MIN_COST,
+            self.config.max_combos_per_stage)
+
+    def _materialize(self, stage_index: int, row: int) -> DPSolution:
+        """Build the DPSolution of one engine row from its backpointers.
+
+        Only requested rows (the root; the budget search's dominance hits)
+        ever construct ``StageAssignment`` objects, and the fold uses the
+        same ``_combine`` the recursion uses, so the materialised fields
+        are bit-identical to a recursive solve.
+        """
+        cached = self._mat_cache.get((stage_index, row))
+        if cached is not None:
+            return cached
+        combo, child = self._engine.backpointer(stage_index, row)
+        entry = self._tables[stage_index].entries[combo]
+        assignment = entry[2]
+        if assignment is None:
+            assignment = self.context.build_stage_assignment(
+                self.partitions[stage_index], self.microbatch_size,
+                self.data_parallel, entry[0], nodes_used=entry[1],
+                compute_time_s=entry[4])
+            entry[2] = assignment
+        if stage_index == len(self.partitions) - 1:
+            solution = DPSolution(
+                assignments=[assignment],
+                max_stage_time_s=assignment.compute_time_s,
+                sum_stage_time_s=assignment.compute_time_s,
+                max_sync_time_s=assignment.sync_time_s,
+                cost_rate_usd_per_s=assignment.cost_rate_usd_per_s,
+            )
+        else:
+            solution = self._combine(assignment,
+                                     self._materialize(stage_index + 1, child))
+        self._mat_cache[(stage_index, row)] = solution
+        return solution
 
     # -- stage metrics -----------------------------------------------------------
 
@@ -280,43 +465,85 @@ class DPSolver:
             self.config.max_mixed_types_per_stage,
             self.config.split_fractions)
 
-    def _combos_for_state(self, stage_index: int,
-                          state: tuple[int, ...]) -> list:
+    def _stage_table(self, stage_index: int) -> StageComboTable:
+        """The stage's master combos with footprints packed for the codec."""
+        table = self._tables[stage_index]
+        if table is None:
+            master = self._master_combos(stage_index, self._root)
+            table = (self._codec.combo_table(master) if self._vector_states
+                     else self._codec.combo_pairs(master))
+            self._tables[stage_index] = table
+        return table
+
+    def _combos_for_state(self, stage_index: int, state,
+                          key: bytes) -> tuple[list, np.ndarray | None]:
         """Combos of the root master list that fit one resource state.
 
         A combo generated from a resource subset is exactly a root combo
-        whose whole-node footprint fits the subset, so filtering the master
-        list (already sorted) and stopping at ``max_combos_per_stage``
-        reproduces the per-state enumeration at a fraction of the cost.
-        Returns ``(entry, needs)`` pairs where ``needs`` is the entry's
-        whole-node footprint as ``(slot index, count)`` pairs aligned with
-        the integer state encoding.
+        whose whole-node footprint fits the subset, so one vectorized fit
+        test against the stage's precomputed
+        :class:`~repro.core.resource_state.StageComboTable` (already in
+        ranking order) truncated at ``max_combos_per_stage`` reproduces the
+        per-state enumeration at a fraction of the cost.  Returns
+        ``([(entry, row, child memo key), ...], children)`` where
+        ``children[row]`` is the state minus the entry's footprint,
+        pre-clamped at the *next* stage's caps, and the child keys are
+        sliced out of the matrix's single ``tobytes`` blob (memos are
+        per-stage dicts, so a state's raw bytes are the whole key) -- the
+        recursion does no per-combo state arithmetic at all (``children``
+        is ``None`` for the last stage, which has no recursion).  Cached
+        per ``(stage, state)``.
         """
-        key = (stage_index, state)
-        cached = self._combo_cache.get(key)
+        cache = self._combo_cache[stage_index]
+        cached = cache.get(key)
         if cached is not None:
             return cached
-        pairs = self._master_req[stage_index]
-        if pairs is None:
-            master = self._master_combos(stage_index, self._root)
-            index = {node_key: i for i, node_key in enumerate(self._keys)}
-            pairs = [(entry,
-                      tuple((index[node_key], used)
-                            for node_key, used in entry[3]))
-                     for entry in master]
-            self._master_req[stage_index] = pairs
+        codec = self._codec
+        table = self._stage_table(stage_index)
         limit = self.config.max_combos_per_stage
-        fitting = []
-        for pair in pairs:
-            for slot, used in pair[1]:
-                if state[slot] < used:
-                    break
-            else:
-                fitting.append(pair)
-                if len(fitting) >= limit:
-                    break
-        self._combo_cache[key] = fitting
-        return fitting
+        is_last = stage_index == len(self.partitions) - 1
+        next_stage = stage_index + 1
+
+        if not self._vector_states:
+            # Scalar build over tuple states (small pools): the same
+            # first-`limit` fit scan in master order.  The cached rows are
+            # *references* to the stage's shared (entry, needs) pairs --
+            # no per-state allocations survive the scan (allocation churn
+            # here shows up as whole-solve GC pauses), and the recursion
+            # subtracts children per visit exactly like the original tuple
+            # encoding did.
+            fitting = []
+            found = 0
+            for pair in table.pairs:
+                for slot, used in pair[1]:
+                    if state[slot] < used:
+                        break
+                else:
+                    fitting.append(pair)
+                    found += 1
+                    if found >= limit:
+                        break
+            cached = (fitting, None)
+            cache[key] = cached
+            return cached
+
+        idx = codec.fitting_combos(table, state, limit)
+        entries = table.entries
+        rows = idx.tolist()
+        if is_last:
+            children = None
+            fitting = [(entries[i], n, None) for n, i in enumerate(rows)]
+        else:
+            children = state - table.req[idx]
+            if self._clamp_active[next_stage]:
+                children = np.minimum(children, self._caps_vec[next_stage])
+            blob = children.tobytes()
+            width = children.shape[1] * children.itemsize
+            fitting = [(entries[i], n, blob[n * width:(n + 1) * width])
+                       for n, i in enumerate(rows)]
+        cached = (fitting, children)
+        cache[key] = cached
+        return cached
 
     # -- resource clamping --------------------------------------------------------
 
@@ -354,7 +581,9 @@ class DPSolver:
         """Clamp counts at ``caps`` per node type; drop unusable types.
 
         Returns the input tuple unchanged (same object) when nothing caps,
-        so the common case allocates nothing.
+        so the common case allocates nothing.  (This is the *tuple-form*
+        clamp used for context cache keys; states inside the recursion use
+        the codec's vectorized clamp.)
         """
         changed = False
         for (_, node_type), count in resources:
@@ -438,97 +667,155 @@ class DPSolver:
             return rate_lb * time_lb * _COST_BOUND_SLACK
         return time_lb
 
+    # -- budget interval memo ------------------------------------------------------
+
+    def _budget_lookup(self, stage_index: int, key: bytes, budget: float,
+                       upper_bound: float) -> tuple | None:
+        """Interval entry answering ``budget`` under the caller's bound.
+
+        An entry ``[lo, hi, solution, exact, bound]`` answers every budget
+        in ``[lo, hi]`` (module docstring has the proof); a bound-limited
+        entry additionally requires the caller's bound to be at least as
+        strict, exactly like the unbudgeted memo.
+        """
+        entries = self._budget_memo[stage_index].get(key)
+        if entries is None:
+            return None
+        for entry in entries:
+            if (entry[0] <= budget <= entry[1]
+                    and (entry[3] or upper_bound <= entry[4])):
+                return entry
+        return None
+
+    def _budget_store(self, stage_index: int, key: bytes, lo: float,
+                      hi: float, solution: DPSolution | None, exact: bool,
+                      bound: float) -> None:
+        """Record one interval entry, widening an existing compatible one.
+
+        A re-solve of the same subproblem at a new budget usually returns
+        the *same* solution object (served from the unbudgeted memo via
+        dominance) -- those merge into one wider interval instead of
+        forking, which is where the entry-count drop vs per-budget keying
+        comes from.
+        """
+        if exact:
+            bound = math.inf  # lookups ignore the bound on exact entries
+        memo = self._budget_memo[stage_index]
+        entries = memo.get(key)
+        if entries is None:
+            memo[key] = [[lo, hi, solution, exact, bound]]
+            return
+        for entry in entries:
+            if (entry[2] is solution and entry[3] == exact
+                    and entry[4] == bound and entry[0] == lo):
+                if hi > entry[1]:
+                    entry[1] = hi
+                return
+        entries.append([lo, hi, solution, exact, bound])
+
     # -- recursion ------------------------------------------------------------------
 
-    @staticmethod
-    def _subtract_state(state: tuple[int, ...],
-                        needs: tuple[tuple[int, int], ...],
-                        ) -> tuple[int, ...] | None:
-        """Remove a combo's whole-node footprint from an integer state.
+    def _solve(self, stage_index: int, resources,
+               budget: float | None, upper_bound: float,
+               key: bytes | None = None) -> DPSolution | None:
+        """Best assignment of stages ``stage_index..P-1`` from ``resources``.
 
-        ``None`` when some slot goes negative (the combo does not fit);
-        exhausted slots stay in the tuple as zeros, which is the same
-        equivalence class the canonical tuple form expressed by dropping
-        the pair.
+        ``resources`` is an array-encoded state, already clamped at this
+        stage's caps (the root is clamped by :meth:`solve`, children by
+        :meth:`_combos_for_state`); ``key`` is its memo key when the caller
+        already has it.
         """
-        out = list(state)
-        for slot, used in needs:
-            left = out[slot] - used
-            if left < 0:
-                return None
-            out[slot] = left
-        return tuple(out)
-
-    @staticmethod
-    def _clamp_state(state: tuple[int, ...],
-                     caps: tuple[int, ...]) -> tuple[int, ...]:
-        """Clamp an integer state at per-slot caps (no-op returns the input)."""
-        for count, cap in zip(state, caps):
-            if count > cap:
-                return tuple(count if count <= cap else cap
-                             for count, cap in zip(state, caps))
-        return state
-
-    def _solve(self, stage_index: int, resources: tuple[int, ...],
-               budget: float | None, upper_bound: float) -> DPSolution | None:
-        if self._clamp_active[stage_index]:
-            resources = self._clamp_state(resources,
-                                          self._caps_vec[stage_index])
-        # Unbudgeted keys are 2-tuples, budgeted 3-tuples; the lengths can
-        # never collide, and the common case hashes one element less.
-        key = ((stage_index, resources) if budget is None
-               else (stage_index, resources, round(budget, 6)))
-        entry = self._memo.get(key)
-        if entry is not None:
-            solution, exact, bound = entry
-            # A bound-limited entry only proves "nothing beats `bound`"; it
-            # can be reused when the caller's bound is at least as strict.
-            if exact or upper_bound <= bound:
+        if key is None:
+            key = (resources if isinstance(resources, tuple)
+                   else resources.tobytes())
+        nb = self.num_microbatches
+        if budget is None:
+            entry = self._memo[stage_index].get(key)
+            if entry is not None:
+                solution, exact, bound = entry
+                # A bound-limited entry only proves "nothing beats `bound`";
+                # it can be reused when the caller's bound is at least as
+                # strict.
+                if exact or upper_bound <= bound:
+                    self.stats.memo_hits += 1
+                    return solution
+        else:
+            if self.track_budget_forks:
+                self.fork_keys.add((stage_index, key, round(budget, 6)))
+            hit = self._budget_lookup(stage_index, key, budget, upper_bound)
+            if hit is not None:
                 self.stats.memo_hits += 1
-                return solution
+                return hit[2]
         self.stats.nodes_explored += 1
 
         if budget is not None:
             # Budget dominance: the unconstrained optimum of this subproblem
-            # is memoised once (under its 2-tuple key) and shared by every
-            # budget the straggler loop proposes.  When it fits the
-            # remaining budget it is also the budgeted optimum (the
-            # constraint is inactive at the optimum); when the subproblem is
-            # infeasible outright, so is every budgeted variant.  Only
-            # genuinely binding budgets fall through to the budget-threaded
-            # search.
-            unconstrained = self._solve(stage_index, resources, None, math.inf)
-            if unconstrained is None:
-                self._memo[key] = (None, True, upper_bound)
-                return None
-            if unconstrained.projected_cost(self.num_microbatches) <= budget:
-                self._memo[key] = (unconstrained, True, math.inf)
-                return unconstrained
+            # is shared by every budget the straggler loop proposes.  When
+            # it fits the remaining budget it is also the budgeted optimum
+            # (the constraint is inactive at the optimum), valid for every
+            # budget down to its own cost -- the interval [cost, +inf).
+            # When the subproblem is infeasible outright, so is every
+            # budgeted variant: (-inf, +inf).  Only genuinely binding
+            # budgets fall through to the budget-threaded search.  The
+            # layered engine answers the probe in O(1) from its
+            # already-computed table (including the projected cost, so
+            # binding probes materialise nothing); the recursive fallback
+            # covers ``enable_pruning=False``.
+            engine = self._engine
+            row = (engine.row_for_key(stage_index, key)
+                   if engine is not None else None)
+            if row is not None:
+                if not engine.feasible(stage_index, row):
+                    self._budget_store(stage_index, key, -math.inf, math.inf,
+                                       None, True, math.inf)
+                    return None
+                cost = engine.projected_cost(stage_index, row)
+                if cost <= budget:
+                    unconstrained = self._materialize(stage_index, row)
+                    self._budget_store(stage_index, key, cost, math.inf,
+                                       unconstrained, True, math.inf)
+                    return unconstrained
+            else:
+                unconstrained = self._solve(stage_index, resources, None,
+                                            math.inf, key)
+                if unconstrained is None:
+                    self._budget_store(stage_index, key, -math.inf, math.inf,
+                                       None, True, math.inf)
+                    return None
+                cost = unconstrained.projected_cost(nb)
+                if cost <= budget:
+                    self._budget_store(stage_index, key, cost, math.inf,
+                                       unconstrained, True, math.inf)
+                    return unconstrained
 
         stats = self.stats
-        memo = self._memo
         context = self.context
         partition = self.partitions[stage_index]
         best: DPSolution | None = None
         best_value = math.inf
         pruning = self.config.enable_pruning
-        combos = self._combos_for_state(stage_index, resources)
+        combos, children = self._combos_for_state(stage_index, resources, key)
         is_last = stage_index == len(self.partitions) - 1
         next_stage = stage_index + 1
-        child_clamps = (self._caps_vec[next_stage]
-                        if not is_last and self._clamp_active[next_stage]
-                        else None)
+        child_memo = None if is_last else self._memo[next_stage]
         # Hot-loop locals: the suffix bound and candidate scoring below are
         # the inlined, allocation-free forms of _suffix_lower_bound /
         # _combine + _value -- the exact same floating-point operations in
         # the same order, minus the per-combo call and DPSolution overhead.
-        nb1 = self.num_microbatches - 1
+        nb1 = nb - 1
         is_cost = self.goal is OptimizationGoal.MIN_COST
         sum_after = self._sfx_sum[next_stage]
         max_after = self._sfx_max[next_stage]
         rate_after = self._sfx_rate[next_stage]
+        # Scalar rows fill their child state/key lazily (see
+        # _combos_for_state); these locals serve that first-visit build.
+        vector = self._vector_states
+        if not vector and not is_last:
+            scalar_caps = (self._caps_list[next_stage]
+                           if self._clamp_active[next_stage] else None)
 
-        for combo_index, (entry, needs) in enumerate(combos):
+        for combo_index, combo in enumerate(combos):
+            entry = combo[0]
             assignment = entry[2]
             if assignment is None:
                 assignment = context.build_stage_assignment(
@@ -577,30 +864,39 @@ class DPSolver:
                     stats.pruned_branches += 1
                     continue
 
-            remaining = self._subtract_state(resources, needs)
-            if remaining is None:
-                continue
+            if vector:
+                child_key = combo[2]
+                child_state = None  # children[combo[1]], fetched on miss
+            else:
+                child = list(resources)
+                for slot, used in combo[1]:
+                    child[slot] -= used
+                if scalar_caps is not None:
+                    child = [count if count <= cap else cap
+                             for count, cap in zip(child, scalar_caps)]
+                child_state = tuple(child)
+                child_key = child_state
 
             if budget is None:
-                # Inlined fast path: clamp + memo probe without the call
-                # overhead of _solve (the overwhelmingly common hit case);
-                # the bound matches _child_bound exactly.
+                # Inlined fast path: memo probe on the precomputed child key
+                # without the call overhead of _solve (the overwhelmingly
+                # common hit case); the bound matches _child_bound exactly.
                 if not pruning or cutoff == math.inf:
                     child_bound = math.inf
                 elif is_cost:
                     child_bound = cutoff
                 else:
                     child_bound = (cutoff - t_a) * (1.0 + 1e-12)
-                if child_clamps is not None:
-                    remaining = self._clamp_state(remaining, child_clamps)
-                child_entry = memo.get((next_stage, remaining))
+                child_entry = child_memo.get(child_key)
                 if child_entry is not None and (
                         child_entry[1] or child_bound <= child_entry[2]):
                     stats.memo_hits += 1
                     suffix = child_entry[0]
                 else:
-                    suffix = self._solve(next_stage, remaining, None,
-                                         child_bound)
+                    if child_state is None:
+                        child_state = children[combo[1]]
+                    suffix = self._solve(next_stage, child_state, None,
+                                         child_bound, child_key)
                 if suffix is None:
                     continue
                 sum_t = t_a + suffix.sum_stage_time_s
@@ -626,8 +922,10 @@ class DPSolver:
                     best_value = value
                 continue
 
+            if child_state is None:
+                child_state = children[combo[1]]
             candidate = self._solve_suffix(
-                stage_index, assignment, remaining, budget,
+                stage_index, assignment, child_state, child_key, budget,
                 cutoff if pruning else math.inf)
             if candidate is None:
                 continue
@@ -639,7 +937,14 @@ class DPSolver:
         # a lower bound >= min(upper_bound, incumbent-at-the-time) and the
         # incumbent only improves, so nothing better was discarded.
         exact = best_value < upper_bound or upper_bound == math.inf
-        memo[key] = (best, exact, upper_bound)
+        if budget is None:
+            self._memo[stage_index][key] = (best, exact, upper_bound)
+        else:
+            # The found optimum answers every budget down to its own cost;
+            # an infeasible result, every budget below the one that failed.
+            lo = best.projected_cost(nb) if best is not None else -math.inf
+            self._budget_store(stage_index, key, lo, budget, best, exact,
+                               upper_bound)
         return best
 
     def _child_bound(self, cutoff: float, assignment: StageAssignment) -> float:
@@ -657,8 +962,8 @@ class DPSolver:
         return (cutoff - assignment.compute_time_s) * (1.0 + 1e-12)
 
     def _solve_suffix(self, stage_index: int, assignment: StageAssignment,
-                      remaining: ResourceKey, budget: float,
-                      cutoff: float) -> DPSolution | None:
+                      remaining, remaining_key: bytes,
+                      budget: float, cutoff: float) -> DPSolution | None:
         """Combine one stage assignment with the best budgeted suffix.
 
         Implements the straggler-approximation loop of section 4.2.3: assume
@@ -678,7 +983,7 @@ class DPSolver:
             if remaining_budget <= 0:
                 return None
             suffix = self._solve(stage_index + 1, remaining, remaining_budget,
-                                 child_bound)
+                                 child_bound, remaining_key)
             if suffix is None:
                 return None
             combined = self._combine(assignment, suffix)

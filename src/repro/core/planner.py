@@ -26,6 +26,7 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from multiprocessing import shared_memory
 
 from repro.core.dp_solver import DPSolver, DPSolverConfig, DPSolution, StageOption
 from repro.core.heuristics import (
@@ -69,12 +70,18 @@ class PlannerConfig:
     #: this many worker processes (see :class:`ParallelPlanner`).
     parallel_workers: int | None = None
     #: Candidate-level incumbent gate: skip the full simulator evaluation of
-    #: a candidate whose conservative iteration-time floor (pipeline +
-    #: update, no sync) already loses to the branch incumbent.  The gate
-    #: replays the skipped candidate's bookkeeping (OOM counting, H3/H4
-    #: staleness) from cheap vectorized checks, so the chosen plan is
-    #: byte-identical with the gate on or off; ``False`` disables it for
-    #: the equivalence tests.
+    #: a candidate whose conservative floor -- iteration time (pipeline +
+    #: update, no sync) under the throughput objective, monetary cost
+    #: (compute at the time floor + exact egress) under the cost objective
+    #: -- already loses to the branch incumbent.  The gate replays the
+    #: skipped candidate's bookkeeping (OOM counting, H3/H4 staleness) from
+    #: cheap vectorized checks, so the chosen plan is byte-identical with
+    #: the gate on or off.  Under a budget or throughput constraint a skip
+    #: additionally requires the constraint's verdict to be provable from
+    #: the floors (a floor already over the budget / under the throughput
+    #: bar); undecidable candidates fall through to the full evaluation, so
+    #: the constraint bookkeeping stays exact.  ``False`` disables the gate
+    #: for the equivalence tests.
     enable_candidate_gate: bool = True
 
 
@@ -187,13 +194,8 @@ class SailorPlanner:
         maximize_throughput = objective.goal is OptimizationGoal.MAX_THROUGHPUT
         constraint = objective.constraint
         budget = constraint.max_cost_per_iteration_usd
-        # The incumbent gate needs to replay a skipped candidate's
-        # constraint bookkeeping exactly; with a cost or throughput bound
-        # that would require the full evaluation, so it only arms when
-        # neither is set (the common unconstrained searches).
-        gate_armed = (self.config.enable_candidate_gate
-                      and budget is None
-                      and constraint.min_throughput_iters_per_s is None)
+        min_throughput = constraint.min_throughput_iters_per_s
+        gate_armed = self.config.enable_candidate_gate
 
         partitions = context.partitions(pp)
         tp_req = min_tp_per_stage(
@@ -231,37 +233,61 @@ class SailorPlanner:
             if plan is None:
                 continue
 
-            # Candidate-level incumbent gate (ROADMAP): when the
-            # conservative iteration-time floor already loses to the branch
-            # incumbent, the candidate cannot become the new incumbent, so
-            # the full evaluation is skipped.  Every observable side effect
-            # of the full path is replayed from cheap checks -- the OOM
-            # counter from the vectorized memory kernel, and the H3/H4
-            # staleness bookkeeping, whose "score <= branch best" condition
-            # the floor comparison has just proven -- which keeps the chosen
-            # plan byte-identical with the gate on or off.
-            if gate_armed and outcome.evaluation is not None:
-                floor = self.simulator.iteration_time_floor(plan)
-                if maximize_throughput:
-                    beaten = floor >= outcome.evaluation.iteration_time_s
-                else:
-                    gpu_counts = plan.resource_allocation().gpus_by_type()
-                    cost_floor = self.env.prices.compute_cost(gpu_counts, floor)
-                    beaten = (cost_floor
-                              >= outcome.evaluation.cost_per_iteration_usd)
-                if beaten:
-                    context.stats.gate_skips += 1
-                    outcome.candidates_evaluated += 1
-                    if self.simulator.oom_stages(plan):
-                        outcome.oom_plans_generated += 1
+            # Candidate-level incumbent gate (ROADMAP).  Two exact skip
+            # rules, both replaying every observable side effect of the
+            # full path from cheap vectorized checks so the chosen plan is
+            # byte-identical with the gate on or off:
+            #
+            # 1. *Constraint violation*: a cost floor already over the
+            #    budget (or a throughput ceiling under the floor) proves
+            #    ``meets`` False no matter the incumbent -- the full path
+            #    would evaluate, fail ``satisfied_by`` and move on, so the
+            #    only bookkeeping to replay is the OOM counter.  This is
+            #    what arms the gate on binding Table 3 budgets.
+            # 2. *Incumbent beaten* (unconstrained objectives): when the
+            #    floor already loses to the branch incumbent the candidate
+            #    cannot become the new incumbent; the H3/H4 staleness
+            #    bookkeeping's "score <= branch best" condition is proven
+            #    by the same comparison.  With a cost/throughput bound this
+            #    rule stays dormant unless rule 1 fired -- ``meets`` is
+            #    never guessed; undecidable candidates take the full
+            #    evaluation.
+            if gate_armed:
+                if budget is not None or min_throughput is not None:
+                    violated = False
+                    if budget is not None:
+                        violated = self.simulator.cost_floor(plan) > budget
+                    if not violated and min_throughput is not None:
+                        floor = self.simulator.iteration_time_floor(plan)
+                        if floor > 0:
+                            violated = 1.0 / floor < min_throughput
+                    if violated:
+                        context.stats.gate_skips += 1
+                        outcome.candidates_evaluated += 1
+                        if self.simulator.oom_stages(plan):
+                            outcome.oom_plans_generated += 1
                         continue
-                    meets = (constraint.max_gpus is None
-                             or plan.total_gpus <= constraint.max_gpus)
-                    if heuristics.ordered_data_parallel and meets:
-                        stale += 1
-                        if stale > self.config.dp_patience:
-                            break
-                    continue
+                elif outcome.evaluation is not None:
+                    floor = self.simulator.iteration_time_floor(plan)
+                    if maximize_throughput:
+                        beaten = floor >= outcome.evaluation.iteration_time_s
+                    else:
+                        cost_floor = self.simulator.cost_floor(plan)
+                        beaten = (cost_floor
+                                  >= outcome.evaluation.cost_per_iteration_usd)
+                    if beaten:
+                        context.stats.gate_skips += 1
+                        outcome.candidates_evaluated += 1
+                        if self.simulator.oom_stages(plan):
+                            outcome.oom_plans_generated += 1
+                            continue
+                        meets = (constraint.max_gpus is None
+                                 or plan.total_gpus <= constraint.max_gpus)
+                        if heuristics.ordered_data_parallel and meets:
+                            stale += 1
+                            if stale > self.config.dp_patience:
+                                break
+                        continue
 
             evaluation = self.simulator.evaluate(plan)
             outcome.candidates_evaluated += 1
@@ -410,10 +436,36 @@ def _init_worker(payload: bytes) -> None:
     store inside the environment -- into one pickle blob, so the expensive
     object-graph walk happens once per planning call instead of once per
     worker process (initargs are re-pickled for every worker; a ``bytes``
-    payload makes that re-pickling a memcpy).
+    payload makes that re-pickling a memcpy).  This is the fallback path
+    when the shared-memory store is unavailable; see :func:`_init_worker_shm`.
     """
     _WORKER_STATE.clear()
     _WORKER_STATE.update(_make_worker_state(*pickle.loads(payload)))
+
+
+def _init_worker_shm(name: str, size: int) -> None:
+    """Process-pool initializer: attach to the driver's shared-memory blob.
+
+    The driver writes the pre-serialized invariants into one
+    ``multiprocessing.shared_memory`` segment; each worker attaches, reads
+    the ``size`` payload bytes and unpickles locally.  Unlike the ``bytes``
+    initargs fallback the blob is never copied through the executor's task
+    pipe per worker -- only ``(name, size)`` travels -- which is what makes
+    worker startup O(1) in the profile-store size.  The driver owns the
+    segment's lifetime and unlinks it once the pool is done.  (CPython <=
+    3.12 registers the segment with the resource tracker on *attach* too;
+    under the fork start method the workers share the driver's tracker, so
+    the duplicate registrations collapse and the driver's ``unlink``
+    retires the single entry.  Under spawn a worker-owned tracker may
+    unlink the segment first -- after every branch result has already been
+    returned -- which the driver's unlink tolerates.)
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        payload = bytes(segment.buf[:size])
+    finally:
+        segment.close()
+    _init_worker(payload)
 
 
 def _plan_branch_task(payload: tuple,
@@ -454,6 +506,13 @@ class ParallelPlanner:
     branch's best scored plan, and the driver merges the branch winners *in
     branch order* with the same comparison the serial search uses, so the
     chosen plan is identical to the serial planner's.
+
+    The planning invariants (dominated by the profile store inside the
+    environment) are pickled once per call and published through a
+    ``multiprocessing.shared_memory`` segment that workers attach to, so
+    worker startup cost is independent of the profile-store size; the
+    ``bytes``-initargs path remains as a fallback for platforms without
+    shared memory.
 
     ``time_limit_s`` bounds the whole planning call: the driver fixes one
     absolute wall-clock deadline up front and every branch task honours it,
@@ -499,13 +558,32 @@ class ParallelPlanner:
                        for payload in payloads]
         else:
             workers = min(self.max_workers, len(payloads))
-            # Serialize the invariants (profiles included) exactly once;
-            # every worker receives the same pre-pickled blob.
+            # Serialize the invariants (profiles included) exactly once and
+            # publish them through a shared-memory segment the workers
+            # attach to; when shared memory is unavailable (no /dev/shm,
+            # exotic platforms) fall back to shipping the blob via initargs.
             blob = pickle.dumps(invariants, protocol=pickle.HIGHEST_PROTOCOL)
-            with ProcessPoolExecutor(max_workers=workers,
-                                     initializer=_init_worker,
-                                     initargs=(blob,)) as pool:
-                results = list(pool.map(_plan_branch_task, payloads))
+            segment = None
+            try:
+                segment = shared_memory.SharedMemory(create=True,
+                                                     size=max(1, len(blob)))
+                segment.buf[:len(blob)] = blob
+                initializer, initargs = _init_worker_shm, (segment.name,
+                                                           len(blob))
+            except OSError:
+                initializer, initargs = _init_worker, (blob,)
+            try:
+                with ProcessPoolExecutor(max_workers=workers,
+                                         initializer=initializer,
+                                         initargs=initargs) as pool:
+                    results = list(pool.map(_plan_branch_task, payloads))
+            finally:
+                if segment is not None:
+                    segment.close()
+                    try:
+                        segment.unlink()
+                    except FileNotFoundError:
+                        pass  # a worker's resource tracker beat us to it
 
         for _, branch_stats in results:
             stats.merge(branch_stats)

@@ -1,0 +1,407 @@
+"""Array-encoded DP resource states: the planner's resource-state engine.
+
+Motivation
+----------
+The DP solver's resource states were canonically ``tuple(sorted(((zone,
+node_type), count), ...))`` with exhausted pairs dropped.  Everything the
+recursion does to a state -- subtract a combo's whole-node footprint, test
+which master combos still fit, clamp at per-stage caps, hash it into the
+memo -- walked those nested tuples in interpreted Python, and ``make
+profile`` showed exactly those walks (``_combos_for_state`` fit-scans and
+``_subtract_state``) dominating planner latency once the evaluation layer
+was vectorized.  This module replaces the encoding wholesale: a
+:class:`ResourceStateCodec` maps states to fixed-width NumPy count vectors
+(one slot per root (zone, node type) pair) and provides vectorized
+subtract / fits / clamp kernels plus per-stage precomputed combo tables
+(:class:`StageComboTable`), so the per-state work is a handful of NumPy
+calls over *all* combos at once instead of a Python loop per combo.
+
+Bijection contract
+------------------
+A codec is built from one *root* resource pool (the sorted canonical tuple
+the solver receives).  Within the state space reachable from that root --
+subtract whole-node footprints, clamp at per-slot caps, both of which only
+ever *shrink* counts -- the fixed-width encoding is a bijection with the
+canonical tuple form:
+
+* the slots are the root's sorted ``(zone, node type)`` keys, so no
+  reachable state can hold a key outside the slot set;
+* a pair the canonical form dropped (count exhausted) is exactly a zero
+  slot in the vector form, so ``decode(encode(t)) == t`` and
+  ``encode(decode(v)) == v`` for every reachable state;
+* therefore :meth:`ResourceStateCodec.state_key` (the raw bytes of the
+  int64 count vector) collapses exactly the same states the canonical
+  tuple did -- memo and combo-cache keys are unchanged *as sets*, only
+  cheaper to build and hash.
+
+That bijection is what keeps plans byte-identical across the tuple ->
+array refactor: the DP explores the same states in the same order; only
+the encoding of the keys changed.  ``tests/test_resource_state.py`` checks
+the round-trip and kernel properties directly, and the solver equivalence
+suites (``tests/test_dp_solver.py``, ``tests/test_planner.py``) check the
+end-to-end consequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Canonical resource state: sorted ``(((zone, node_type), count), ...)``
+#: (re-exported by :mod:`repro.core.search_cache`; duplicated here to avoid
+#: an import cycle).
+ResourceKey = tuple[tuple[tuple[str, str], int], ...]
+
+#: dtype of every encoded state; fixed so ``state_key`` widths never vary
+#: within one codec.
+STATE_DTYPE = np.int64
+
+
+@dataclass
+class StageComboTable:
+    """One stage's master combo list, footprints pre-packed for the kernels.
+
+    ``entries`` is the untruncated, ranking-sorted master list the shared
+    :class:`~repro.core.search_cache.PlannerSearchContext` built (mutable
+    ``[placements, footprint, lazy StageAssignment, footprint items, stage
+    compute time]`` rows); ``req[i]`` is ``entries[i]``'s whole-node
+    footprint as a count vector aligned with the codec's slots, and
+    ``pairs[i]`` the same footprint as sparse ``(slot, used)`` items for
+    the scalar fit-scan (small pools, where a Python loop beats the NumPy
+    call overhead).
+    """
+
+    entries: list
+    req: np.ndarray | None  # (num_combos, num_slots) int64; None on the
+                            # scalar path (see ResourceStateCodec.combo_pairs)
+    pairs: list             # [(entry, ((slot, used), ...)), ...]
+
+
+class ResourceStateCodec:
+    """Bijective fixed-width array encoding of one root's resource states.
+
+    One codec serves one :meth:`DPSolver.solve` call (the slot layout is
+    the root's sorted key order, so a different root needs a new codec).
+    See the module docstring for the bijection contract.
+    """
+
+    __slots__ = ("keys", "slot", "num_slots", "root_state")
+
+    def __init__(self, root: ResourceKey) -> None:
+        self.keys: tuple[tuple[str, str], ...] = tuple(key for key, _ in root)
+        self.slot: dict[tuple[str, str], int] = {
+            key: i for i, key in enumerate(self.keys)}
+        self.num_slots = len(self.keys)
+        self.root_state = np.array([count for _, count in root],
+                                   dtype=STATE_DTYPE)
+
+    # -- tuple <-> vector bijection -----------------------------------------
+
+    def encode(self, resources: ResourceKey) -> np.ndarray:
+        """Canonical tuple form -> count vector (zero slots for dropped pairs)."""
+        state = np.zeros(self.num_slots, dtype=STATE_DTYPE)
+        for key, count in resources:
+            state[self.slot[key]] = count
+        return state
+
+    def decode(self, state: np.ndarray) -> ResourceKey:
+        """Count vector -> canonical tuple form (zero slots are dropped).
+
+        The slot order *is* the canonical sorted order, so no re-sort is
+        needed for the round-trip to hold.
+        """
+        return tuple((key, count)
+                     for key, count in zip(self.keys, state.tolist())
+                     if count)
+
+    @staticmethod
+    def state_key(state: np.ndarray) -> bytes:
+        """Hashable memo key: the raw bytes of the count vector.
+
+        Fixed dtype + fixed width make this injective over one codec's
+        states, i.e. exactly as discriminating as the canonical tuple.
+        """
+        return state.tobytes()
+
+    # -- kernels -------------------------------------------------------------
+
+    def caps_vector(self, caps: dict[str, int]) -> np.ndarray:
+        """Per-node-type caps dict -> per-slot cap vector."""
+        return np.array([caps.get(node_type, 0)
+                         for _, node_type in self.keys], dtype=STATE_DTYPE)
+
+    @staticmethod
+    def clamp(state: np.ndarray, caps: np.ndarray) -> np.ndarray:
+        """Clamp a state at per-slot caps (returns the input when no-op)."""
+        if (state <= caps).all():
+            return state
+        return np.minimum(state, caps)
+
+    @staticmethod
+    def subtract(state: np.ndarray, needs: np.ndarray) -> np.ndarray | None:
+        """Remove one footprint; ``None`` when some slot goes negative."""
+        out = state - needs
+        if (out < 0).any():
+            return None
+        return out
+
+    def combo_table(self, entries: list) -> StageComboTable:
+        """Pack a master combo list's footprints into a fit-test matrix."""
+        req = np.zeros((len(entries), self.num_slots), dtype=STATE_DTYPE)
+        slot = self.slot
+        pairs = []
+        for row, entry in enumerate(entries):
+            for node_key, used in entry[3]:
+                req[row, slot[node_key]] = used
+            pairs.append((entry, tuple((slot[node_key], used)
+                                       for node_key, used in entry[3])))
+        return StageComboTable(entries=entries, req=req, pairs=pairs)
+
+    def combo_pairs(self, entries: list) -> StageComboTable:
+        """Scalar-path variant of :meth:`combo_table`: sparse footprints
+        only, no fit-test matrix (tiny pools never run the vector kernels,
+        so building the matrix would be pure overhead)."""
+        slot = self.slot
+        pairs = [(entry, tuple((slot[node_key], used)
+                               for node_key, used in entry[3]))
+                 for entry in entries]
+        return StageComboTable(entries=entries, req=None, pairs=pairs)
+
+    @staticmethod
+    def fitting_combos(table: StageComboTable, state: np.ndarray,
+                       limit: int) -> np.ndarray:
+        """Indices of the first ``limit`` master combos that fit ``state``.
+
+        One vectorized comparison over the whole table replaces the
+        per-combo Python fit scan; master order (the ranking order) is
+        preserved, so truncating at ``limit`` selects the same combos the
+        scalar scan did.
+        """
+        idx = (table.req <= state).all(axis=1).nonzero()[0]
+        if idx.size > limit:
+            return idx[:limit]
+        return idx
+
+
+@dataclass
+class StageKernelTable(StageComboTable):
+    """A combo table extended with the per-combo scalars the engine batches.
+
+    ``compute[i]`` / ``sync[i]`` / ``rate[i]`` are ``entries[i]``'s stage
+    compute time, gradient-sync time and cost rate -- exactly the scalars a
+    lazily-built ``StageAssignment`` would carry, gathered eagerly so the
+    backward pass can score every (state, combo) candidate in one array
+    expression.
+    """
+
+    compute: np.ndarray = None  # (M,) float64
+    sync: np.ndarray = None     # (M,)
+    rate: np.ndarray = None     # (M,)
+
+
+class ResourceStateEngine:
+    """Layered bottom-up DP over one root's array-encoded states.
+
+    The memoized top-down recursion expands one ``(stage, state)`` node per
+    Python call; profiles show that per-node interpreter cost -- not the
+    arithmetic -- dominates planner latency.  This engine computes the
+    *same* table the recursion memoises, but one pipeline stage at a time
+    over the whole layer of reachable states:
+
+    * **Forward pass**: starting from the (clamped) root, each layer's
+      fitting combos are found with one ``(N, M, S)`` broadcast compare
+      (honouring the per-state ``max_combos_per_stage`` truncation in
+      master-ranking order via a running count), every (state, combo) child
+      is produced by one subtraction, clamped at the next stage's caps, and
+      deduplicated with ``np.unique`` -- which also yields the child-row
+      index map the backward pass gathers through.  Deduplicated children
+      are exactly the states the recursion's memo would collapse.
+    * **Backward pass**: the last layer scores every fitting combo from the
+      table's scalar arrays; every earlier layer combines its combo scalars
+      with the child layer's ``(sum, max, sync, rate)`` quadruples in five
+      elementwise array ops whose per-element operation order matches the
+      scalar recursion exactly (IEEE-754 float64 in both), so the optima --
+      values *and* argmin tie-breaks (first minimum in master ranking
+      order) -- are identical to the exhaustive recursion.
+
+    Solutions are materialised lazily from the stored backpointers (combo
+    argmin + child row), so only rows actually requested (the root, plus
+    whatever the budget search's dominance probes touch) ever build
+    ``StageAssignment`` objects.
+
+    The engine covers the unconstrained objectives; budget-constrained
+    solves keep the straggler-approximation recursion (whose remaining-
+    budget threading is inherently top-down) and use this table to answer
+    their budget-dominance probes in O(1).
+    """
+
+    def __init__(self, codec: ResourceStateCodec,
+                 tables: list[StageKernelTable],
+                 caps_vec: list[np.ndarray], clamp_active: list[bool],
+                 num_microbatches: int, minimize_cost: bool,
+                 limit: int) -> None:
+        self.codec = codec
+        self.tables = tables
+        self.caps_vec = caps_vec
+        self.clamp_active = clamp_active
+        self.nb1 = float(num_microbatches - 1)
+        self.minimize_cost = minimize_cost
+        self.limit = limit
+        num_stages = len(tables)
+        #: Forward results: per stage, the unique reachable states and a
+        #: bytes -> row index for point lookups.
+        self.states: list[np.ndarray] = [None] * num_stages
+        self.row_of: list[dict[bytes, int]] = [None] * num_stages
+        #: (N, M) child-row map; -1 where the combo does not fit the state.
+        self.child_row: list[np.ndarray] = [None] * num_stages
+        #: Backward results: per stage, the chosen combo per row and the
+        #: optimum's (value, sum, max, sync, rate); value is +inf where the
+        #: suffix is infeasible.  ``time_value`` keeps the projected
+        #: iteration time even under the cost objective (the budget search
+        #: needs the projected cost = rate * time).
+        self.arg: list[np.ndarray] = [None] * num_stages
+        self.value: list[np.ndarray] = [None] * num_stages
+        self.time_value: list[np.ndarray] = [None] * num_stages
+        self.sum_t: list[np.ndarray] = [None] * num_stages
+        self.max_t: list[np.ndarray] = [None] * num_stages
+        self.sync_t: list[np.ndarray] = [None] * num_stages
+        self.rate: list[np.ndarray] = [None] * num_stages
+        #: Work counters, reported through the solver's SearchStats.
+        self.states_computed = 0
+        self.dedup_hits = 0
+
+    # -- passes --------------------------------------------------------------
+
+    def run(self, root_state: np.ndarray) -> None:
+        """Forward reachability then backward optimisation, all layers."""
+        num_stages = len(self.tables)
+        states = root_state.reshape(1, -1)
+        sels: list[np.ndarray] = []
+        for j in range(num_stages):
+            self.states[j] = states
+            self.states_computed += states.shape[0]
+            table = self.tables[j]
+            # (N, M): which master combos fit which states, truncated to the
+            # first `limit` fitting per state in master (ranking) order.
+            fits = (table.req[None, :, :] <= states[:, None, :]).all(axis=2)
+            if (self.limit < fits.shape[1]
+                    and int(fits.sum(axis=1).max(initial=0)) > self.limit):
+                # Only pay the (N, M) cumsum when some state actually has
+                # more fitting combos than the truncation limit.
+                sel = fits & (np.cumsum(fits, axis=1) <= self.limit)
+            else:
+                sel = fits
+            sels.append(sel)
+            if j == num_stages - 1:
+                break
+            rows, cols = sel.nonzero()
+            children = states[rows] - table.req[cols]
+            if self.clamp_active[j + 1]:
+                children = np.minimum(children, self.caps_vec[j + 1])
+            uniq, inverse = np.unique(children, axis=0, return_inverse=True)
+            self.dedup_hits += children.shape[0] - uniq.shape[0]
+            child_row = np.full(sel.shape, -1, dtype=np.int64)
+            child_row[rows, cols] = inverse
+            self.child_row[j] = child_row
+            states = uniq
+
+        for j in range(num_stages - 1, -1, -1):
+            self._solve_layer(j, sels[j])
+
+    def _solve_layer(self, j: int, sel: np.ndarray) -> None:
+        """Score every (state, combo) candidate of one layer and reduce.
+
+        The elementwise operation order replicates the scalar recursion:
+        ``sum = t_a + child_sum``, ``max = max(t_a, child_max)``,
+        ``sync = max(sync_a, child_sync)``,
+        ``value = sum + (Nb-1) * max + sync`` (times the summed cost rate
+        under the cost objective), so values are bit-identical and
+        ``argmin`` (first minimum) matches the recursion's strict-improvement
+        scan over the same combo order.
+        """
+        table = self.tables[j]
+        last = j == len(self.tables) - 1
+        rows = sel.shape[0]
+        if (table.req.shape[0] == 0
+                or (not last and self.states[j + 1].shape[0] == 0)):
+            # No combo can host this stage (or nothing survives below it):
+            # the whole layer is infeasible, exactly as the recursion finds.
+            self.arg[j] = np.zeros(rows, dtype=np.int64)
+            self.value[j] = np.full(rows, np.inf)
+            self.time_value[j] = np.full(rows, np.inf)
+            self.sum_t[j] = np.zeros(rows)
+            self.max_t[j] = np.zeros(rows)
+            self.sync_t[j] = np.zeros(rows)
+            self.rate[j] = np.zeros(rows)
+            return
+        t_a = table.compute[None, :]
+        sync_a = table.sync[None, :]
+        rate_a = table.rate[None, :]
+        if last:
+            sum_c = np.broadcast_to(table.compute[None, :], sel.shape)
+            max_c = sum_c
+            sync_c = np.broadcast_to(table.sync[None, :], sel.shape)
+            rate_c = np.broadcast_to(table.rate[None, :], sel.shape)
+            time_v = table.compute + self.nb1 * table.compute + table.sync
+            time_v = np.broadcast_to(time_v[None, :], sel.shape)
+            invalid = ~sel
+        else:
+            child_row = self.child_row[j]
+            safe = np.where(child_row >= 0, child_row, 0)
+            sum_c = t_a + self.sum_t[j + 1][safe]
+            max_c = np.maximum(t_a, self.max_t[j + 1][safe])
+            sync_c = np.maximum(sync_a, self.sync_t[j + 1][safe])
+            rate_c = rate_a + self.rate[j + 1][safe]
+            time_v = sum_c + self.nb1 * max_c + sync_c
+            invalid = (child_row < 0) | np.isinf(self.value[j + 1][safe])
+        if self.minimize_cost:
+            scored = rate_c * time_v
+        else:
+            scored = time_v
+        scored = np.where(invalid, np.inf, scored)
+        arg = np.argmin(scored, axis=1)
+        take = np.arange(sel.shape[0])
+        self.arg[j] = arg
+        self.value[j] = scored[take, arg]
+        self.time_value[j] = np.where(invalid, np.inf, time_v)[take, arg]
+        self.sum_t[j] = sum_c[take, arg]
+        self.max_t[j] = max_c[take, arg]
+        self.sync_t[j] = sync_c[take, arg]
+        self.rate[j] = rate_c[take, arg]
+
+    # -- lookups -------------------------------------------------------------
+
+    def row_for_key(self, stage_index: int, key: bytes) -> int | None:
+        """Row index of an encoded state in one layer, if reachable.
+
+        The key -> row dicts are built lazily: only the budget search's
+        dominance probes need them, so unconstrained solves never pay for
+        the construction.
+        """
+        table = self.row_of[stage_index]
+        if table is None:
+            states = self.states[stage_index]
+            blob = states.tobytes()
+            width = states.shape[1] * states.itemsize
+            table = {blob[r * width:(r + 1) * width]: r
+                     for r in range(states.shape[0])}
+            self.row_of[stage_index] = table
+        return table.get(key)
+
+    def feasible(self, stage_index: int, row: int) -> bool:
+        return not math.isinf(self.value[stage_index][row])
+
+    def projected_cost(self, stage_index: int, row: int) -> float:
+        """``cost_rate * projected_iteration_time`` of the row's optimum."""
+        return float(self.rate[stage_index][row]
+                     * self.time_value[stage_index][row])
+
+    def backpointer(self, stage_index: int, row: int) -> tuple[int, int]:
+        """(combo index, child row) of the row's optimum; child row is -1
+        on the last stage."""
+        combo = int(self.arg[stage_index][row])
+        if stage_index == len(self.tables) - 1:
+            return combo, -1
+        return combo, int(self.child_row[stage_index][row, combo])

@@ -109,6 +109,11 @@ class PlanArrays:
     #: update only) never pays for the worst-link sync search it exists to
     #: skip.
     sync: list[float] | None = None
+    #: Egress USD per iteration; filled on first cost_floor call.  The
+    #: egress term depends only on the plan's cross-zone byte counts -- not
+    #: on the iteration time -- so it is exact (not a floor) and safe to
+    #: cache alongside the arrays.
+    comm_usd: float | None = None
 
     @property
     def pipeline_time_s(self) -> float:

@@ -120,6 +120,31 @@ class SailorSimulator:
                      for stage in plan.stages for replica in stage.replicas)
         return pipeline + update
 
+    def cost_floor(self, plan: ParallelizationPlan) -> float:
+        """Conservative lower bound on :attr:`PlanEvaluation.cost_per_iteration_usd`.
+
+        ``C_iter = C_comp(T_iter) + C_egress`` where ``C_comp`` is linear in
+        the iteration time with non-negative prices and ``C_egress`` does
+        not depend on the time at all.  Evaluating the compute term at
+        :meth:`iteration_time_floor` therefore never exceeds the full
+        estimate (IEEE-754 multiply/add are monotone), and the egress term
+        is carried *exactly* -- which is what lets the planner's candidate
+        gate arm under cost and budget objectives: a ``cost_floor`` above
+        the budget proves the budget violated just as the full evaluation
+        would find it.
+        """
+        if self.context is not None:
+            arrays = self.context.plan_arrays(plan)
+            floor_time = arrays.iteration_time_floor_s
+            if arrays.comm_usd is None:
+                arrays.comm_usd = self.cost.communication_cost(plan)[0]
+            comm_usd = arrays.comm_usd
+        else:
+            floor_time = self.iteration_time_floor(plan)
+            comm_usd = self.cost.communication_cost(plan)[0]
+        gpu_counts = plan.resource_allocation().gpus_by_type()
+        return self.env.prices.compute_cost(gpu_counts, floor_time) + comm_usd
+
     def oom_stages(self, plan: ParallelizationPlan) -> list[int]:
         """Stage indices with at least one worker that does not fit.
 

@@ -292,6 +292,137 @@ def test_budget_dominance_properties(opt_env, opt_job):
         previous_time = solution.projected_iteration_time(nb)
 
 
+# ---------------------------------------------------------------------------
+# Interval-keyed budget memoisation
+# ---------------------------------------------------------------------------
+
+def brute_force_budget_value(solver, resources, budget):
+    """True budget-constrained optimum over every full assignment.
+
+    Enumerates the product of per-stage combos, filters on the projected
+    cost and minimises the objective -- the reference the budgeted DP (a
+    straggler *approximation*, section 4.2.3) can match but never beat.
+    """
+    from repro.core.dp_solver import DPSolution
+
+    nb = solver.num_microbatches
+    best = None
+
+    def rec(stage, res, chain):
+        nonlocal best
+        is_last = stage == len(solver.partitions) - 1
+        for placements in solver.generate_combos(stage, dict(res)):
+            assignment = solver.context.stage_assignment(
+                solver.partitions[stage], solver.microbatch_size,
+                solver.data_parallel, tuple(placements))
+            remaining = dict(res)
+            feasible = True
+            for key, used in assignment.nodes_used.items():
+                if remaining.get(key, 0) < used:
+                    feasible = False
+                    break
+                remaining[key] -= used
+            if not feasible:
+                continue
+            if not is_last:
+                rec(stage + 1, remaining, chain + [assignment])
+                continue
+            solution = DPSolution(
+                assignments=[assignment],
+                max_stage_time_s=assignment.compute_time_s,
+                sum_stage_time_s=assignment.compute_time_s,
+                max_sync_time_s=assignment.sync_time_s,
+                cost_rate_usd_per_s=assignment.cost_rate_usd_per_s)
+            for prev in reversed(chain):
+                solution = solver._combine(prev, solution)
+            if solution.projected_cost(nb) > budget:
+                continue
+            if best is None or solver._value(solution) < solver._value(best):
+                best = solution
+
+    rec(0, resources, [])
+    return best
+
+
+BUDGET_FRACTIONS = (1.5, 1.0001, 0.85, 0.7, 0.55, 0.4, 0.25)
+
+
+@pytest.mark.parametrize("pp,dp", [(1, 2), (2, 2), (2, 4), (3, 1)])
+def test_interval_memo_budget_sweep_against_brute_force(opt_env, opt_job,
+                                                        pp, dp):
+    """Sweep binding and non-binding budgets against brute force.
+
+    * A non-binding budget (>= the unconstrained optimum's cost) must
+      return exactly the unconstrained optimum, which is also the brute
+      optimum -- identical plans, bitwise-equal values.
+    * A binding budget's solution must respect the budget and can never
+      beat the true (brute-force) budgeted optimum; when brute force finds
+      nothing feasible, neither may the DP (every DP solution is a member
+      of the brute-force space).
+    """
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    solver = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+    nb = solver.num_microbatches
+    unconstrained = solver.solve(dict(resources))
+    assert unconstrained is not None
+    base_cost = unconstrained.projected_cost(nb)
+
+    for fraction in BUDGET_FRACTIONS:
+        budget = base_cost * fraction
+        solution = solver.solve(dict(resources), budget_per_iteration=budget)
+        reference = brute_force_budget_value(solver, dict(resources), budget)
+        if reference is None:
+            assert solution is None
+            continue
+        if budget >= base_cost:
+            # Non-binding: dominance answers with the unconstrained optimum.
+            assert solution is not None
+            assert [a.placements for a in solution.assignments] == \
+                [a.placements for a in unconstrained.assignments]
+            assert solver._value(solution) == solver._value(reference)
+            continue
+        if solution is None:
+            continue  # the approximation may miss a feasible corner
+        assert solution.projected_cost(nb) <= budget * (1 + 1e-9)
+        assert solver._value(solution) >= solver._value(reference) - 1e-12
+
+
+def test_interval_memo_entry_count_drops_vs_per_budget_forking(opt_env,
+                                                               opt_job):
+    """A binding budget's straggler loop proposes many distinct rounded
+    budgets per suffix state; interval entries must collapse them."""
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    solver = build_solver(opt_env, opt_job, pp=2, dp=4)
+    nb = solver.num_microbatches
+    base_cost = solver.solve(dict(resources)).projected_cost(nb)
+
+    solver.track_budget_forks = True
+    solution = solver.solve(dict(resources),
+                            budget_per_iteration=base_cost * 0.7)
+    assert solution is not None
+    entries = solver.budget_memo_entries()
+    forks = len(solver.fork_keys)
+    assert entries > 0
+    # Per-rounded-budget keying would have stored (at least) one entry per
+    # distinct (stage, state, rounded budget) query; intervals store fewer.
+    assert entries < forks
+
+
+def test_interval_memo_repeat_solves_are_deterministic(opt_env, opt_job):
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    solver = build_solver(opt_env, opt_job, pp=2, dp=4)
+    nb = solver.num_microbatches
+    budget = solver.solve(dict(resources)).projected_cost(nb) * 0.7
+    first = solver.solve(dict(resources), budget_per_iteration=budget)
+    second = solver.solve(dict(resources), budget_per_iteration=budget)
+    assert first is not None and second is not None
+    assert [a.placements for a in first.assignments] == \
+        [a.placements for a in second.assignments]
+
+
 def test_pruning_on_off_equivalence_two_zone(opt_env_geo, opt_job):
     """Same equivalence on a 2-zone heterogeneous-geography topology."""
     resources = {("us-central1-a", "a2-highgpu-4g"): 2,

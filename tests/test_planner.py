@@ -115,10 +115,25 @@ def test_time_limit_is_honoured(opt_env, opt_job, mixed_topology):
 def test_search_stats_are_populated(planner, opt_job, mixed_topology):
     result = planner.plan(opt_job, mixed_topology, Objective.max_throughput())
     stats = result.search_stats
+    assert stats.nodes_explored > 0  # engine layer states count as nodes
+    assert stats.memo_hits > 0       # engine child dedup counts as memo reuse
+    assert stats.cache_hits > 0
+
+
+def test_budget_search_stats_report_pruning(planner, opt_job, mixed_topology):
+    """Binding budgets run the straggler-approximation recursion, which is
+    where branch-and-bound still operates (unconstrained solves are answered
+    by the layered resource-state engine, which has nothing to prune)."""
+    unconstrained = planner.plan(opt_job, mixed_topology,
+                                 Objective.max_throughput())
+    budget = unconstrained.evaluation.cost_per_iteration_usd * 0.6
+    result = planner.plan(
+        opt_job, mixed_topology,
+        Objective.max_throughput(max_cost_per_iteration_usd=budget))
+    stats = result.search_stats
     assert stats.nodes_explored > 0
     assert stats.memo_hits > 0
-    assert stats.pruned_branches > 0  # B&B must actually cut branches
-    assert stats.cache_hits > 0
+    assert stats.pruned_branches > 0  # B&B must actually cut budget branches
 
 
 def test_h3_early_stop_ignores_infeasible_candidates(opt_env, opt_job,
@@ -159,6 +174,34 @@ def test_parallel_workers_config_delegates(opt_env, opt_job, mixed_topology):
         parallel_workers=2)).plan(opt_job, mixed_topology, objective)
     assert via_config.found
     assert plan_to_json(via_config.plan) == plan_to_json(serial.plan)
+
+
+def test_shared_memory_worker_init_roundtrip(opt_env, opt_job, mixed_topology):
+    """_init_worker_shm must rebuild the exact worker state _init_worker
+    builds from the same blob (the driver's shared-memory fast path)."""
+    import pickle
+    from multiprocessing import shared_memory
+
+    from repro.core.heuristics import consolidate_zones
+    from repro.core.planner import _WORKER_STATE, _init_worker_shm
+
+    config = PlannerConfig()
+    consolidated = consolidate_zones(mixed_topology, config.heuristics)
+    resources = SailorPlanner._resource_map(consolidated.topology)
+    blob = pickle.dumps((opt_env, opt_job, Objective.max_throughput(), config,
+                         consolidated, resources),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    segment = shared_memory.SharedMemory(create=True, size=len(blob))
+    try:
+        segment.buf[:len(blob)] = blob
+        _init_worker_shm(segment.name, len(blob))
+        assert set(_WORKER_STATE) == {"planner", "job", "objective",
+                                      "consolidated", "resources", "context"}
+        assert _WORKER_STATE["resources"] == resources
+        _WORKER_STATE.clear()
+    finally:
+        segment.close()
+        segment.unlink()
 
 
 def test_parallel_time_limit_is_global(opt_env, opt_job, mixed_topology):

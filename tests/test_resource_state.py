@@ -1,0 +1,143 @@
+"""Unit tests for the resource-state engine (codec, kernels, layered DP).
+
+The codec's bijection contract (module docstring of
+``repro.core.resource_state``) is what keeps plans byte-identical across
+the tuple -> array encoding change, so it is tested directly here; the
+layered engine's end-to-end equivalence with the exhaustive recursion is
+covered both here (small cases) and by the solver property suites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dp_solver import DPSolverConfig
+from repro.core.resource_state import (
+    STATE_DTYPE,
+    ResourceStateCodec,
+    StageComboTable,
+)
+
+from test_dp_solver import build_solver
+
+
+ROOT = ((("us-central1-a", "a2-highgpu-4g"), 4),
+        (("us-central1-a", "n1-standard-v100-4"), 2),
+        (("us-west1-a", "a2-highgpu-4g"), 3))
+
+
+def test_codec_round_trip_bijection():
+    codec = ResourceStateCodec(ROOT)
+    assert codec.num_slots == 3
+    # encode(decode(v)) == v and decode(encode(t)) == t on reachable states.
+    assert codec.decode(codec.encode(ROOT)) == ROOT
+    partial = (ROOT[0], ROOT[2])  # middle slot exhausted -> dropped pair
+    state = codec.encode(partial)
+    assert state.tolist() == [4, 0, 3]
+    assert codec.decode(state) == partial
+    assert np.array_equal(codec.encode(codec.decode(state)), state)
+
+
+def test_codec_state_key_is_injective_and_fixed_width():
+    codec = ResourceStateCodec(ROOT)
+    seen = {}
+    for a in range(3):
+        for b in range(3):
+            state = np.array([a, b, 1], dtype=STATE_DTYPE)
+            key = codec.state_key(state)
+            assert len(key) == codec.num_slots * state.itemsize
+            assert key not in seen
+            seen[key] = (a, b)
+
+
+def test_codec_kernels_match_scalar_semantics():
+    codec = ResourceStateCodec(ROOT)
+    state = codec.encode(ROOT)
+    caps = codec.caps_vector({"a2-highgpu-4g": 2})
+    assert caps.tolist() == [2, 0, 2]
+    clamped = codec.clamp(state, caps)
+    assert clamped.tolist() == [2, 0, 2]
+    # No-op clamp returns the input object (allocation-free common case).
+    assert codec.clamp(clamped, caps) is clamped
+
+    needs = np.array([1, 0, 3], dtype=STATE_DTYPE)
+    assert codec.subtract(state, needs).tolist() == [3, 2, 0]
+    assert codec.subtract(needs, state) is None  # underflow -> infeasible
+
+
+def test_fitting_combos_preserves_master_order_and_limit():
+    codec = ResourceStateCodec(ROOT)
+    entries = []
+    for req in ([1, 0, 0], [0, 1, 0], [2, 0, 0], [0, 0, 2], [4, 2, 0]):
+        items = tuple((ROOT[i][0], count) for i, count in enumerate(req)
+                      if count)
+        entries.append([None, None, None, items, 0.0])
+    table = codec.combo_table(entries)
+    assert isinstance(table, StageComboTable)
+    state = np.array([2, 1, 0], dtype=STATE_DTYPE)
+    # Fitting combos in master order: rows 0, 1, 2 fit; 3 and 4 do not.
+    assert codec.fitting_combos(table, state, limit=16).tolist() == [0, 1, 2]
+    assert codec.fitting_combos(table, state, limit=2).tolist() == [0, 1]
+
+
+@pytest.mark.parametrize("pp,dp", [(1, 2), (2, 2), (3, 1), (2, 4)])
+@pytest.mark.parametrize("goal_cost", [False, True])
+def test_engine_matches_exhaustive_recursion(opt_env, opt_job, pp, dp,
+                                             goal_cost):
+    """The layered engine (enable_pruning=True) and the exhaustive
+    recursion (enable_pruning=False) must choose identical assignments."""
+    from repro.core.objectives import OptimizationGoal
+
+    goal = (OptimizationGoal.MIN_COST if goal_cost
+            else OptimizationGoal.MAX_THROUGHPUT)
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    engine_solver = build_solver(opt_env, opt_job, pp=pp, dp=dp, goal=goal)
+    engine_solver.engine_min_states = 0  # force the engine on a small pool
+    reference = build_solver(opt_env, opt_job, pp=pp, dp=dp, goal=goal)
+    reference.config = DPSolverConfig(enable_pruning=False)
+
+    a = engine_solver.solve(dict(resources))
+    b = reference.solve(dict(resources))
+    assert (a is None) == (b is None)
+    if a is None:
+        return
+    assert [x.placements for x in a.assignments] == \
+        [x.placements for x in b.assignments]
+    for field in ("max_stage_time_s", "sum_stage_time_s", "max_sync_time_s",
+                  "cost_rate_usd_per_s"):
+        assert getattr(a, field) == getattr(b, field)  # bitwise
+
+
+def test_engine_two_zone_topology(opt_env_geo, opt_job):
+    resources = {("us-central1-a", "a2-highgpu-4g"): 2,
+                 ("us-west1-a", "a2-highgpu-4g"): 2}
+    engine_solver = build_solver(opt_env_geo, opt_job, pp=2, dp=2,
+                                 node_types=("a2-highgpu-4g",))
+    engine_solver.engine_min_states = 0  # force the engine on a small pool
+    reference = build_solver(opt_env_geo, opt_job, pp=2, dp=2,
+                             node_types=("a2-highgpu-4g",))
+    reference.config = DPSolverConfig(enable_pruning=False)
+    a = engine_solver.solve(dict(resources))
+    b = reference.solve(dict(resources))
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert [x.placements for x in a.assignments] == \
+            [x.placements for x in b.assignments]
+
+
+def test_engine_reports_layer_states_as_nodes(opt_env, opt_job):
+    solver = build_solver(opt_env, opt_job, pp=2, dp=2)
+    solver.engine_min_states = 0  # force the engine on a small pool
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4}
+    before = solver.stats.nodes_explored
+    assert solver.solve(resources) is not None
+    assert solver.stats.nodes_explored > before
+    assert solver._engine is not None
+    assert solver._engine.states_computed > 0
+
+
+def test_engine_infeasible_root_returns_none(opt_env, opt_job):
+    solver = build_solver(opt_env, opt_job, pp=2, dp=4)
+    solver.engine_min_states = 0  # force the engine on a small pool
+    # One node cannot host four replicas per stage over two stages.
+    assert solver.solve({("us-central1-a", "a2-highgpu-4g"): 1}) is None

@@ -270,24 +270,103 @@ def test_gate_on_off_identical_on_geo_topology(opt_env_geo, opt_job,
     assert _plans_identical(gate_on, gate_off)
 
 
-def test_gate_disarms_under_cost_or_throughput_constraints(opt_env, opt_job,
-                                                           mixed_topology):
-    """With a budget/throughput bound the gate must not fire at all."""
+@pytest.mark.parametrize("budget_fraction", [0.6, 1.5],
+                         ids=["binding", "generous"])
+def test_gate_arms_under_budget_constraint(opt_env, opt_job, mixed_topology,
+                                           budget_fraction):
+    """The gate stays armed under a budget: a candidate is skipped only
+    when the floors also decide the constraint (cost floor over budget),
+    so the chosen plan and every counter stay byte-identical."""
     unconstrained = SailorPlanner(opt_env).plan(
         opt_job, mixed_topology, Objective.max_throughput())
-    budget = unconstrained.evaluation.cost_per_iteration_usd * 1.5
-    result = SailorPlanner(opt_env).plan(
-        opt_job, mixed_topology,
-        Objective.max_throughput(max_cost_per_iteration_usd=budget))
-    assert result.search_stats.gate_skips == 0
-    reference = SailorPlanner(opt_env, config=PlannerConfig(
+    budget = (unconstrained.evaluation.cost_per_iteration_usd
+              * budget_fraction)
+    objective = Objective.max_throughput(max_cost_per_iteration_usd=budget)
+    gate_on = SailorPlanner(opt_env).plan(opt_job, mixed_topology, objective)
+    gate_off = SailorPlanner(opt_env, config=PlannerConfig(
+        enable_candidate_gate=False)).plan(opt_job, mixed_topology, objective)
+    assert _plans_identical(gate_on, gate_off)
+    assert gate_on.candidates_evaluated == gate_off.candidates_evaluated
+    assert gate_on.oom_plans_generated == gate_off.oom_plans_generated
+    assert gate_off.search_stats.gate_skips == 0
+
+
+def test_gate_skips_over_budget_candidates_on_geo_topology(
+        opt_env_geo, opt_job, geo_topology_2regions):
+    """The DP's budget filter knows nothing about egress, so on a
+    multi-zone topology it emits candidates whose exact egress cost busts
+    the budget; the egress-covering cost floor proves that without the
+    full evaluation -- the gate must actually fire, byte-identically."""
+    unconstrained = SailorPlanner(opt_env_geo).plan(
+        opt_job, geo_topology_2regions, Objective.max_throughput())
+    budget = unconstrained.evaluation.cost_per_iteration_usd * 0.75
+    objective = Objective.max_throughput(max_cost_per_iteration_usd=budget)
+    gate_on = SailorPlanner(opt_env_geo).plan(
+        opt_job, geo_topology_2regions, objective)
+    gate_off = SailorPlanner(opt_env_geo, config=PlannerConfig(
         enable_candidate_gate=False)).plan(
-        opt_job, mixed_topology,
-        Objective.max_throughput(max_cost_per_iteration_usd=budget))
-    assert _plans_identical(result, reference)
+        opt_job, geo_topology_2regions, objective)
+    assert _plans_identical(gate_on, gate_off)
+    assert gate_on.candidates_evaluated == gate_off.candidates_evaluated
+    assert gate_on.oom_plans_generated == gate_off.oom_plans_generated
+    assert gate_on.search_stats.gate_skips > 0
+    assert gate_off.search_stats.gate_skips == 0
+
+
+def test_gate_arms_under_min_cost_with_throughput_floor(opt_env, opt_job,
+                                                        mixed_topology):
+    objective = Objective.min_cost(min_throughput_iters_per_s=0.5)
+    gate_on = SailorPlanner(opt_env).plan(opt_job, mixed_topology, objective)
+    gate_off = SailorPlanner(opt_env, config=PlannerConfig(
+        enable_candidate_gate=False)).plan(opt_job, mixed_topology, objective)
+    assert _plans_identical(gate_on, gate_off)
+    assert gate_on.candidates_evaluated == gate_off.candidates_evaluated
 
 
 def test_gate_actually_skips_candidates(opt_env, opt_job, mixed_topology):
     result = SailorPlanner(opt_env).plan(opt_job, mixed_topology,
                                          Objective.max_throughput())
     assert result.search_stats.gate_skips > 0
+
+
+# ---------------------------------------------------------------------------
+# Cost floor: conservative and egress-covering
+# ---------------------------------------------------------------------------
+
+def test_cost_floor_never_exceeds_full_cost(opt_env, opt_job):
+    """Floor property over the Table 3-style plan matrix (homogeneous,
+    heterogeneous, checkpointing)."""
+    simulator = SailorSimulator(opt_env)
+    plans = [
+        ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 4, 2, 4, 2),
+        ParallelizationPlan.homogeneous(opt_job, "a2-highgpu-4g", 1, 4, 2, 1),
+        ParallelizationPlan.homogeneous(opt_job, "n1-standard-v100-4",
+                                        2, 2, 2, 4),
+        heterogeneous_plan(opt_job),
+        ParallelizationPlan.homogeneous(
+            dataclasses.replace(opt_job, activation_checkpointing=True),
+            "a2-highgpu-4g", 4, 2, 4, 2),
+    ]
+    for plan in plans:
+        floor = simulator.cost_floor(plan)
+        assert 0 < floor <= simulator.evaluate(plan).cost_per_iteration_usd
+
+
+def test_cost_floor_covers_egress_on_multizone_plans(opt_env_geo, opt_job):
+    """Cross-zone plans must carry the (time-independent, exact) egress
+    term in the floor -- that is what arms the gate under cost objectives."""
+    simulator = SailorSimulator(opt_env_geo)
+    plan = multizone_plan(opt_job)
+    evaluation = simulator.evaluate(plan)
+    floor = simulator.cost_floor(plan)
+    assert evaluation.communication_cost_usd > 0
+    # The floor includes the full egress cost on top of the compute floor.
+    assert floor >= evaluation.communication_cost_usd
+    assert floor <= evaluation.cost_per_iteration_usd
+
+
+def test_cost_floor_scalar_path_agrees(opt_env, opt_job):
+    plan = heterogeneous_plan(opt_job)
+    vectorized = SailorSimulator(opt_env).cost_floor(plan)
+    scalar = SailorSimulator(opt_env, vectorized=False).cost_floor(plan)
+    assert vectorized == scalar  # bitwise: same scalars, same op order
