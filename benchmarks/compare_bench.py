@@ -83,6 +83,14 @@ def compare(baseline: dict[str, float], candidate: dict[str, float],
     missing = sorted(set(baseline) - set(candidate))
     if missing:
         print(f"\nnot in current run: {', '.join(missing)}")
+    added = sorted(set(candidate) - set(baseline))
+    if added:
+        # New scale points (e.g. a freshly added 1024-GPU bench) have no
+        # baseline to gate against yet; print them with their time so the
+        # first recorded run is still visible in the CI log.
+        print("\nnew in current run (not gated):")
+        for name in added:
+            print(f"  {name:<46} {format_seconds(candidate[name])}")
     return regressions
 
 

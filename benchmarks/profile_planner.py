@@ -49,6 +49,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-cost", action="store_true",
                         help="profile the cost objective instead of "
                              "max-throughput")
+    parser.add_argument("--budget", type=float, default=None, metavar="USD",
+                        help="profile a budget-constrained search (max "
+                             "throughput under this per-iteration cost cap; "
+                             "--budget 0.031 reproduces the single-zone "
+                             "Table 3 bench scenario)")
     args = parser.parse_args(argv)
 
     if args.gpus < 8 or args.gpus % 8:
@@ -59,11 +64,22 @@ def main(argv: list[str] | None = None) -> int:
                           global_batch_size=args.batch_size)
     topology = ClusterTopology.single_zone("us-central1-a", {
         "a2-highgpu-4g": nodes_per_type, "n1-standard-v100-4": nodes_per_type})
-    objective = (Objective.min_cost() if args.min_cost
-                 else Objective.max_throughput())
+    if args.budget is not None:
+        if args.min_cost:
+            parser.error("--budget profiles max-throughput under a cost cap; "
+                         "it cannot be combined with --min-cost")
+        objective = Objective.max_throughput(
+            max_cost_per_iteration_usd=args.budget)
+    elif args.min_cost:
+        objective = Objective.min_cost()
+    else:
+        objective = Objective.max_throughput()
 
+    budget_note = ("" if args.budget is None
+                   else f", budget={args.budget} USD/iter")
     print(f"profiling: {args.gpus} GPUs ({nodes_per_type} A100 nodes + "
-          f"{nodes_per_type} V100 nodes), goal={objective.goal.value}")
+          f"{nodes_per_type} V100 nodes), goal={objective.goal.value}"
+          f"{budget_note}")
     env = build_environment(job, topology)
     planner = SailorPlanner(env)
 

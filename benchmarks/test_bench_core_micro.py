@@ -10,6 +10,8 @@ planner latency).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.objectives import Objective
@@ -176,6 +178,28 @@ def test_bench_planner_heterogeneous_512_gpus(benchmark, job):
     """
     topology = ClusterTopology.single_zone("us-central1-a", {
         "a2-highgpu-4g": 64, "n1-standard-v100-4": 64})
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, Objective.max_throughput()),
+        rounds=1, iterations=1)
+    assert result.found
+
+
+@pytest.mark.skipif(os.environ.get("BENCH_SCALE", "smoke") != "full",
+                    reason="1024-GPU point runs only under BENCH_SCALE=full "
+                           "(make bench sets it; make ci's smoke subset "
+                           "stays fast)")
+def test_bench_planner_heterogeneous_1024_gpus(benchmark, job):
+    """Sailor planner on 512 A100 + 512 V100 -- beyond the paper's Figure 8.
+
+    This is the scale point the chunked, hash-deduped forward broadcasts
+    target: state layers reach ~1.7e4 states, past np.unique-on-bytes
+    comfort, and the (N x M x S) fit test would peak well over the chunked
+    path's bound without the state-axis chunking.
+    """
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": 128, "n1-standard-v100-4": 128})
     env = build_environment(job, topology)
     planner = SailorPlanner(env)
     result = benchmark.pedantic(

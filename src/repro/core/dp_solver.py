@@ -32,8 +32,14 @@ paper's Tables 1-3 hinge on):
   entirely: a :class:`~repro.core.resource_state.ResourceStateEngine`
   computes the same table bottom-up, one whole stage layer of states per
   batched kernel call (see its docstring for the forward/backward passes
-  and the bit-equivalence argument).  Where the recursion still runs (the
-  budget straggler loop, and ``enable_pruning=False``), each state's
+  and the bit-equivalence argument).  The engine's *forward* pass --
+  reachability, which depends only on the root and the per-stage combo
+  footprints, not on the microbatch size -- is shared across candidates
+  through the search context's layer cache
+  (:func:`~repro.core.resource_state.forward_signature` keys it; only
+  byte-identical passes are reused), so all ``mbs`` variants of one
+  ``(P, D)`` compute reachability once.  Where the recursion still runs
+  (binding-budget subtrees, and ``enable_pruning=False``), each state's
   fitting combos, child states (footprint subtracted, per-stage caps
   clamped) and child memo keys are computed once and cached -- via the
   vectorized :class:`~repro.core.resource_state.StageComboTable` kernels
@@ -58,8 +64,14 @@ straggler-approximation loop: it first assumes the current stage is the
 pipeline straggler to estimate the budget left for the remaining stages,
 solves them, and re-iterates with the discovered straggler when the
 assumption was wrong (section 4.2.3).  This is what makes budget-constrained
-searches slower (Table 3).  Two mechanisms answer most of those queries
-without a fresh search:
+searches slower (Table 3).  On engine-covered states the whole combo scan of
+a budget node runs *batched* over the engine's per-layer arrays
+(:meth:`DPSolver._solve_budget_batched`: dominance-answered straggler
+iterations resolve in elementwise kernels, bit-identical to the scalar
+recursion, which remains both as the fallback for genuinely binding suffix
+budgets and -- with ``batched_budget_threading=False`` or
+``enable_pruning=False`` -- as the equivalence-test reference).  Two further
+mechanisms answer most queries without a fresh search:
 
 * A *budget-dominance* shortcut: whenever the unconstrained optimum of a
   subproblem fits the remaining budget it is also the budgeted optimum, so
@@ -106,6 +118,8 @@ from repro.core.resource_state import (
     ResourceStateEngine,
     StageComboTable,
     StageKernelTable,
+    compute_forward_layers,
+    forward_signature,
 )
 from repro.core.search_cache import (
     PlannerSearchContext,
@@ -173,6 +187,23 @@ class DPSolverConfig:
     #: Branch-and-bound pruning of DP branches that provably cannot beat the
     #: incumbent.  Value-preserving; off only for equivalence testing.
     enable_pruning: bool = True
+    #: Layered-engine dispatch threshold: the engine's batched kernels
+    #: amortise their fixed NumPy cost only when the per-stage state layers
+    #: are wide, which ``prod(root count + 1)`` (an upper bound on any
+    #: layer's size) predicts well.  Below the threshold the B&B recursion
+    #: -- byte-identical by the equivalence suites -- is faster.  Tests set
+    #: this to 0 to force the engine.
+    engine_min_states: int = 100
+    #: Share forward reachability layers across DP candidates through the
+    #: search context (keyed by the per-stage footprint signature, so only
+    #: byte-identical forward passes are ever reused).  Off only for
+    #: equivalence testing.
+    enable_layer_cache: bool = True
+    #: Batch each budget node's straggler-loop combo scan over the engine's
+    #: per-layer arrays (dominance-answered combos resolve in elementwise
+    #: kernels; genuinely binding suffixes keep the scalar recursion).
+    #: Value-identical to the scalar scan; off only for equivalence testing.
+    batched_budget_threading: bool = True
 
     def __post_init__(self) -> None:
         if self.max_combos_per_stage < 1:
@@ -183,6 +214,8 @@ class DPSolverConfig:
             # The straggler-approximation loop must run at least once, or
             # budget-constrained solves would fall through with no result.
             raise ValueError("max_budget_iterations must be >= 1")
+        if self.engine_min_states < 0:
+            raise ValueError("engine_min_states must be >= 0")
         for fraction in self.split_fractions:
             if not 0.0 < fraction < 1.0:
                 raise ValueError("split_fractions must lie strictly in (0, 1)")
@@ -191,6 +224,24 @@ class DPSolverConfig:
 #: Relative slack applied to cost-mode lower bounds: the cost bound divides
 #: where the real cost rate ceils, so the two can differ by a rounding ulp.
 _COST_BOUND_SLACK = 1.0 - 1e-12
+
+#: Straggler-loop convergence tolerance: relative *plus* absolute, because a
+#: purely absolute 1e-12 is below one float64 ulp once iteration times reach
+#: hundreds of seconds (spacing at 512 s is ~1.1e-13 per ulp but compound
+#: rounding across the combine easily exceeds 1e-12) -- the loop would then
+#: burn its full ``max_budget_iterations`` re-solving on float noise.
+_STRAGGLER_ABS_TOL = 1e-12
+_STRAGGLER_REL_TOL = 1e-12
+
+
+def straggler_converged(actual: float, assumed: float) -> bool:
+    """True when the discovered straggler matches the assumed one.
+
+    ``assumed`` is a stage compute time (never negative), so the relative
+    term needs no ``abs``.
+    """
+    return actual <= assumed + (_STRAGGLER_ABS_TOL
+                                + _STRAGGLER_REL_TOL * assumed)
 
 
 class DPSolver:
@@ -232,6 +283,7 @@ class DPSolver:
         self._tables: list[StageComboTable | None] = [None] * len(partitions)
         self._engine: ResourceStateEngine | None = None
         self._mat_cache: dict[tuple[int, int], DPSolution] = {}
+        self._budget_row_cache: dict[tuple[int, int], tuple] = {}
         self._vector_states = True
         self._caps_list: list[tuple[int, ...]] = []
         self._memo: list[dict[bytes, tuple[DPSolution | None, bool, float]]] = \
@@ -244,13 +296,9 @@ class DPSolver:
         self._sfx_sum: list[float] = []
         self._sfx_max: list[float] = []
         self._sfx_rate: list[float] = []
-        #: Layered-engine dispatch threshold: the engine's batched kernels
-        #: amortise their fixed NumPy cost only when the per-stage state
-        #: layers are wide, which ``prod(root count + 1)`` (an upper bound
-        #: on any layer's size) predicts well.  Below the threshold the
-        #: B&B recursion -- byte-identical by the equivalence suites -- is
-        #: faster.  Tests pin this to 0 to force the engine.
-        self.engine_min_states = 100
+        #: Layered-engine dispatch threshold (see DPSolverConfig); kept as an
+        #: instance attribute so tests can force the engine per solver.
+        self.engine_min_states = self.config.engine_min_states
         #: Observability for the interval-memo property tests: when
         #: ``track_budget_forks`` is set (tests only; off the hot path by
         #: default), ``fork_keys`` collects the distinct ``(stage, state,
@@ -325,6 +373,7 @@ class DPSolver:
         # equivalence property tests compare against.
         self._engine = None
         self._mat_cache = {}
+        self._budget_row_cache = {}
         state_space = 1
         for count in codec.root_state.tolist():
             state_space *= count + 1
@@ -338,8 +387,12 @@ class DPSolver:
             return self._solve(0, scalar, budget_per_iteration, math.inf,
                                scalar)
         if self.config.enable_pruning:
-            engine = self._build_engine()
-            engine.run(state)
+            engine = self._build_engine(state)
+            # Forward work is charged per candidate whether the layers were
+            # computed fresh or served from the shared cache, so the search
+            # counters are invariant across the layer-cache toggle (and
+            # across the serial/parallel drivers, whose contexts see
+            # different hit patterns).
             self.stats.nodes_explored += engine.states_computed
             self.stats.memo_hits += engine.dedup_hits
             self._engine = engine
@@ -350,14 +403,19 @@ class DPSolver:
         return self._solve(0, state, budget_per_iteration, math.inf,
                            state.tobytes())
 
-    def _build_engine(self) -> ResourceStateEngine:
+    def _build_engine(self, root_state: np.ndarray) -> ResourceStateEngine:
         """Assemble the per-stage kernel tables and the layered engine.
 
         The kernel tables extend the recursion's combo tables with eager
         per-combo scalar arrays (compute, sync, cost rate -- all served
         from the shared context's caches), and are installed into
         ``_tables`` so the budget recursion and :meth:`_combos_for_state`
-        reuse the same objects.
+        reuse the same objects.  The forward reachability layers -- which
+        depend only on the root and the footprint matrices, not on the
+        microbatch size -- are fetched from (or computed into) the search
+        context's cross-candidate layer cache, keyed by
+        :func:`~repro.core.resource_state.forward_signature`; the backward
+        pass always runs per candidate.
         """
         tables: list[StageKernelTable] = []
         context = self.context
@@ -377,11 +435,25 @@ class DPSolver:
             )
             tables.append(table)
             self._tables[stage_index] = table
-        return ResourceStateEngine(
-            self._codec, tables, self._caps_vec, self._clamp_active,
-            self.num_microbatches,
-            self.goal is OptimizationGoal.MIN_COST,
-            self.config.max_combos_per_stage)
+        reqs = [table.req for table in tables]
+        limit = self.config.max_combos_per_stage
+
+        def build():
+            return compute_forward_layers(reqs, self._caps_vec,
+                                          self._clamp_active, limit,
+                                          root_state)
+
+        if self.config.enable_layer_cache:
+            signature = forward_signature(root_state, reqs, self._caps_vec,
+                                          self._clamp_active, limit)
+            forward = context.forward_layers(signature, build)
+        else:
+            forward = build()
+        engine = ResourceStateEngine(
+            self._codec, tables, forward, self.num_microbatches,
+            self.goal is OptimizationGoal.MIN_COST)
+        engine.run_backward()
+        return engine
 
     def _materialize(self, stage_index: int, row: int) -> DPSolution:
         """Build the DPSolution of one engine row from its backpointers.
@@ -741,7 +813,11 @@ class DPSolver:
                     return solution
         else:
             if self.track_budget_forks:
-                self.fork_keys.add((stage_index, key, round(budget, 6)))
+                # Keyed on the exact budget float: rounding to 6 decimals
+                # collided budgets differing below 1e-6 USD and undercounted
+                # distinct forks (the stat the interval-memo property tests
+                # compare entry counts against).
+                self.fork_keys.add((stage_index, key, budget))
             hit = self._budget_lookup(stage_index, key, budget, upper_bound)
             if hit is not None:
                 self.stats.memo_hits += 1
@@ -775,6 +851,15 @@ class DPSolver:
                     self._budget_store(stage_index, key, cost, math.inf,
                                        unconstrained, True, math.inf)
                     return unconstrained
+                if (self.config.batched_budget_threading
+                        and not self.track_budget_forks):
+                    # Genuinely binding budget on an engine-covered state:
+                    # scan the whole combo row threaded through the engine
+                    # layers.  Fork tracking must observe every suffix
+                    # query in _solve, so it pins the scalar scan (same
+                    # guard as _solve_suffix's inline memo probe).
+                    return self._solve_budget_batched(stage_index, key, row,
+                                                      budget, upper_bound)
             else:
                 unconstrained = self._solve(stage_index, resources, None,
                                             math.inf, key)
@@ -947,6 +1032,234 @@ class DPSolver:
                                upper_bound)
         return best
 
+    def _budget_row(self, stage_index: int, row: int, is_last: bool) -> tuple:
+        """Per-(stage, row) scalars the batched budget scan threads through.
+
+        One gather per engine row -- the combo columns plus this stage's
+        ``(t, sync, rate)`` and the children's unconstrained ``(sum, max,
+        sync, rate, cost, feasible)`` -- converted from the engine's layer
+        arrays to plain Python floats once and reused by every budget the
+        straggler search proposes for the row.  (A per-node NumPy variant
+        was measured *slower*: the combo rows are capped at
+        ``max_combos_per_stage``, far too short to amortise array-op
+        overhead per node, while this gather-once + scalar-thread layout
+        cuts the recursion's per-combo call machinery outright.)
+        """
+        cached = self._budget_row_cache.get((stage_index, row))
+        if cached is not None:
+            return cached
+        engine = self._engine
+        table = self._tables[stage_index]
+        if is_last:
+            cols = engine.forward.last_sel[row].nonzero()[0]
+            entry = (cols.tolist(), table.compute[cols].tolist(),
+                     table.sync[cols].tolist(), table.rate[cols].tolist(),
+                     None, None, None, None, None, None, None)
+        else:
+            crow = engine.forward.child_row[stage_index][row]
+            cols = (crow >= 0).nonzero()[0]
+            child = crow[cols]
+            next_stage = stage_index + 1
+            rate_c = engine.rate[next_stage][child]
+            # Elementwise product == engine.projected_cost per child row.
+            cost_unc = rate_c * engine.time_value[next_stage][child]
+            entry = (cols.tolist(), table.compute[cols].tolist(),
+                     table.sync[cols].tolist(), table.rate[cols].tolist(),
+                     child.tolist(),
+                     engine.sum_t[next_stage][child].tolist(),
+                     engine.max_t[next_stage][child].tolist(),
+                     engine.sync_t[next_stage][child].tolist(),
+                     rate_c.tolist(),
+                     cost_unc.tolist(),
+                     np.isfinite(engine.value[next_stage][child]).tolist())
+        self._budget_row_cache[(stage_index, row)] = entry
+        return entry
+
+    def _solve_budget_batched(self, stage_index: int, key: bytes, row: int,
+                              budget: float,
+                              upper_bound: float) -> DPSolution | None:
+        """One budget node's combo scan threaded through the engine layers.
+
+        Replaces the scalar per-combo straggler recursion for states the
+        layered engine covers.  The straggler-approximation loop's suffix
+        solves are, in the overwhelmingly common case, answered by budget
+        dominance (the suffix's unconstrained optimum fits the remaining
+        budget) -- and the engine's backward arrays already hold every
+        child's unconstrained ``(sum, max, sync, rate)`` quadruple and
+        projected cost (gathered once per row by :meth:`_budget_row`), so
+        those combos resolve inline without the recursion's per-combo
+        ``_solve`` call, memo probes, suffix materialisation or
+        ``_combine`` allocation:
+
+        * iteration 1 assumes the stage is the straggler (``rb1 = budget -
+          rate * Nb * t``); children whose unconstrained cost fits ``rb1``
+          take their engine optimum as the suffix, and the combined
+          quadruple/value is computed with the exact op order of
+          ``_combine`` / ``_value`` (bit-identical floats, same first-min
+          tie-break);
+        * a combo whose discovered straggler exceeds the assumption
+          re-tests dominance at the tightened budget (``rb2``); when it
+          still holds the suffix is unchanged, so the loop's fixpoint is
+          reached with the same combined solution the scalar recursion
+          returns;
+        * only combos with a genuinely binding suffix budget fall back to
+          the scalar straggler recursion (:meth:`_solve_suffix`), threaded
+          with the same running-incumbent cutoff the scalar scan uses --
+          and the same B&B bound checks (including the sorted-combo tail
+          cut) guard every combo first, exactly as in :meth:`_solve`.
+
+        Only the winning combo ever materialises ``StageAssignment`` /
+        ``DPSolution`` objects; the scalar path materialised every
+        dominance-answered suffix it probed.
+        """
+        nb = self.num_microbatches
+        nb1 = nb - 1
+        is_cost = self.goal is OptimizationGoal.MIN_COST
+        is_last = stage_index == len(self.partitions) - 1
+        next_stage = stage_index + 1
+        stats = self.stats
+        table = self._tables[stage_index]
+        (cols, t_list, sync_list, rate_list, child_list, sum_list, max_list,
+         sync_c_list, rate_c_list, cost_unc_list, feasible_list) = \
+            self._budget_row(stage_index, row, is_last)
+
+        best: DPSolution | None = None
+        best_value = math.inf
+        best_idx = -1  # winning *resolved* combo, materialised after the scan
+        pruning = self.config.enable_pruning
+        max_iterations = self.config.max_budget_iterations
+        sum_after = self._sfx_sum[next_stage]
+        max_after = self._sfx_max[next_stage]
+        rate_after = self._sfx_rate[next_stage]
+        num_combos = len(cols)
+        forward_states = (None if is_last
+                          else self._engine.forward.states[next_stage])
+
+        for n in range(num_combos):
+            t_s = t_list[n]
+            sync_s = sync_list[n]
+            rate_s = rate_list[n]
+            if is_last:
+                time_v = t_s + nb1 * t_s + sync_s
+                cost_v = rate_s * time_v
+                if cost_v > budget:
+                    continue
+                value = cost_v if is_cost else time_v
+                if value < best_value:
+                    best_value = value
+                    best_idx = n
+                continue
+
+            cutoff = upper_bound if upper_bound < best_value else best_value
+            if pruning:
+                # Same admissible bounds (and tail cut) as the scalar scan;
+                # the scalars come from the kernel table instead of a
+                # lazily-built assignment, bit-identical by construction.
+                sum_lb = t_s + sum_after
+                max_lb = t_s if t_s >= max_after else max_after
+                base_lb = sum_lb + nb1 * max_lb
+                if is_cost:
+                    bound = ((rate_s + rate_after) * (base_lb + sync_s)
+                             * _COST_BOUND_SLACK)
+                    if bound >= cutoff:
+                        stats.pruned_branches += 1
+                        continue
+                elif base_lb >= cutoff:
+                    stats.pruned_branches += num_combos - n
+                    break
+                elif base_lb + sync_s >= cutoff:
+                    stats.pruned_branches += 1
+                    continue
+
+            if not feasible_list[n]:
+                continue  # infeasible suffix: the recursion returns None
+            rb1 = budget - rate_s * nb * t_s
+            if rb1 <= 0:
+                continue
+            resolved = False
+            if cost_unc_list[n] <= rb1:
+                # Dominance at the assumed straggler: the suffix is the
+                # child's unconstrained engine optimum.  Combine inline
+                # (op order of _combine + _value).
+                sum_t = t_s + sum_list[n]
+                max_c = max_list[n]
+                max_t = t_s if t_s >= max_c else max_c
+                sync_c = sync_c_list[n]
+                sync_t = sync_s if sync_s >= sync_c else sync_c
+                rate_t = rate_s + rate_c_list[n]
+                time_v = sum_t + nb1 * max_t + sync_t
+                cost_v = rate_t * time_v
+                if cost_v > budget:
+                    continue  # combined busts the budget: combo infeasible
+                if max_iterations == 1 or straggler_converged(max_t, t_s):
+                    resolved = True
+                else:
+                    # Iteration 2 re-assumes the discovered straggler; when
+                    # dominance survives the tightened budget the suffix --
+                    # and so the combined solution -- is unchanged, which
+                    # *is* the loop's fixpoint.
+                    rb2 = budget - rate_s * nb * max_t
+                    if rb2 <= 0:
+                        continue
+                    if cost_unc_list[n] <= rb2:
+                        resolved = True
+            if resolved:
+                value = cost_v if is_cost else time_v
+                if value < best_value:
+                    best_value = value
+                    best_idx = n
+                    best = None
+                continue
+
+            # Genuinely binding suffix budget: scalar straggler recursion.
+            entry = table.entries[cols[n]]
+            assignment = entry[2]
+            if assignment is None:
+                assignment = self.context.build_stage_assignment(
+                    self.partitions[stage_index], self.microbatch_size,
+                    self.data_parallel, entry[0], nodes_used=entry[1],
+                    compute_time_s=entry[4])
+                entry[2] = assignment
+            child_state = forward_states[child_list[n]]
+            candidate = self._solve_suffix(
+                stage_index, assignment, child_state, child_state.tobytes(),
+                budget, cutoff if pruning else math.inf)
+            if candidate is None:
+                continue
+            value = self._value(candidate)
+            if value < best_value:
+                best, best_value = candidate, value
+                best_idx = -1
+
+        if best is None and best_idx >= 0:
+            best_col = cols[best_idx]
+            best_child = -1 if is_last else child_list[best_idx]
+            entry = table.entries[best_col]
+            assignment = entry[2]
+            if assignment is None:
+                assignment = self.context.build_stage_assignment(
+                    self.partitions[stage_index], self.microbatch_size,
+                    self.data_parallel, entry[0], nodes_used=entry[1],
+                    compute_time_s=entry[4])
+                entry[2] = assignment
+            if is_last:
+                best = DPSolution(
+                    assignments=[assignment],
+                    max_stage_time_s=assignment.compute_time_s,
+                    sum_stage_time_s=assignment.compute_time_s,
+                    max_sync_time_s=assignment.sync_time_s,
+                    cost_rate_usd_per_s=assignment.cost_rate_usd_per_s,
+                )
+            else:
+                best = self._combine(assignment,
+                                     self._materialize(next_stage, best_child))
+
+        exact = best_value < upper_bound or upper_bound == math.inf
+        lo = best.projected_cost(nb) if best is not None else -math.inf
+        self._budget_store(stage_index, key, lo, budget, best, exact,
+                           upper_bound)
+        return best
+
     def _child_bound(self, cutoff: float, assignment: StageAssignment) -> float:
         """Upper bound to thread into the suffix solve below ``assignment``.
 
@@ -974,6 +1287,13 @@ class DPSolver:
         """
         nb = self.num_microbatches
         child_bound = self._child_bound(cutoff, assignment)
+        # Inlined interval-memo probe for the loop's suffix queries (the
+        # overwhelmingly common hit case): same lookup rule as
+        # _budget_lookup, minus the per-iteration call overhead.  Skipped
+        # under fork tracking, which must observe every query in _solve.
+        budget_memo = self._budget_memo[stage_index + 1]
+        probe_inline = not self.track_budget_forks
+        stats = self.stats
 
         combined: DPSolution | None = None
         assumed_straggler = assignment.compute_time_s
@@ -982,15 +1302,30 @@ class DPSolver:
             remaining_budget = budget - stage_cost
             if remaining_budget <= 0:
                 return None
-            suffix = self._solve(stage_index + 1, remaining, remaining_budget,
-                                 child_bound, remaining_key)
+            suffix = None
+            hit = None
+            if probe_inline:
+                entries = budget_memo.get(remaining_key)
+                if entries is not None:
+                    for entry in entries:
+                        if (entry[0] <= remaining_budget <= entry[1]
+                                and (entry[3] or child_bound <= entry[4])):
+                            hit = entry
+                            break
+            if hit is not None:
+                stats.memo_hits += 1
+                suffix = hit[2]
+            else:
+                suffix = self._solve(stage_index + 1, remaining,
+                                     remaining_budget, child_bound,
+                                     remaining_key)
             if suffix is None:
                 return None
             combined = self._combine(assignment, suffix)
             if combined.projected_cost(nb) > budget:
                 return None
             actual_straggler = combined.max_stage_time_s
-            if actual_straggler <= assumed_straggler + 1e-12:
+            if straggler_converged(actual_straggler, assumed_straggler):
                 return combined
             assumed_straggler = actual_straggler
         return combined

@@ -342,6 +342,10 @@ class SearchStats:
     #: Candidates whose full simulator evaluation was skipped because their
     #: conservative iteration-time floor already lost to the incumbent.
     gate_skips: int = 0
+    #: Forward reachability passes served from the search context's
+    #: cross-candidate layer cache instead of being recomputed (resource-
+    #: state engine; one hit saves one whole chunked fit-test + dedup pass).
+    layer_cache_hits: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats block into this one (parallel driver)."""
@@ -376,7 +380,8 @@ class SearchStats:
         """One-line summary (used by the CLI and examples)."""
         return (f"nodes={self.nodes_explored} memo_hits={self.memo_hits} "
                 f"pruned={self.pruned_branches} cache_hits={self.cache_hits} "
-                f"gate_skips={self.gate_skips}")
+                f"gate_skips={self.gate_skips} "
+                f"layer_cache_hits={self.layer_cache_hits}")
 
 
 @dataclass

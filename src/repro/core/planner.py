@@ -418,7 +418,10 @@ _WORKER_STATE: dict = {}
 def _make_worker_state(env, job, objective, config, consolidated,
                        resources) -> dict:
     """Bundle one planning call's invariants, including the worker's shared
-    search context (reused across every branch the worker executes)."""
+    search context (reused across every branch the worker executes, so the
+    cross-candidate caches -- compute/sync/cost, master combos, and the
+    resource-state engine's forward layer cache -- are shared by every
+    (P, mbs, D) candidate the worker sees, exactly as in the serial driver)."""
     return {
         "planner": SailorPlanner(env, config=config),
         "job": job,
@@ -562,17 +565,26 @@ class ParallelPlanner:
             # publish them through a shared-memory segment the workers
             # attach to; when shared memory is unavailable (no /dev/shm,
             # exotic platforms) fall back to shipping the blob via initargs.
+            #
+            # Lifecycle: the single try/finally below starts *before* the
+            # segment is created, so every exit path -- a worker raising
+            # mid-branch (pool.map re-raises), pool shutdown on
+            # KeyboardInterrupt, and even a non-OSError between creation
+            # and the pool block -- retires the segment.  (An OSError
+            # during creation/population falls back to initargs-bytes; a
+            # half-created segment from that path is retired by the same
+            # finally.)
             blob = pickle.dumps(invariants, protocol=pickle.HIGHEST_PROTOCOL)
             segment = None
             try:
-                segment = shared_memory.SharedMemory(create=True,
-                                                     size=max(1, len(blob)))
-                segment.buf[:len(blob)] = blob
-                initializer, initargs = _init_worker_shm, (segment.name,
-                                                           len(blob))
-            except OSError:
-                initializer, initargs = _init_worker, (blob,)
-            try:
+                try:
+                    segment = shared_memory.SharedMemory(create=True,
+                                                         size=max(1, len(blob)))
+                    segment.buf[:len(blob)] = blob
+                    initializer, initargs = _init_worker_shm, (segment.name,
+                                                               len(blob))
+                except OSError:
+                    initializer, initargs = _init_worker, (blob,)
                 with ProcessPoolExecutor(max_workers=workers,
                                          initializer=initializer,
                                          initargs=initargs) as pool:

@@ -40,6 +40,21 @@ the encoding of the keys changed.  ``tests/test_resource_state.py`` checks
 the round-trip and kernel properties directly, and the solver equivalence
 suites (``tests/test_dp_solver.py``, ``tests/test_planner.py``) check the
 end-to-end consequence.
+
+Forward/backward split
+----------------------
+The layered engine is split so its expensive half can be shared: *forward
+reachability* (:func:`compute_forward_layers` -> :class:`ForwardLayers`)
+depends only on the root state and each stage's combo footprint matrix, so
+one pass serves every ``(P, mbs, D)`` candidate with the same
+:func:`forward_signature` via the search context's layer cache, while the
+cheap *backward scoring* (:meth:`ResourceStateEngine.run_backward`) runs
+per candidate over its own compute/sync/cost scalars.  The forward pass
+chunks its fit-test broadcast along the state axis (peak memory
+``O(chunk x combos)``) and deduplicates children through an injective
+mixed-radix int64 packing (:func:`layer_pack_weights`) instead of the
+row-wise ``np.unique`` sort -- both pure implementation knobs that leave
+the reachable state sets, and therefore plans, bit-identical.
 """
 
 from __future__ import annotations
@@ -201,6 +216,194 @@ class StageKernelTable(StageComboTable):
     rate: np.ndarray = None     # (M,)
 
 
+#: Element budget of one forward fit-test block: the (chunk, M, S) broadcast
+#: compare is chunked along the state axis so its peak intermediate stays
+#: ``O(chunk x M x S)`` bytes (~32 MB of bool at the default) no matter how
+#: wide a layer grows.  1024-GPU pools reach ~1.7e4 states per layer today;
+#: the chunking is what keeps the engine's memory flat beyond that.
+FORWARD_CHUNK_ELEMS = 1 << 25
+
+
+def layer_pack_weights(root_state: np.ndarray) -> np.ndarray | None:
+    """Mixed-radix weights packing any reachable state into one ``int64``.
+
+    Every state the forward pass can produce satisfies ``0 <= state[i] <=
+    root_state[i]`` per slot (subtract and clamp only shrink counts), so
+    packing with radix ``root_state[i] + 1`` per slot is *injective* -- a
+    perfect hash, not a probabilistic one -- whenever the radix product fits
+    in an int64.  Returns ``None`` when it does not (the caller falls back
+    to row-wise ``np.unique``); at 1024 GPUs the product is ~1.7e4, so the
+    fallback is reserved for pools far beyond current benches.
+    """
+    weights = []
+    scale = 1
+    for count in reversed(root_state.tolist()):
+        weights.append(scale)
+        scale *= count + 1
+        if scale > np.iinfo(np.int64).max:
+            return None
+    weights.reverse()
+    return np.array(weights, dtype=np.int64)
+
+
+def dedup_states(children: np.ndarray,
+                 weights: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicate state rows; returns ``(unique rows, inverse index map)``.
+
+    With pack weights the rows collapse to one int64 each and the dedup is
+    a scalar sort (`np.unique` on a 1-D array) instead of the row-wise
+    void-dtype sort ``np.unique(axis=0)`` performs -- the packing is
+    injective (see :func:`layer_pack_weights`), so the unique *set* and the
+    inverse map are exactly the row-wise dedup's; only the order of the
+    unique rows differs, which nothing downstream observes (the backward
+    pass reduces per row, and backpointers index rows consistently).
+    """
+    if weights is not None:
+        packed = children @ weights
+        _, first, inverse = np.unique(packed, return_index=True,
+                                      return_inverse=True)
+        return children[first], inverse
+    uniq, inverse = np.unique(children, axis=0, return_inverse=True)
+    return uniq, inverse
+
+
+class ForwardLayers:
+    """Forward-reachability result of one root x per-stage-footprint signature.
+
+    Holds everything the forward pass produces -- per-stage unique state
+    layers, the ``(N, M)`` child-row maps (``-1`` where a combo does not fit
+    or was truncated) and the last layer's fit mask -- and *nothing* that
+    depends on the microbatch size (compute/sync/cost scalars live on the
+    per-candidate :class:`StageKernelTable`).  Reachability depends only on
+    the root state, the per-stage combo footprints (in master ranking
+    order), the truncation limit and the suffix clamps, so one instance is
+    shared by every ``(P, mbs, D)`` candidate with the same signature via
+    the :class:`~repro.core.search_cache.PlannerSearchContext` layer cache.
+    """
+
+    __slots__ = ("states", "child_row", "last_sel", "states_computed",
+                 "dedup_hits", "row_of")
+
+    def __init__(self, states: list[np.ndarray],
+                 child_row: list[np.ndarray | None],
+                 last_sel: np.ndarray, states_computed: int,
+                 dedup_hits: int) -> None:
+        self.states = states
+        self.child_row = child_row
+        self.last_sel = last_sel
+        self.states_computed = states_computed
+        self.dedup_hits = dedup_hits
+        #: bytes -> row maps, built lazily per stage (budget probes only).
+        self.row_of: list[dict[bytes, int] | None] = [None] * len(states)
+
+    def row_for_key(self, stage_index: int, key: bytes) -> int | None:
+        """Row index of an encoded state in one layer, if reachable."""
+        table = self.row_of[stage_index]
+        if table is None:
+            states = self.states[stage_index]
+            blob = states.tobytes()
+            width = states.shape[1] * states.itemsize
+            table = {blob[r * width:(r + 1) * width]: r
+                     for r in range(states.shape[0])}
+            self.row_of[stage_index] = table
+        return table.get(key)
+
+
+def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
+                           clamp_active: list[bool], limit: int,
+                           root_state: np.ndarray,
+                           chunk_elems: int = FORWARD_CHUNK_ELEMS,
+                           ) -> ForwardLayers:
+    """Forward reachability, one whole stage layer at a time.
+
+    Starting from the (clamped) root, each layer's fitting combos are found
+    with a broadcast compare chunked along the state axis (honouring the
+    per-state ``limit`` truncation in master ranking order via a running
+    count), every (state, combo) child is produced by one subtraction,
+    clamped at the next stage's caps, and deduplicated through the packed
+    int64 hash (:func:`dedup_states`).  Deduplicated children are exactly
+    the states the recursion's memo would collapse.
+    """
+    num_stages = len(reqs)
+    num_slots = root_state.shape[0]
+    weights = layer_pack_weights(root_state)
+    states = root_state.reshape(1, -1)
+    layers: list[np.ndarray] = []
+    child_rows: list[np.ndarray | None] = [None] * num_stages
+    last_sel: np.ndarray | None = None
+    states_computed = 0
+    dedup_hits = 0
+    for j in range(num_stages):
+        layers.append(states)
+        states_computed += states.shape[0]
+        req = reqs[j]
+        num_states, num_combos = states.shape[0], req.shape[0]
+        last = j == num_stages - 1
+        chunk = max(1, chunk_elems // max(1, num_combos * num_slots))
+        sel_full = np.empty((num_states, num_combos), dtype=bool)
+        child_chunks: list[np.ndarray] = []
+        for start in range(0, num_states, chunk):
+            block = states[start:start + chunk]
+            # (chunk, M): which master combos fit which states, truncated to
+            # the first `limit` fitting per state in master (ranking) order.
+            fits = (req[None, :, :] <= block[:, None, :]).all(axis=2)
+            if (limit < num_combos
+                    and int(fits.sum(axis=1).max(initial=0)) > limit):
+                # Only pay the cumsum when some state actually has more
+                # fitting combos than the truncation limit.
+                sel = fits & (np.cumsum(fits, axis=1) <= limit)
+            else:
+                sel = fits
+            sel_full[start:start + chunk] = sel
+            if last:
+                continue
+            rows, cols = sel.nonzero()
+            children = block[rows] - req[cols]
+            if clamp_active[j + 1]:
+                children = np.minimum(children, caps_vec[j + 1])
+            child_chunks.append(children)
+        if last:
+            last_sel = sel_full
+            break
+        if child_chunks:
+            children = (child_chunks[0] if len(child_chunks) == 1
+                        else np.concatenate(child_chunks))
+        else:
+            children = np.zeros((0, num_slots), dtype=STATE_DTYPE)
+        uniq, inverse = dedup_states(children, weights)
+        dedup_hits += children.shape[0] - uniq.shape[0]
+        child_row = np.full((num_states, num_combos), -1, dtype=np.int64)
+        # Row-major assignment order matches the chunk-concatenated children.
+        child_row[sel_full] = inverse
+        child_rows[j] = child_row
+        states = uniq
+    return ForwardLayers(states=layers, child_row=child_rows,
+                         last_sel=last_sel, states_computed=states_computed,
+                         dedup_hits=dedup_hits)
+
+
+def forward_signature(root_state: np.ndarray, reqs: list[np.ndarray],
+                      caps_vec: list[np.ndarray], clamp_active: list[bool],
+                      limit: int) -> tuple:
+    """Cache key under which a forward pass may be shared across candidates.
+
+    Two candidates with equal signatures run byte-identical forward passes:
+    the key captures the clamped root, every stage's footprint matrix *in
+    master ranking order* (so an mbs-dependent re-ranking changes the key),
+    the truncation limit and the active suffix clamps.  Everything else the
+    engine consumes (compute/sync/cost scalars) is backward-only.
+    """
+    return (
+        root_state.tobytes(),
+        limit,
+        tuple((req.shape[0], req.tobytes()) for req in reqs),
+        # Stage-0 caps are already baked into the (clamped) root state, so
+        # only the child clamps (stages 1..P-1) discriminate forward passes.
+        tuple(caps_vec[j].tobytes() if clamp_active[j] else b""
+              for j in range(1, len(reqs))),
+    )
+
+
 class ResourceStateEngine:
     """Layered bottom-up DP over one root's array-encoded states.
 
@@ -210,21 +413,19 @@ class ResourceStateEngine:
     *same* table the recursion memoises, but one pipeline stage at a time
     over the whole layer of reachable states:
 
-    * **Forward pass**: starting from the (clamped) root, each layer's
-      fitting combos are found with one ``(N, M, S)`` broadcast compare
-      (honouring the per-state ``max_combos_per_stage`` truncation in
-      master-ranking order via a running count), every (state, combo) child
-      is produced by one subtraction, clamped at the next stage's caps, and
-      deduplicated with ``np.unique`` -- which also yields the child-row
-      index map the backward pass gathers through.  Deduplicated children
-      are exactly the states the recursion's memo would collapse.
-    * **Backward pass**: the last layer scores every fitting combo from the
-      table's scalar arrays; every earlier layer combines its combo scalars
-      with the child layer's ``(sum, max, sync, rate)`` quadruples in five
-      elementwise array ops whose per-element operation order matches the
-      scalar recursion exactly (IEEE-754 float64 in both), so the optima --
-      values *and* argmin tie-breaks (first minimum in master ranking
-      order) -- are identical to the exhaustive recursion.
+    * **Forward pass** (:func:`compute_forward_layers`, shared across
+      candidates through the search context's layer cache): reachability
+      depends only on the root and the per-stage combo footprints, not on
+      the microbatch size, so one :class:`ForwardLayers` serves every
+      candidate with the same :func:`forward_signature`.
+    * **Backward pass** (:meth:`run_backward`, per candidate): the last
+      layer scores every fitting combo from the table's scalar arrays;
+      every earlier layer combines its combo scalars with the child layer's
+      ``(sum, max, sync, rate)`` quadruples in five elementwise array ops
+      whose per-element operation order matches the scalar recursion
+      exactly (IEEE-754 float64 in both), so the optima -- values *and*
+      argmin tie-breaks (first minimum in master ranking order) -- are
+      identical to the exhaustive recursion.
 
     Solutions are materialised lazily from the stored backpointers (combo
     argmin + child row), so only rows actually requested (the root, plus
@@ -232,30 +433,21 @@ class ResourceStateEngine:
     ``StageAssignment`` objects.
 
     The engine covers the unconstrained objectives; budget-constrained
-    solves keep the straggler-approximation recursion (whose remaining-
-    budget threading is inherently top-down) and use this table to answer
-    their budget-dominance probes in O(1).
+    solves thread their straggler loop through the solver, which batches
+    each node's combo scan over these same per-layer arrays (see
+    ``DPSolver._solve_budget_batched``) and uses the table to answer
+    budget-dominance probes in O(1).
     """
 
     def __init__(self, codec: ResourceStateCodec,
-                 tables: list[StageKernelTable],
-                 caps_vec: list[np.ndarray], clamp_active: list[bool],
-                 num_microbatches: int, minimize_cost: bool,
-                 limit: int) -> None:
+                 tables: list[StageKernelTable], forward: ForwardLayers,
+                 num_microbatches: int, minimize_cost: bool) -> None:
         self.codec = codec
         self.tables = tables
-        self.caps_vec = caps_vec
-        self.clamp_active = clamp_active
+        self.forward = forward
         self.nb1 = float(num_microbatches - 1)
         self.minimize_cost = minimize_cost
-        self.limit = limit
         num_stages = len(tables)
-        #: Forward results: per stage, the unique reachable states and a
-        #: bytes -> row index for point lookups.
-        self.states: list[np.ndarray] = [None] * num_stages
-        self.row_of: list[dict[bytes, int]] = [None] * num_stages
-        #: (N, M) child-row map; -1 where the combo does not fit the state.
-        self.child_row: list[np.ndarray] = [None] * num_stages
         #: Backward results: per stage, the chosen combo per row and the
         #: optimum's (value, sum, max, sync, rate); value is +inf where the
         #: suffix is infeasible.  ``time_value`` keeps the projected
@@ -268,49 +460,33 @@ class ResourceStateEngine:
         self.max_t: list[np.ndarray] = [None] * num_stages
         self.sync_t: list[np.ndarray] = [None] * num_stages
         self.rate: list[np.ndarray] = [None] * num_stages
-        #: Work counters, reported through the solver's SearchStats.
-        self.states_computed = 0
-        self.dedup_hits = 0
+
+    # -- forward-pass views ---------------------------------------------------
+
+    @property
+    def states(self) -> list[np.ndarray]:
+        return self.forward.states
+
+    @property
+    def child_row(self) -> list[np.ndarray | None]:
+        return self.forward.child_row
+
+    @property
+    def states_computed(self) -> int:
+        return self.forward.states_computed
+
+    @property
+    def dedup_hits(self) -> int:
+        return self.forward.dedup_hits
 
     # -- passes --------------------------------------------------------------
 
-    def run(self, root_state: np.ndarray) -> None:
-        """Forward reachability then backward optimisation, all layers."""
-        num_stages = len(self.tables)
-        states = root_state.reshape(1, -1)
-        sels: list[np.ndarray] = []
-        for j in range(num_stages):
-            self.states[j] = states
-            self.states_computed += states.shape[0]
-            table = self.tables[j]
-            # (N, M): which master combos fit which states, truncated to the
-            # first `limit` fitting per state in master (ranking) order.
-            fits = (table.req[None, :, :] <= states[:, None, :]).all(axis=2)
-            if (self.limit < fits.shape[1]
-                    and int(fits.sum(axis=1).max(initial=0)) > self.limit):
-                # Only pay the (N, M) cumsum when some state actually has
-                # more fitting combos than the truncation limit.
-                sel = fits & (np.cumsum(fits, axis=1) <= self.limit)
-            else:
-                sel = fits
-            sels.append(sel)
-            if j == num_stages - 1:
-                break
-            rows, cols = sel.nonzero()
-            children = states[rows] - table.req[cols]
-            if self.clamp_active[j + 1]:
-                children = np.minimum(children, self.caps_vec[j + 1])
-            uniq, inverse = np.unique(children, axis=0, return_inverse=True)
-            self.dedup_hits += children.shape[0] - uniq.shape[0]
-            child_row = np.full(sel.shape, -1, dtype=np.int64)
-            child_row[rows, cols] = inverse
-            self.child_row[j] = child_row
-            states = uniq
+    def run_backward(self) -> None:
+        """Backward optimisation over the (possibly shared) forward layers."""
+        for j in range(len(self.tables) - 1, -1, -1):
+            self._solve_layer(j)
 
-        for j in range(num_stages - 1, -1, -1):
-            self._solve_layer(j, sels[j])
-
-    def _solve_layer(self, j: int, sel: np.ndarray) -> None:
+    def _solve_layer(self, j: int) -> None:
         """Score every (state, combo) candidate of one layer and reduce.
 
         The elementwise operation order replicates the scalar recursion:
@@ -322,10 +498,11 @@ class ResourceStateEngine:
         scan over the same combo order.
         """
         table = self.tables[j]
+        forward = self.forward
         last = j == len(self.tables) - 1
-        rows = sel.shape[0]
+        rows = forward.states[j].shape[0]
         if (table.req.shape[0] == 0
-                or (not last and self.states[j + 1].shape[0] == 0)):
+                or (not last and forward.states[j + 1].shape[0] == 0)):
             # No combo can host this stage (or nothing survives below it):
             # the whole layer is infeasible, exactly as the recursion finds.
             self.arg[j] = np.zeros(rows, dtype=np.int64)
@@ -339,16 +516,17 @@ class ResourceStateEngine:
         t_a = table.compute[None, :]
         sync_a = table.sync[None, :]
         rate_a = table.rate[None, :]
+        shape = (rows, table.req.shape[0])
         if last:
-            sum_c = np.broadcast_to(table.compute[None, :], sel.shape)
+            sum_c = np.broadcast_to(table.compute[None, :], shape)
             max_c = sum_c
-            sync_c = np.broadcast_to(table.sync[None, :], sel.shape)
-            rate_c = np.broadcast_to(table.rate[None, :], sel.shape)
+            sync_c = np.broadcast_to(table.sync[None, :], shape)
+            rate_c = np.broadcast_to(table.rate[None, :], shape)
             time_v = table.compute + self.nb1 * table.compute + table.sync
-            time_v = np.broadcast_to(time_v[None, :], sel.shape)
-            invalid = ~sel
+            time_v = np.broadcast_to(time_v[None, :], shape)
+            invalid = ~forward.last_sel
         else:
-            child_row = self.child_row[j]
+            child_row = forward.child_row[j]
             safe = np.where(child_row >= 0, child_row, 0)
             sum_c = t_a + self.sum_t[j + 1][safe]
             max_c = np.maximum(t_a, self.max_t[j + 1][safe])
@@ -362,7 +540,7 @@ class ResourceStateEngine:
             scored = time_v
         scored = np.where(invalid, np.inf, scored)
         arg = np.argmin(scored, axis=1)
-        take = np.arange(sel.shape[0])
+        take = np.arange(rows)
         self.arg[j] = arg
         self.value[j] = scored[take, arg]
         self.time_value[j] = np.where(invalid, np.inf, time_v)[take, arg]
@@ -374,21 +552,8 @@ class ResourceStateEngine:
     # -- lookups -------------------------------------------------------------
 
     def row_for_key(self, stage_index: int, key: bytes) -> int | None:
-        """Row index of an encoded state in one layer, if reachable.
-
-        The key -> row dicts are built lazily: only the budget search's
-        dominance probes need them, so unconstrained solves never pay for
-        the construction.
-        """
-        table = self.row_of[stage_index]
-        if table is None:
-            states = self.states[stage_index]
-            blob = states.tobytes()
-            width = states.shape[1] * states.itemsize
-            table = {blob[r * width:(r + 1) * width]: r
-                     for r in range(states.shape[0])}
-            self.row_of[stage_index] = table
-        return table.get(key)
+        """Row index of an encoded state in one layer, if reachable."""
+        return self.forward.row_for_key(stage_index, key)
 
     def feasible(self, stage_index: int, row: int) -> bool:
         return not math.isinf(self.value[stage_index][row])
@@ -404,4 +569,4 @@ class ResourceStateEngine:
         combo = int(self.arg[stage_index][row])
         if stage_index == len(self.tables) - 1:
             return combo, -1
-        return combo, int(self.child_row[stage_index][row, combo])
+        return combo, int(self.forward.child_row[stage_index][row, combo])

@@ -176,6 +176,17 @@ class PlannerSearchContext:
         self._assignment: dict[tuple, StageAssignment] = {}
         self._options: dict[tuple, list[tuple[StageOption, int]]] = {}
         self._combos: dict[tuple, list[list]] = {}
+        #: Cross-candidate forward-reachability cache (resource-state
+        #: engine): ForwardLayers keyed by the solver's forward signature
+        #: (clamped root + per-stage footprint matrices + clamps + limit).
+        #: Layer reachability is microbatch-size independent, so every
+        #: (P, mbs, D) candidate with the same signature -- typically all
+        #: mbs variants of one (P, D) -- shares one forward pass.  Bounded
+        #: FIFO: one planner call produces one signature per (P, D)-shaped
+        #: candidate, far below the cap; the bound only guards pathological
+        #: topologies from accumulating layer arrays without limit.
+        self._forward_layers: dict[tuple, object] = {}
+        self._forward_layers_max = 256
         self._link_class: dict[tuple[str, str], LinkClass] = {}
         self._region: dict[str, str] = {}
         self._gpus_per_node: dict[str, int] = {}
@@ -352,6 +363,27 @@ class PlannerSearchContext:
             stage_index=partition.stage_index, placements=placements,
             compute_time_s=compute_time_s, sync_time_s=sync,
             cost_rate_usd_per_s=cost_rate, nodes_used=nodes_used)
+
+    # -- resource-state forward layers ------------------------------------------
+
+    def forward_layers(self, signature: tuple, build):
+        """Forward-reachability layers for one footprint signature.
+
+        ``build`` is invoked on a miss (it runs the chunked forward pass);
+        hits are counted on ``stats.layer_cache_hits`` -- the observable
+        behind the cross-candidate sharing claim.  Entries are evicted FIFO
+        beyond the (generous) cap; see the attribute comment in
+        ``__init__``.
+        """
+        cached = self._forward_layers.get(signature)
+        if cached is not None:
+            self.stats.layer_cache_hits += 1
+            return cached
+        layers = build()
+        if len(self._forward_layers) >= self._forward_layers_max:
+            self._forward_layers.pop(next(iter(self._forward_layers)))
+        self._forward_layers[signature] = layers
+        return layers
 
     # -- combo enumeration ------------------------------------------------------
 

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.dp_solver import DPSolver, DPSolverConfig, StageOption
+from repro.core.dp_solver import (
+    DPSolver,
+    DPSolverConfig,
+    StageOption,
+    straggler_converged,
+)
 from repro.core.heuristics import HeuristicConfig, min_tp_per_stage, tp_options_for_stage
 from repro.core.objectives import OptimizationGoal
 from repro.models.partition import uniform_partition
@@ -408,6 +413,89 @@ def test_interval_memo_entry_count_drops_vs_per_budget_forking(opt_env,
     # Per-rounded-budget keying would have stored (at least) one entry per
     # distinct (stage, state, rounded budget) query; intervals store fewer.
     assert entries < forks
+
+
+def test_fork_keys_distinguish_budgets_closer_than_1e6(opt_env, opt_job):
+    """Regression: fork bookkeeping used ``round(budget, 6)``, so two
+    budgets 1e-8 apart collided into one key and the fork stat undercounted
+    distinct straggler-loop queries.  Keyed on the exact float, two solves
+    whose budgets differ below the old rounding grain must record different
+    key sets."""
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    solver = build_solver(opt_env, opt_job, pp=2, dp=4)
+    nb = solver.num_microbatches
+    budget = solver.solve(dict(resources)).projected_cost(nb) * 0.7
+
+    solver.track_budget_forks = True
+    assert solver.solve(dict(resources), budget_per_iteration=budget) \
+        is not None
+    first = set(solver.fork_keys)
+    assert solver.solve(dict(resources),
+                        budget_per_iteration=budget + 1e-8) is not None
+    second = set(solver.fork_keys)
+    assert first and second
+    # Every budget threaded from the root differs by exactly 1e-8 between
+    # the two solves -- below round(..., 6)'s resolution, which mapped both
+    # runs onto identical key sets.
+    assert first != second
+    rounded = lambda keys: {(stage, key, round(budget, 6))
+                            for stage, key, budget in keys}
+    assert rounded(first) == rounded(second)
+
+
+def test_straggler_convergence_tolerance_is_relative_plus_absolute():
+    """Regression: a purely absolute 1e-12 tolerance is below float noise
+    at iteration times of hundreds of seconds, so the straggler loop would
+    re-iterate on rounding dust until max_budget_iterations ran out."""
+    # Large magnitudes: a few-ulp excursion converges via the relative term
+    # (the old `actual <= assumed + 1e-12` test rejected it).
+    assert straggler_converged(500.0 + 2e-10, 500.0)
+    assert not (500.0 + 2e-10 <= 500.0 + 1e-12)  # the old test, for contrast
+    # A genuine straggler change at the same magnitude still iterates.
+    assert not straggler_converged(500.0 + 1e-6, 500.0)
+    # Small magnitudes keep the absolute floor.
+    assert straggler_converged(1e-6 + 5e-13, 1e-6)
+    assert not straggler_converged(1e-6 + 1e-11, 1e-6)
+    # Exact fixpoints always converge.
+    assert straggler_converged(0.25, 0.25)
+    assert straggler_converged(0.0, 0.0)
+
+
+@pytest.mark.parametrize("pp,dp", [(1, 2), (2, 2), (2, 4), (3, 1)])
+def test_batched_budget_threading_matches_scalar_recursion(opt_env, opt_job,
+                                                           pp, dp):
+    """The per-layer batched straggler kernel must return bitwise-identical
+    solutions to the scalar per-combo recursion across binding and
+    non-binding budgets (both with the engine forced on)."""
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    probe = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+    nb = probe.num_microbatches
+    unconstrained = probe.solve(dict(resources))
+    if unconstrained is None:
+        pytest.skip("nothing fits this (pp, dp) on the small pool")
+    base_cost = unconstrained.projected_cost(nb)
+
+    for fraction in BUDGET_FRACTIONS:
+        budget = base_cost * fraction
+        batched = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+        batched.config = DPSolverConfig(engine_min_states=0)
+        batched.engine_min_states = 0
+        scalar = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+        scalar.config = DPSolverConfig(engine_min_states=0,
+                                       batched_budget_threading=False)
+        scalar.engine_min_states = 0
+        a = batched.solve(dict(resources), budget_per_iteration=budget)
+        b = scalar.solve(dict(resources), budget_per_iteration=budget)
+        assert (a is None) == (b is None)
+        if a is None:
+            continue
+        assert [x.placements for x in a.assignments] == \
+            [x.placements for x in b.assignments]
+        for field in ("max_stage_time_s", "sum_stage_time_s",
+                      "max_sync_time_s", "cost_rate_usd_per_s"):
+            assert getattr(a, field) == getattr(b, field)  # bitwise
 
 
 def test_interval_memo_repeat_solves_are_deterministic(opt_env, opt_job):

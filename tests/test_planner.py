@@ -204,6 +204,131 @@ def test_shared_memory_worker_init_roundtrip(opt_env, opt_job, mixed_topology):
         segment.unlink()
 
 
+class _RecordingSharedMemory:
+    """Wraps SharedMemory construction to record create-path segments."""
+
+    def __init__(self, real_cls, created: list):
+        self._real_cls = real_cls
+        self._created = created
+
+    def __call__(self, *args, **kwargs):
+        segment = self._real_cls(*args, **kwargs)
+        if kwargs.get("create"):
+            self._created.append(segment)
+            segment.test_unlinked = False
+            real_unlink = segment.unlink
+
+            def unlink():
+                segment.test_unlinked = True
+                real_unlink()
+
+            segment.unlink = unlink
+        return segment
+
+
+@pytest.mark.parametrize("failure", [RuntimeError, KeyboardInterrupt])
+def test_failing_branch_does_not_leak_shm_segment(opt_env, opt_job,
+                                                  mixed_topology, monkeypatch,
+                                                  failure):
+    """Regression (lifecycle audit): a worker raising mid-branch -- or the
+    pool dying on KeyboardInterrupt -- must still close+unlink the driver's
+    shared-memory segment.  The pool is replaced by a stub whose ``map``
+    raises, standing in for the re-raised worker exception."""
+    import repro.core.planner as planner_mod
+
+    created: list = []
+    monkeypatch.setattr(
+        planner_mod.shared_memory, "SharedMemory",
+        _RecordingSharedMemory(planner_mod.shared_memory.SharedMemory,
+                               created))
+
+    class ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, *args, **kwargs):
+            raise failure("branch failed")
+
+    monkeypatch.setattr(planner_mod, "ProcessPoolExecutor", ExplodingPool)
+    planner = ParallelPlanner(opt_env, max_workers=2)
+    with pytest.raises(failure):
+        planner.plan(opt_job, mixed_topology, Objective.max_throughput())
+    assert created, "the shm fast path was not exercised"
+    for segment in created:
+        assert segment.test_unlinked  # closed *and* unlinked on the way out
+    # The segment is really gone from /dev/shm: re-attach must fail.
+    from multiprocessing import shared_memory as real_shared_memory
+    for segment in created:
+        with pytest.raises(FileNotFoundError):
+            real_shared_memory.SharedMemory(name=segment.name)
+
+
+def test_initargs_fallback_matches_shm_path(opt_env, opt_job, mixed_topology,
+                                            monkeypatch):
+    """The initargs-bytes fallback (no shared memory available) must produce
+    byte-identical plans and identical search work to the shm fast path."""
+    import repro.core.planner as planner_mod
+
+    objective = Objective.max_throughput()
+    via_shm = ParallelPlanner(opt_env, max_workers=2).plan(
+        opt_job, mixed_topology, objective)
+
+    def no_shm(*args, **kwargs):
+        raise OSError("shared memory unavailable")
+
+    monkeypatch.setattr(planner_mod.shared_memory, "SharedMemory", no_shm)
+    via_initargs = ParallelPlanner(opt_env, max_workers=2).plan(
+        opt_job, mixed_topology, objective)
+    assert via_initargs.found
+    assert plan_to_json(via_initargs.plan) == plan_to_json(via_shm.plan)
+    assert via_initargs.candidates_evaluated == via_shm.candidates_evaluated
+    assert via_initargs.search_stats.nodes_explored == \
+        via_shm.search_stats.nodes_explored
+
+
+def test_layer_cache_and_batched_threading_do_not_change_the_chosen_plan(
+        opt_env, opt_job, mixed_topology):
+    """End-to-end guarantee behind the PR's speedups: sharing forward
+    layers across candidates and batching the budget threading return
+    byte-identical plans (engine forced on so both paths actually run)."""
+    from repro.core.dp_solver import DPSolverConfig
+
+    unconstrained = SailorPlanner(opt_env).plan(opt_job, mixed_topology,
+                                                Objective.max_throughput())
+    budget = unconstrained.evaluation.cost_per_iteration_usd * 0.6
+    for objective in (Objective.max_throughput(),
+                      Objective.max_throughput(
+                          max_cost_per_iteration_usd=budget),
+                      Objective.min_cost()):
+        reference = None
+        for dp_config in (
+                DPSolverConfig(engine_min_states=0),
+                DPSolverConfig(engine_min_states=0, enable_layer_cache=False),
+                DPSolverConfig(engine_min_states=0,
+                               batched_budget_threading=False),
+                DPSolverConfig(enable_pruning=False),
+        ):
+            result = SailorPlanner(opt_env, config=PlannerConfig(
+                dp_config=dp_config)).plan(opt_job, mixed_topology, objective)
+            assert result.found
+            encoded = plan_to_json(result.plan)
+            if reference is None:
+                reference = encoded
+            else:
+                assert encoded == reference
+    # The default config's cache actually fires on this topology.
+    result = SailorPlanner(opt_env, config=PlannerConfig(
+        dp_config=DPSolverConfig(engine_min_states=0))).plan(
+        opt_job, mixed_topology, Objective.max_throughput())
+    assert result.search_stats.layer_cache_hits > 0
+
+
 def test_parallel_time_limit_is_global(opt_env, opt_job, mixed_topology):
     """time_limit_s bounds the whole parallel call, not each branch."""
     config = PlannerConfig(time_limit_s=0.05, parallel_workers=2)

@@ -15,6 +15,10 @@ from repro.core.resource_state import (
     STATE_DTYPE,
     ResourceStateCodec,
     StageComboTable,
+    compute_forward_layers,
+    dedup_states,
+    forward_signature,
+    layer_pack_weights,
 )
 
 from test_dp_solver import build_solver
@@ -77,6 +81,102 @@ def test_fitting_combos_preserves_master_order_and_limit():
     # Fitting combos in master order: rows 0, 1, 2 fit; 3 and 4 do not.
     assert codec.fitting_combos(table, state, limit=16).tolist() == [0, 1, 2]
     assert codec.fitting_combos(table, state, limit=2).tolist() == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# Forward-pass machinery: packed dedup, chunking, signatures
+# ---------------------------------------------------------------------------
+
+def test_layer_pack_weights_are_injective_over_reachable_states():
+    root = np.array([4, 2, 3], dtype=STATE_DTYPE)
+    weights = layer_pack_weights(root)
+    assert weights is not None
+    seen = set()
+    for a in range(5):
+        for b in range(3):
+            for c in range(4):
+                packed = int(np.array([a, b, c], dtype=STATE_DTYPE) @ weights)
+                assert packed not in seen
+                seen.add(packed)
+
+
+def test_layer_pack_weights_overflow_falls_back_to_none():
+    # Radix product beyond int64 cannot pack exactly -> row-wise fallback.
+    huge = np.full(8, 2 ** 9, dtype=STATE_DTYPE)  # (2^9+1)^8 > 2^63
+    assert layer_pack_weights(huge) is None
+    small = np.full(8, 2 ** 6, dtype=STATE_DTYPE)
+    assert layer_pack_weights(small) is not None
+
+
+def test_dedup_states_matches_rowwise_unique():
+    rng = np.random.default_rng(7)
+    root = np.array([6, 3, 5, 2], dtype=STATE_DTYPE)
+    # Reachable states stay within the root's per-slot counts, which is
+    # what makes the radix packing injective.
+    children = rng.integers(0, root + 1, size=(200, 4)).astype(STATE_DTYPE)
+    weights = layer_pack_weights(root)
+    packed_uniq, packed_inv = dedup_states(children, weights)
+    row_uniq, row_inv = dedup_states(children, None)
+    # Same unique *set* (order may differ) and a consistent inverse map.
+    assert {tuple(r) for r in packed_uniq.tolist()} == \
+        {tuple(r) for r in row_uniq.tolist()}
+    assert np.array_equal(packed_uniq[packed_inv], children)
+    assert np.array_equal(row_uniq[row_inv], children)
+
+
+def _toy_forward_inputs():
+    """Two-stage forward problem small enough to eyeball."""
+    root = np.array([5, 4], dtype=STATE_DTYPE)
+    reqs = [
+        np.array([[1, 0], [0, 1], [2, 1]], dtype=STATE_DTYPE),
+        np.array([[1, 0], [0, 2]], dtype=STATE_DTYPE),
+    ]
+    caps = [np.array([9, 9], dtype=STATE_DTYPE),
+            np.array([3, 9], dtype=STATE_DTYPE)]
+    clamp_active = [False, True]
+    return reqs, caps, clamp_active, root
+
+
+def test_chunked_forward_matches_unchunked():
+    """Chunking the fit-test along the state axis is a pure memory knob."""
+    reqs, caps, clamp_active, root = _toy_forward_inputs()
+    whole = compute_forward_layers(reqs, caps, clamp_active, 16, root)
+    chunked = compute_forward_layers(reqs, caps, clamp_active, 16, root,
+                                     chunk_elems=1)
+    assert whole.states_computed == chunked.states_computed
+    assert whole.dedup_hits == chunked.dedup_hits
+    for a, b in zip(whole.states, chunked.states):
+        assert np.array_equal(a, b)
+    for a, b in zip(whole.child_row, chunked.child_row):
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert np.array_equal(a, b)
+    assert np.array_equal(whole.last_sel, chunked.last_sel)
+
+
+def test_forward_clamps_children_at_next_stage_caps():
+    reqs, caps, clamp_active, root = _toy_forward_inputs()
+    forward = compute_forward_layers(reqs, caps, clamp_active, 16, root)
+    # Every stage-1 state obeys the stage-1 suffix clamp.
+    assert (forward.states[1] <= caps[1]).all()
+    # The truncation limit caps fitting combos per state.
+    limited = compute_forward_layers(reqs, caps, clamp_active, 1, root)
+    assert ((limited.child_row[0] >= 0).sum(axis=1) <= 1).all()
+
+
+def test_forward_signature_discriminates_forward_inputs():
+    reqs, caps, clamp_active, root = _toy_forward_inputs()
+    base = forward_signature(root, reqs, caps, clamp_active, 16)
+    assert base == forward_signature(root, reqs, caps, clamp_active, 16)
+    assert base != forward_signature(root, reqs, caps, clamp_active, 8)
+    other_root = np.array([5, 3], dtype=STATE_DTYPE)
+    assert base != forward_signature(other_root, reqs, caps, clamp_active, 16)
+    reordered = [reqs[0][::-1].copy(), reqs[1]]
+    assert base != forward_signature(root, reordered, caps, clamp_active, 16)
+    # An inactive clamp does not discriminate (its caps are never applied).
+    other_caps = [caps[0], caps[1]]
+    unclamped = forward_signature(root, reqs, other_caps, [False, False], 16)
+    assert unclamped != base  # clamp_active[1] differs -> different passes
 
 
 @pytest.mark.parametrize("pp,dp", [(1, 2), (2, 2), (3, 1), (2, 4)])

@@ -154,6 +154,67 @@ def _reference_combos(solver, stage_index, resources):
     return combos[:config.max_combos_per_stage]
 
 
+def test_forward_layers_shared_across_candidates(opt_env, opt_job):
+    """Two solvers sharing a context share forward reachability passes.
+
+    The second candidate's engine solves have the same footprint signature
+    (same P, D, mbs and root), so every one of its forward passes must be a
+    layer-cache hit -- and the solutions must stay identical."""
+    from repro.core.dp_solver import DPSolverConfig
+
+    context = PlannerSearchContext(opt_env, opt_job)
+    solver_a = build_solver(opt_env, opt_job, context=context)
+    solver_a.config = DPSolverConfig(engine_min_states=0)
+    solver_a.engine_min_states = 0
+    solver_b = build_solver(opt_env, opt_job, context=context)
+    solver_b.config = DPSolverConfig(engine_min_states=0)
+    solver_b.engine_min_states = 0
+
+    first = solver_a.solve(dict(RESOURCES))
+    assert first is not None
+    assert context.stats.layer_cache_hits == 0  # cold cache: all misses
+    second = solver_b.solve(dict(RESOURCES))
+    assert second is not None
+    assert context.stats.layer_cache_hits > 0
+    assert [x.placements for x in first.assignments] == \
+        [x.placements for x in second.assignments]
+
+    # Opting out per solver keeps the cache untouched and the plan identical.
+    opted_out = build_solver(opt_env, opt_job, context=context)
+    opted_out.config = DPSolverConfig(engine_min_states=0,
+                                      enable_layer_cache=False)
+    opted_out.engine_min_states = 0
+    hits_before = context.stats.layer_cache_hits
+    third = opted_out.solve(dict(RESOURCES))
+    assert context.stats.layer_cache_hits == hits_before
+    assert [x.placements for x in first.assignments] == \
+        [x.placements for x in third.assignments]
+
+
+def test_forward_layers_cache_is_bounded():
+    """The FIFO bound evicts the oldest signature, never the newest."""
+    context = PlannerSearchContext.__new__(PlannerSearchContext)
+    context.stats = SearchStats()
+    context._forward_layers = {}
+    context._forward_layers_max = 2
+    built = []
+
+    def make(tag):
+        def build():
+            built.append(tag)
+            return tag
+        return build
+
+    assert context.forward_layers(("a",), make("A")) == "A"
+    assert context.forward_layers(("b",), make("B")) == "B"
+    assert context.forward_layers(("c",), make("C")) == "C"  # evicts ("a",)
+    assert len(context._forward_layers) == 2
+    assert context.forward_layers(("c",), make("C2")) == "C"  # still cached
+    assert context.stats.layer_cache_hits == 1
+    assert context.forward_layers(("a",), make("A2")) == "A2"  # was evicted
+    assert built == ["A", "B", "C", "A2"]
+
+
 def test_search_stats_merge_and_dict_round_trip():
     a = SearchStats(nodes_explored=3, memo_hits=2, pruned_branches=1,
                     cache_hits=10, cache_misses=4)
