@@ -4,18 +4,29 @@
 #   make bench                      planner/core micro-benchmarks -> $(BENCH_OUT)
 #                                   (BENCH_SCALE=full by default, which
 #                                   includes the 1024-GPU scale point;
-#                                   BENCH_SCALE=smoke skips it)
-#   make bench-compare              diff $(BENCH_BASELINE) vs $(BENCH_OUT);
-#                                   fails on >20% planner/simulator regression
+#                                   BENCH_SCALE=smoke skips it), then appends
+#                                   a one-line run summary (git rev + per-
+#                                   bench medians) to $(BENCH_HISTORY)
+#   make bench-compare              diff $(BENCH_BASELINE) vs $(BENCH_OUT) on
+#                                   median-of-rounds; fails on >20%
+#                                   planner/simulator regression
 #   make ci                         tier-1 tests + fast bench smoke subset
 #                                   + the compare_bench.py regression gate,
-#                                   with per-phase wall time printed
-#   make profile                    cProfile one planner call (PROFILE_ARGS=...)
+#                                   with per-phase wall time printed.  The
+#                                   smoke subset's budget bench asserts the
+#                                   straggler certificates fire (nonzero
+#                                   SearchStats.suffix_certified), so a
+#                                   silently-disarmed certificate path fails
+#                                   CI rather than just running slow.
+#   make profile                    cProfile one planner call (PROFILE_ARGS=...;
+#                                   add --stats to dump the SearchStats
+#                                   counters as JSON next to the profile)
 
 PYTHON ?= python
 BENCH_OUT ?= BENCH_new.json
 BENCH_BASELINE ?= BENCH_seed.json
 BENCH_CI_OUT ?= BENCH_ci.json
+BENCH_HISTORY ?= BENCH_history.jsonl
 # Scale toggle consumed by benchmarks/test_bench_core_micro.py: the
 # 1024-GPU planner point only runs under BENCH_SCALE=full.  `make bench`
 # (the recorded set) defaults to full; `make ci`'s smoke subset to smoke.
@@ -37,6 +48,8 @@ bench:
 	BENCH_SCALE=$(BENCH_SCALE) PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_core_micro.py \
 		--benchmark-only -q --benchmark-json=$(BENCH_OUT)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_history.py $(BENCH_OUT) \
+		--history $(BENCH_HISTORY)
 
 bench-compare:
 	PYTHONPATH=src $(PYTHON) benchmarks/compare_bench.py \

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Append a one-line summary of a benchmark run to ``BENCH_history.jsonl``.
+
+``make bench`` calls this after recording ``BENCH_new.json``, so the perf
+trajectory across PRs is machine-readable (one JSON object per recorded
+run: git revision, timestamp, and the median/min seconds of every
+benchmark) instead of living only in ROADMAP prose::
+
+    python benchmarks/bench_history.py BENCH_new.json --history BENCH_history.jsonl
+
+Appends exactly one line per invocation; the file is newline-delimited
+JSON, so ``jq``/pandas can read the whole trajectory directly.  Only the
+standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+# Share compare_bench.py's loader (median/mean fallback rules) so the
+# recorded trajectory and the CI gate can never disagree about what
+# "median" means; the path insert keeps the import working both as a
+# script and when the module is loaded from a file by the tests.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from compare_bench import load_stats  # noqa: E402
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``unknown`` outside git."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def summarize(bench_path: str) -> dict:
+    """One history record: revision, UTC timestamp, per-bench medians."""
+    benches = {
+        name: {
+            "median_s": round(stats["median"], 6),
+            "min_s": round(stats["min"], 6),
+            "rounds": stats["rounds"],
+        }
+        for name, stats in load_stats(bench_path).items()
+    }
+    return {
+        "rev": git_revision(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "source": bench_path,
+        "benches": benches,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append one benchmark-run summary line to the history "
+                    "file.")
+    parser.add_argument("bench_json", help="pytest-benchmark JSON to record")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="newline-delimited JSON history file to append "
+                             "to (default: BENCH_history.jsonl)")
+    args = parser.parse_args(argv)
+
+    record = summarize(args.bench_json)
+    if not record["benches"]:
+        print(f"no benchmarks found in {args.bench_json}", file=sys.stderr)
+        return 1
+    with open(args.history, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"recorded {len(record['benches'])} benches at {record['rev']} "
+          f"-> {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,12 @@ Intended CI guard for the planner hot path::
     python benchmarks/compare_bench.py BENCH_seed.json BENCH_new.json
 
 Benchmarks present in both files are matched by name and compared on their
-mean time.  The exit code is non-zero when any benchmark whose name matches
+**median-of-rounds** time (the min is printed alongside): this machine
+shows multi-second run-to-run swings on single recordings of the budget
+benches, and the median over the raised round counts is what keeps the
+gate from tripping on scheduler noise rather than real regressions (the
+mean folds cold first rounds in; the min hides steady-state slowdowns).
+The exit code is non-zero when any benchmark whose name matches
 ``--filter`` -- a comma-separated list of substrings, any match gates; the
 default covers the planner end-to-end benchmarks *and* the simulator
 micro-benchmarks (evaluation, memory estimation, reference simulation) --
@@ -26,17 +31,28 @@ import json
 import sys
 
 
-def load_means(path: str) -> dict[str, float]:
-    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+def load_stats(path: str) -> dict[str, dict[str, float]]:
+    """Benchmark name -> {median, min, rounds} from a benchmark JSON file.
+
+    Falls back to the mean when a file predates the median recording (it
+    is then both the compared and the printed-alongside figure).  The one
+    loader is shared with ``bench_history.py`` so the gated figures and
+    the recorded trajectory can never disagree about what "median" means.
+    """
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
-    means: dict[str, float] = {}
+    loaded: dict[str, dict[str, float]] = {}
     for bench in document.get("benchmarks", []):
         stats = bench.get("stats", {})
-        mean = stats.get("mean")
-        if mean is not None:
-            means[bench["name"]] = float(mean)
-    return means
+        median = stats.get("median", stats.get("mean"))
+        if median is None:
+            continue
+        loaded[bench["name"]] = {
+            "median": float(median),
+            "min": float(stats.get("min", median)),
+            "rounds": int(stats.get("rounds", 0)),
+        }
+    return loaded
 
 
 def format_seconds(seconds: float) -> str:
@@ -47,7 +63,8 @@ def format_seconds(seconds: float) -> str:
     return f"{seconds:8.2f}s "
 
 
-def compare(baseline: dict[str, float], candidate: dict[str, float],
+def compare(baseline: dict[str, dict[str, float]],
+            candidate: dict[str, dict[str, float]],
             threshold: float, name_filter: str) -> int | None:
     """Print the comparison table; return the number of gated regressions,
     or ``None`` when the files share no benchmarks at all."""
@@ -60,13 +77,16 @@ def compare(baseline: dict[str, float], candidate: dict[str, float],
     # of the '' substring); it must not silently gate nothing.
     filters = [part for part in name_filter.split(",") if part] or [""]
     regressions = 0
-    print(f"{'benchmark':<48} {'baseline':>10} {'current':>10} "
-          f"{'ratio':>7}  verdict")
-    print("-" * 88)
+    print(f"{'benchmark':<48} {'base med':>10} {'cur med':>10} "
+          f"{'ratio':>7} {'min ratio':>9}  verdict")
+    print("-" * 98)
     for name in names:
-        old = baseline[name]
-        new = candidate[name]
+        old = baseline[name]["median"]
+        new = candidate[name]["median"]
         ratio = new / old if old > 0 else float("inf")
+        old_min = baseline[name]["min"]
+        min_ratio = (candidate[name]["min"] / old_min if old_min > 0
+                     else float("inf"))
         gated = any(part in name for part in filters)
         if gated and ratio > 1.0 + threshold:
             verdict = f"REGRESSION (> {threshold:.0%})"
@@ -78,26 +98,26 @@ def compare(baseline: dict[str, float], candidate: dict[str, float],
         else:
             verdict = "ok"
         print(f"{name:<48} {format_seconds(old)} {format_seconds(new)} "
-              f"{ratio:>6.2f}x  {verdict}")
+              f"{ratio:>6.2f}x {min_ratio:>8.2f}x  {verdict}")
 
     missing = sorted(set(baseline) - set(candidate))
     if missing:
         print(f"\nnot in current run: {', '.join(missing)}")
     added = sorted(set(candidate) - set(baseline))
     if added:
-        # New scale points (e.g. a freshly added 1024-GPU bench) have no
-        # baseline to gate against yet; print them with their time so the
-        # first recorded run is still visible in the CI log.
+        # New scale points (e.g. a freshly added 128-GPU budget bench) have
+        # no baseline to gate against yet; print them with their time so
+        # the first recorded run is still visible in the CI log.
         print("\nnew in current run (not gated):")
         for name in added:
-            print(f"  {name:<46} {format_seconds(candidate[name])}")
+            print(f"  {name:<46} {format_seconds(candidate[name]['median'])}")
     return regressions
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when planner micro-benchmarks regress between two "
-                    "pytest-benchmark JSON files.")
+                    "pytest-benchmark JSON files (median-of-rounds).")
     parser.add_argument("baseline", help="baseline benchmark JSON")
     parser.add_argument("candidate", help="candidate benchmark JSON")
     parser.add_argument("--threshold", type=float, default=0.20,
@@ -112,8 +132,8 @@ def main(argv: list[str] | None = None) -> int:
                              "the simulator micro-benchmarks)")
     args = parser.parse_args(argv)
 
-    baseline = load_means(args.baseline)
-    candidate = load_means(args.candidate)
+    baseline = load_stats(args.baseline)
+    candidate = load_stats(args.candidate)
     regressions = compare(baseline, candidate, args.threshold, args.filter)
     if regressions is None:
         return 1  # nothing comparable: fail, but not as a "regression"

@@ -13,12 +13,17 @@ for the micro-benchmarks::
 The ``--top N`` / ``--sort`` pair is the regression-eyeballing interface:
 ``--sort tottime --top 10`` shows at a glance whether a new hot row crept
 into the DP engine (``--limit`` is kept as an alias of ``--top``).
+``--stats`` additionally dumps the profiled call's ``SearchStats``
+counters as JSON next to the cProfile rows -- the straggler-certificate
+counters (``suffix_iterations`` / ``suffix_certified``) live there, so a
+profile and its iteration counts come from the same call.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 import time
@@ -54,6 +59,9 @@ def main(argv: list[str] | None = None) -> int:
                              "throughput under this per-iteration cost cap; "
                              "--budget 0.031 reproduces the single-zone "
                              "Table 3 bench scenario)")
+    parser.add_argument("--stats", action="store_true",
+                        help="dump the profiled call's SearchStats counters "
+                             "as JSON next to the cProfile output")
     args = parser.parse_args(argv)
 
     if args.gpus < 8 or args.gpus % 8:
@@ -97,6 +105,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"search_time={result.search_time_s:.3f}s "
           f"candidates={result.candidates_evaluated} "
           f"stats=[{result.search_stats.describe()}]")
+    if args.stats:
+        print("search_stats_json="
+              + json.dumps(result.search_stats.as_dict(), sort_keys=True))
     return 0
 
 

@@ -146,26 +146,34 @@ def test_bench_planner_heterogeneous_64_gpus(benchmark, job, topology, env):
 
 
 def test_bench_planner_heterogeneous_128_gpus(benchmark, job):
-    """Sailor planner on 64 A100 + 64 V100 (Figure 8 mid point, 128 GPUs)."""
+    """Sailor planner on 64 A100 + 64 V100 (Figure 8 mid point, 128 GPUs).
+
+    Three rounds (like every sub-1024 scale point): single-round
+    recordings of these seconds-long calls swing 10-25% run to run on
+    this box, and the compare gate reads the median-of-rounds.
+    """
     topology = ClusterTopology.single_zone("us-central1-a", {
         "a2-highgpu-4g": 16, "n1-standard-v100-4": 16})
     env = build_environment(job, topology)
     planner = SailorPlanner(env)
     result = benchmark.pedantic(
         lambda: planner.plan(job, topology, Objective.max_throughput()),
-        rounds=1, iterations=1)
+        rounds=3, iterations=1)
     assert result.found
 
 
 def test_bench_planner_heterogeneous_256_gpus(benchmark, job):
-    """Sailor planner on 128 A100 + 128 V100 (Figure 8 scale-out, 256 GPUs)."""
+    """Sailor planner on 128 A100 + 128 V100 (Figure 8 scale-out, 256 GPUs).
+
+    Three rounds for a stable median (see the 128-GPU point).
+    """
     topology = ClusterTopology.single_zone("us-central1-a", {
         "a2-highgpu-4g": 32, "n1-standard-v100-4": 32})
     env = build_environment(job, topology)
     planner = SailorPlanner(env)
     result = benchmark.pedantic(
         lambda: planner.plan(job, topology, Objective.max_throughput()),
-        rounds=1, iterations=1)
+        rounds=3, iterations=1)
     assert result.found
 
 
@@ -175,6 +183,8 @@ def test_bench_planner_heterogeneous_512_gpus(benchmark, job):
     The paper's largest scale: the DP node count grows with zones x node
     types x data-parallel degree, so this is the point the resource-state
     engine (array-encoded states + precomputed combo tables) targets.
+    Three rounds for a stable median (see the 128-GPU point); only the
+    1024-GPU point stays single-round for bench wall time.
     """
     topology = ClusterTopology.single_zone("us-central1-a", {
         "a2-highgpu-4g": 64, "n1-standard-v100-4": 64})
@@ -182,7 +192,7 @@ def test_bench_planner_heterogeneous_512_gpus(benchmark, job):
     planner = SailorPlanner(env)
     result = benchmark.pedantic(
         lambda: planner.plan(job, topology, Objective.max_throughput()),
-        rounds=1, iterations=1)
+        rounds=3, iterations=1)
     assert result.found
 
 
@@ -212,15 +222,46 @@ def test_bench_planner_budget_constrained_64_gpus(benchmark, job, topology, env)
     """Budget-constrained search on the mixed cluster (Table 3's slow case).
 
     The budget is ~70% of the unconstrained optimum's cost, so it binds and
-    exercises the straggler-approximation loop of section 4.2.3.
+    exercises the straggler-approximation loop of section 4.2.3.  Three
+    rounds: single-round recordings of the budget benches swing by whole
+    seconds on this box, and the compare gate reads the median-of-rounds.
     """
     planner = SailorPlanner(env)
     objective = Objective.max_throughput(max_cost_per_iteration_usd=0.031)
     result = benchmark.pedantic(
         lambda: planner.plan(job, topology, objective),
-        rounds=1, iterations=1)
+        rounds=3, iterations=1)
     assert result.found
     assert result.evaluation.cost_per_iteration_usd <= 0.031
+    # `make ci` acceptance bar (this point is in the smoke subset): the
+    # straggler convergence certificates must actually fire on a binding
+    # budget -- here on the *scalar* tiny-pool path, which sits below the
+    # engine dispatch threshold.
+    assert result.search_stats.suffix_certified > 0
+    assert result.search_stats.suffix_iterations > 0
+
+
+def test_bench_planner_budget_constrained_128_gpus(benchmark, job):
+    """Budget-constrained search at engine scale (128 GPUs, ~70% budget).
+
+    The scenario the straggler convergence certificates target: at this
+    scale the engine and batched budget threading engage, and before the
+    certificates ~1.8M scalar ``_solve_suffix`` iterations per call --
+    almost all proving suffix budgets infeasible one solve at a time --
+    dominated the profile.  Three rounds; the gate reads the median.
+    """
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": 16, "n1-standard-v100-4": 16})
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+    objective = Objective.max_throughput(max_cost_per_iteration_usd=0.0364)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, objective),
+        rounds=3, iterations=1)
+    assert result.found
+    assert result.evaluation.cost_per_iteration_usd <= 0.0364
+    # Engine-scale certificates: resolved in-layer, not via scalar fallback.
+    assert result.search_stats.suffix_certified > 0
 
 
 def test_bench_planner_budget_constrained_geo_64_gpus(benchmark, job):
@@ -229,7 +270,8 @@ def test_bench_planner_budget_constrained_geo_64_gpus(benchmark, job):
     The budget (~70% of the unconstrained optimum) binds, and cross-zone
     plans carry egress the DP's compute-only cost model cannot see -- this
     is the scenario where the egress-covering ``cost_floor`` arms the
-    candidate gate under a budget objective.
+    candidate gate under a budget objective.  Three rounds for a stable
+    median (see the single-zone bench).
     """
     topology = ClusterTopology(nodes={
         "us-central1-a": {"a2-highgpu-4g": 4, "n1-standard-v100-4": 4},
@@ -240,7 +282,7 @@ def test_bench_planner_budget_constrained_geo_64_gpus(benchmark, job):
     objective = Objective.max_throughput(max_cost_per_iteration_usd=0.0614)
     result = benchmark.pedantic(
         lambda: planner.plan(job, topology, objective),
-        rounds=1, iterations=1)
+        rounds=3, iterations=1)
     assert result.found
     assert result.evaluation.cost_per_iteration_usd <= 0.0614
     # The acceptance bar for the cost floor: the candidate gate must

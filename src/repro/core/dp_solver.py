@@ -114,10 +114,12 @@ import numpy as np
 
 from repro.core.objectives import OptimizationGoal
 from repro.core.resource_state import (
+    BudgetBoundTables,
     ResourceStateCodec,
     ResourceStateEngine,
     StageComboTable,
     StageKernelTable,
+    compute_budget_bounds,
     compute_forward_layers,
     forward_signature,
 )
@@ -204,6 +206,36 @@ class DPSolverConfig:
     #: kernels; genuinely binding suffixes keep the scalar recursion).
     #: Value-identical to the scalar scan; off only for equivalence testing.
     batched_budget_threading: bool = True
+    #: Straggler convergence/infeasibility certificates: monotone per-
+    #: (stage, state) straggler and cost lower bounds (one batched pass
+    #: over the engine layers on wide pools, a memoized scalar recursion on
+    #: tiny ones) prove budget-infeasible suffix solves ``None`` -- and cut
+    #: the straggler loop to its first iteration -- without re-solving.
+    #: Outcome-identical by bound admissibility (see ``_solve_suffix``);
+    #: off only for equivalence testing.
+    enable_straggler_bound: bool = True
+    #: Seed the straggler loop from the child's engine ``max_t``: when the
+    #: suffix's unconstrained optimum dominates the budget even at the
+    #: straggler the combined solution will discover, the loop's fixpoint
+    #: is resolved before its first solve.  Exactly the scalar loop's
+    #: iteration-1-dominance + iteration-2-re-probe collapsed; off only
+    #: for equivalence testing.
+    engine_seeded_straggler: bool = True
+    #: Share the mbs-independent parts of the budget search's backward
+    #: machinery across every candidate with the same forward layers:
+    #: per-row combo columns/child rows (``ForwardLayers.row_cols``),
+    #: whole-layer dominance tables (``engine.budget_tables``) and the
+    #: context-cached bound tables.  (Sharing the *full* child-gather
+    #: matrices of ``run_backward`` itself was measured slower at the
+    #: 1024-GPU point -- retained intermediates beat the saved ops; see
+    #: ``ForwardLayers._row_cols`` -- so those stay transient.)
+    #: Bit-identical values either way; off only for equivalence testing.
+    shared_backward: bool = True
+    #: Resolve certified binding rows inside ``_solve_budget_batched``
+    #: (per-combo straggler-bound certificates at the assumed and
+    #: re-tested budgets) instead of falling back to the scalar recursion.
+    #: Off only for equivalence testing.
+    batched_layer_resolve: bool = True
 
     def __post_init__(self) -> None:
         if self.max_combos_per_stage < 1:
@@ -284,6 +316,17 @@ class DPSolver:
         self._engine: ResourceStateEngine | None = None
         self._mat_cache: dict[tuple[int, int], DPSolution] = {}
         self._budget_row_cache: dict[tuple[int, int], tuple] = {}
+        #: Straggler/cost lower-bound tables (budget certificates): the
+        #: engine-layer tables on wide pools, a per-(stage, state) memo for
+        #: the scalar recursion on tiny ones.  Built lazily on the first
+        #: budget node of a solve; ``_certs_active`` gates every use (off
+        #: under ``enable_pruning=False`` -- the pristine reference --
+        #: and under fork tracking, which must observe every query).
+        self._bounds: BudgetBoundTables | None = None
+        self._scalar_bound_memo: list[dict] = [{} for _ in partitions]
+        self._certs_active = False
+        self._seed_active = False
+        self._forward_sig: tuple | None = None
         self._vector_states = True
         self._caps_list: list[tuple[int, ...]] = []
         self._memo: list[dict[bytes, tuple[DPSolution | None, bool, float]]] = \
@@ -338,6 +381,17 @@ class DPSolver:
         self._memo = [{} for _ in range(num_stages)]
         self._budget_memo = [{} for _ in range(num_stages)]
         self._combo_cache = [{} for _ in range(num_stages)]
+        self._scalar_bound_memo = [{} for _ in range(num_stages)]
+        self._bounds = None
+        self._forward_sig = None
+        self._certs_active = (self.config.enable_straggler_bound
+                              and self.config.enable_pruning
+                              and not self.track_budget_forks)
+        # Seeding needs only the engine's dominance tables, not the bound
+        # tables, so it stays available with the bound toggle off.
+        self._seed_active = (self.config.engine_seeded_straggler
+                             and self.config.enable_pruning
+                             and not self.track_budget_forks)
         self.fork_keys.clear()
         root = tuple(sorted((key, count) for key, count in resources.items()
                             if count > 0))
@@ -443,9 +497,10 @@ class DPSolver:
                                           self._clamp_active, limit,
                                           root_state)
 
+        signature = forward_signature(root_state, reqs, self._caps_vec,
+                                      self._clamp_active, limit)
+        self._forward_sig = signature
         if self.config.enable_layer_cache:
-            signature = forward_signature(root_state, reqs, self._caps_vec,
-                                          self._clamp_active, limit)
             forward = context.forward_layers(signature, build)
         else:
             forward = build()
@@ -785,6 +840,100 @@ class DPSolver:
                 return
         entries.append([lo, hi, solution, exact, bound])
 
+    # -- budget certificates (straggler/cost lower bounds) ------------------------
+
+    def _engine_bounds(self) -> BudgetBoundTables:
+        """Bound tables over the engine layers, built on first budget use.
+
+        One batched backward pass (``compute_budget_bounds``); shared
+        across candidates through the search context when the backward
+        sharing toggle is on -- the key captures everything the pass reads
+        (forward signature, microbatch count, per-stage compute/cost
+        scalars), so only bit-identical tables are ever reused.
+        """
+        bounds = self._bounds
+        if bounds is None:
+            tables = self._tables
+            forward = self._engine.forward
+            nb = self.num_microbatches
+
+            def build():
+                return compute_budget_bounds(forward, tables, nb)
+
+            if self.config.shared_backward:
+                signature = (self._forward_sig, nb,
+                             tuple(t.compute.tobytes() for t in tables),
+                             tuple(t.rate.tobytes() for t in tables))
+                bounds = self.context.budget_bounds(signature, build)
+            else:
+                bounds = build()
+            self._bounds = bounds
+        return bounds
+
+    def _scalar_bound(self, stage_index: int, state: tuple,
+                      key: tuple) -> tuple:
+        """Scalar-mode bound recursion: ``(straggler_lb, decomposable cost,
+        rate_lb, sum_lb, cost_lb)`` of one tuple state, memoized.
+
+        The tiny-pool counterpart of ``compute_budget_bounds`` -- same four
+        admissible quantities, same product/decomposable cost bound, same
+        slack -- computed over the recursion's own per-state combo cache
+        (one memoized pass over the unconstrained reachable space, which a
+        binding budget search walks anyway).  All-``inf`` marks an
+        infeasible suffix.
+        """
+        memo = self._scalar_bound_memo[stage_index]
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        nb = self.num_microbatches
+        combos, _ = self._combos_for_state(stage_index, state, key)
+        is_last = stage_index == len(self.partitions) - 1
+        next_stage = stage_index + 1
+        caps = None
+        if not is_last and self._clamp_active[next_stage]:
+            caps = self._caps_list[next_stage]
+        context = self.context
+        best_s = best_d = best_r = best_u = math.inf
+        for entry, pairs in combos:
+            t_c = entry[4]
+            rate = context.stage_cost_rate(entry[0])
+            if is_last:
+                s, d, r, u = t_c, rate * (nb * t_c), rate, t_c
+            else:
+                child = list(state)
+                for slot, used in pairs:
+                    child[slot] -= used
+                if caps is not None:
+                    child = [count if count <= cap else cap
+                             for count, cap in zip(child, caps)]
+                child_state = tuple(child)
+                c_s, c_d, c_r, c_u, _ = self._scalar_bound(
+                    next_stage, child_state, child_state)
+                if c_s == math.inf:
+                    continue
+                s = t_c if t_c >= c_s else c_s
+                d = rate * (nb * t_c) + c_d
+                r = rate + c_r
+                u = t_c + c_u
+            if s < best_s:
+                best_s = s
+            if d < best_d:
+                best_d = d
+            if r < best_r:
+                best_r = r
+            if u < best_u:
+                best_u = u
+        if best_s == math.inf:
+            result = (math.inf, math.inf, math.inf, math.inf, math.inf)
+        else:
+            product = best_r * (best_u + (nb - 1) * best_s)
+            cost = ((best_d if best_d >= product else product)
+                    * _COST_BOUND_SLACK)
+            result = (best_s, best_d, best_r, best_u, cost)
+        memo[key] = result
+        return result
+
     # -- recursion ------------------------------------------------------------------
 
     def _solve(self, stage_index: int, resources,
@@ -851,6 +1000,18 @@ class DPSolver:
                     self._budget_store(stage_index, key, cost, math.inf,
                                        unconstrained, True, math.inf)
                     return unconstrained
+                if (self._certs_active
+                        and self._engine_bounds().cost_lb[stage_index][row]
+                        > budget):
+                    # Certificate: every solution in this node's search
+                    # space costs more than the budget (a budgeted scan
+                    # only ever returns budget-respecting solutions, so
+                    # it would come back empty) -- true infeasibility,
+                    # valid for every budget at or below this one.
+                    self.stats.suffix_certified += 1
+                    self._budget_store(stage_index, key, -math.inf, budget,
+                                       None, True, math.inf)
+                    return None
                 if (self.config.batched_budget_threading
                         and not self.track_budget_forks):
                     # Genuinely binding budget on an engine-covered state:
@@ -872,6 +1033,15 @@ class DPSolver:
                     self._budget_store(stage_index, key, cost, math.inf,
                                        unconstrained, True, math.inf)
                     return unconstrained
+                if (self._certs_active and not self._vector_states
+                        and self._scalar_bound(stage_index, resources,
+                                               key)[4] > budget):
+                    # Scalar-mode node certificate (tiny pools): same true
+                    # infeasibility proof as the engine-layer bound above.
+                    self.stats.suffix_certified += 1
+                    self._budget_store(stage_index, key, -math.inf, budget,
+                                       None, True, math.inf)
+                    return None
 
         stats = self.stats
         context = self.context
@@ -1050,28 +1220,49 @@ class DPSolver:
             return cached
         engine = self._engine
         table = self._tables[stage_index]
-        if is_last:
+        if self.config.shared_backward:
+            # The column/child indices are forward-only, so the (possibly
+            # cross-candidate) forward layers cache them once for every
+            # candidate; only the scalar gathers below are per candidate.
+            cols, child = engine.forward.row_cols(stage_index, row, is_last)
+        elif is_last:
             cols = engine.forward.last_sel[row].nonzero()[0]
-            entry = (cols.tolist(), table.compute[cols].tolist(),
-                     table.sync[cols].tolist(), table.rate[cols].tolist(),
-                     None, None, None, None, None, None, None)
+            child = None
         else:
             crow = engine.forward.child_row[stage_index][row]
             cols = (crow >= 0).nonzero()[0]
             child = crow[cols]
+        if is_last:
+            entry = (cols.tolist(), table.compute[cols].tolist(),
+                     table.sync[cols].tolist(), table.rate[cols].tolist(),
+                     None, None, None, None, None, None, None, None)
+        else:
             next_stage = stage_index + 1
-            rate_c = engine.rate[next_stage][child]
-            # Elementwise product == engine.projected_cost per child row.
-            cost_unc = rate_c * engine.time_value[next_stage][child]
+            if self.config.shared_backward:
+                # Whole-layer dominance tables: one vectorized pass per
+                # layer, per-element bit-identical to the per-row gather.
+                cost_vec, feas_vec = engine.budget_tables(next_stage)
+                cost_unc = cost_vec[child]
+                feasible = feas_vec[child]
+            else:
+                rate_gather = engine.rate[next_stage][child]
+                # Elementwise product == engine.projected_cost per row.
+                cost_unc = rate_gather * engine.time_value[next_stage][child]
+                feasible = np.isfinite(engine.value[next_stage][child])
+            clb = None
+            if self._certs_active and self.config.batched_layer_resolve:
+                clb = (self._engine_bounds().cost_lb[next_stage][child]
+                       .tolist())
             entry = (cols.tolist(), table.compute[cols].tolist(),
                      table.sync[cols].tolist(), table.rate[cols].tolist(),
                      child.tolist(),
                      engine.sum_t[next_stage][child].tolist(),
                      engine.max_t[next_stage][child].tolist(),
                      engine.sync_t[next_stage][child].tolist(),
-                     rate_c.tolist(),
+                     engine.rate[next_stage][child].tolist(),
                      cost_unc.tolist(),
-                     np.isfinite(engine.value[next_stage][child]).tolist())
+                     feasible.tolist(),
+                     clb)
         self._budget_row_cache[(stage_index, row)] = entry
         return entry
 
@@ -1120,7 +1311,7 @@ class DPSolver:
         stats = self.stats
         table = self._tables[stage_index]
         (cols, t_list, sync_list, rate_list, child_list, sum_list, max_list,
-         sync_c_list, rate_c_list, cost_unc_list, feasible_list) = \
+         sync_c_list, rate_c_list, cost_unc_list, feasible_list, clb_list) = \
             self._budget_row(stage_index, row, is_last)
 
         best: DPSolution | None = None
@@ -1177,10 +1368,12 @@ class DPSolver:
             if rb1 <= 0:
                 continue
             resolved = False
+            iter1_done = False
             if cost_unc_list[n] <= rb1:
                 # Dominance at the assumed straggler: the suffix is the
                 # child's unconstrained engine optimum.  Combine inline
                 # (op order of _combine + _value).
+                stats.suffix_iterations += 1
                 sum_t = t_s + sum_list[n]
                 max_c = max_list[n]
                 max_t = t_s if t_s >= max_c else max_c
@@ -1203,6 +1396,22 @@ class DPSolver:
                         continue
                     if cost_unc_list[n] <= rb2:
                         resolved = True
+                    elif clb_list is not None and clb_list[n] > rb2:
+                        # Certificate: at the tightened budget every
+                        # suffix solution costs more, so the recursion's
+                        # iteration 2 would come back empty and the combo
+                        # contributes nothing.
+                        stats.suffix_certified += 1
+                        continue
+                    else:
+                        iter1_done = True
+            elif clb_list is not None and clb_list[n] > rb1:
+                # Certificate: the suffix is budget-infeasible even with
+                # this stage assumed the straggler -- the recursion's
+                # iteration 1 would return None.  Resolved in-layer, no
+                # scalar fallback.
+                stats.suffix_certified += 1
+                continue
             if resolved:
                 value = cost_v if is_cost else time_v
                 if value < best_value:
@@ -1221,9 +1430,21 @@ class DPSolver:
                     compute_time_s=entry[4])
                 entry[2] = assignment
             child_state = forward_states[child_list[n]]
+            seed = None
+            if iter1_done:
+                if self.config.batched_layer_resolve:
+                    # Hand the inline iteration-1 result over so the
+                    # recursion enters at iteration 2 instead of
+                    # re-deriving it.
+                    seed = self._materialize(next_stage, child_list[n])
+                else:
+                    # The recursion will re-derive (and re-count)
+                    # iteration 1; retract the inline count so the
+                    # counter stays comparable across toggles.
+                    stats.suffix_iterations -= 1
             candidate = self._solve_suffix(
                 stage_index, assignment, child_state, child_state.tobytes(),
-                budget, cutoff if pruning else math.inf)
+                budget, cutoff if pruning else math.inf, seed_suffix=seed)
             if candidate is None:
                 continue
             value = self._value(candidate)
@@ -1276,7 +1497,9 @@ class DPSolver:
 
     def _solve_suffix(self, stage_index: int, assignment: StageAssignment,
                       remaining, remaining_key: bytes,
-                      budget: float, cutoff: float) -> DPSolution | None:
+                      budget: float, cutoff: float,
+                      seed_suffix: DPSolution | None = None,
+                      ) -> DPSolution | None:
         """Combine one stage assignment with the best budgeted suffix.
 
         Implements the straggler-approximation loop of section 4.2.3: assume
@@ -1284,24 +1507,142 @@ class DPSolver:
         solve the suffix, and retry with the discovered straggler when the
         assumption turns out wrong.  (The unbudgeted case is handled by the
         inlined fast path in :meth:`_solve`.)
+
+        ``seed_suffix`` is the batched scan's continuation handoff: the
+        caller already resolved (and counted) iteration 1 inline -- the
+        suffix is the child's unconstrained engine optimum, dominance held
+        at the assumed straggler, the combined solution passed the budget
+        check, convergence failed, and the re-tested budget is positive
+        but binding -- so the loop starts at iteration 2 instead of
+        re-deriving all of that.
+
+        Three certificates resolve the loop without suffix solves, each
+        outcome-identical to running it (the reduction is what
+        ``SearchStats.suffix_iterations`` / ``suffix_certified`` observe):
+
+        * **Engine-seeded straggler** (``engine_seeded_straggler``): when
+          the child's unconstrained engine optimum fits the remaining
+          budget even at the straggler the *combined* solution discovers
+          (its ``max_t`` is known from the engine layer), the loop's
+          fixpoint is that combination: iteration 1 takes it via budget
+          dominance and iteration 2's re-probe at the tightened budget
+          returns it unchanged.  Equivalence does not depend on the memo's
+          content -- with dominance in force, any interval entry covering
+          the iteration-1 budget must *be* the dominance entry (a binding
+          or infeasible entry stored at a budget at or above the
+          unconstrained cost would contradict the dominance shortcut that
+          guards every store).
+        * **Cost lower bound** (``enable_straggler_bound``): a monotone
+          per-(stage, state) lower bound on the cost of *every* suffix
+          solution in the truncated search space.  ``cost_lb > remaining
+          budget`` proves the iteration's suffix solve returns ``None``
+          (a budgeted solve only returns budget-respecting solutions), so
+          the loop dies without probing or solving.  Because the assumed
+          straggler only grows, the remaining budget only shrinks -- once
+          any iteration is certified dead, so is the rest of the loop.
+        * **Fixpoint identity**: when an iteration's interval-memo probe
+          returns the same suffix object as the previous iteration, the
+          recombined solution is field-identical, its budget check passed
+          last iteration, and the discovered straggler equals the assumed
+          one exactly -- converged, no recombination needed.
         """
         nb = self.num_microbatches
         child_bound = self._child_bound(cutoff, assignment)
+        next_stage = stage_index + 1
         # Inlined interval-memo probe for the loop's suffix queries (the
         # overwhelmingly common hit case): same lookup rule as
         # _budget_lookup, minus the per-iteration call overhead.  Skipped
         # under fork tracking, which must observe every query in _solve.
-        budget_memo = self._budget_memo[stage_index + 1]
+        budget_memo = self._budget_memo[next_stage]
         probe_inline = not self.track_budget_forks
         stats = self.stats
+        t_a = assignment.compute_time_s
+        rate_a = assignment.cost_rate_usd_per_s
 
+        cost_lb = None
+        iterations = self.config.max_budget_iterations
         combined: DPSolution | None = None
-        assumed_straggler = assignment.compute_time_s
-        for _ in range(self.config.max_budget_iterations):
-            stage_cost = assignment.cost_rate_usd_per_s * nb * assumed_straggler
+        prev_suffix: DPSolution | None = None
+        assumed_straggler = t_a
+        engine = self._engine
+        certs = self._certs_active
+        if engine is not None and (certs or self._seed_active
+                                   or seed_suffix is not None):
+            row = engine.row_for_key(next_stage, remaining_key)
+            if row is not None:
+                cost_vec, feas_vec = engine.budget_tables(next_stage)
+                if not feas_vec[row]:
+                    # Iteration 1's solve would find the suffix state
+                    # infeasible outright.
+                    stats.suffix_certified += 1
+                    return None
+                if certs:
+                    cost_lb = self._engine_bounds().cost_lb[next_stage][row]
+                if seed_suffix is not None:
+                    # Batched-scan continuation: the caller already ran --
+                    # and counted -- iteration 1 inline (dominance at the
+                    # assumed straggler, combined under budget, not
+                    # converged, re-tested budget positive but binding),
+                    # so enter the loop at iteration 2 directly.
+                    combined = self._combine(assignment, seed_suffix)
+                    # Replicate iteration 1's dominance store so later
+                    # probes of this suffix state hit.
+                    self._budget_store(next_stage, remaining_key,
+                                       float(cost_vec[row]), math.inf,
+                                       seed_suffix, True, math.inf)
+                    prev_suffix = seed_suffix
+                    assumed_straggler = combined.max_stage_time_s
+                    iterations -= 1
+                elif self._seed_active:
+                    rb1 = budget - rate_a * nb * t_a
+                    if rb1 <= 0:
+                        return None
+                    cost_unc = cost_vec[row]
+                    if cost_unc <= rb1:
+                        # Iteration 1 resolves by dominance; seed the
+                        # loop at its discovered straggler.
+                        stats.suffix_iterations += 1
+                        suffix = self._materialize(next_stage, row)
+                        combined = self._combine(assignment, suffix)
+                        if combined.projected_cost(nb) > budget:
+                            return None
+                        actual = combined.max_stage_time_s
+                        if (iterations == 1
+                                or straggler_converged(actual, t_a)):
+                            return combined
+                        rb2 = budget - rate_a * nb * actual
+                        if rb2 <= 0:
+                            return None
+                        # Replicate iteration 1's dominance store so
+                        # later probes of this suffix state hit.
+                        self._budget_store(next_stage, remaining_key,
+                                           float(cost_unc), math.inf,
+                                           suffix, True, math.inf)
+                        if cost_unc <= rb2:
+                            # Iteration 2 re-probes the same dominance
+                            # entry: the fixpoint is certified.
+                            stats.suffix_certified += 1
+                            return combined
+                        # Genuinely binding at the discovered straggler:
+                        # continue from iteration 2.
+                        iterations -= 1
+                        prev_suffix = suffix
+                        assumed_straggler = actual
+        elif certs and engine is None:
+            bound = self._scalar_bound(next_stage, remaining, remaining_key)
+            cost_lb = bound[4]
+
+        for _ in range(iterations):
+            stage_cost = rate_a * nb * assumed_straggler
             remaining_budget = budget - stage_cost
             if remaining_budget <= 0:
                 return None
+            if cost_lb is not None and cost_lb > remaining_budget:
+                # Certified: this (and so every later) iteration's suffix
+                # solve returns None.
+                stats.suffix_certified += 1
+                return None
+            stats.suffix_iterations += 1
             suffix = None
             hit = None
             if probe_inline:
@@ -1315,12 +1656,18 @@ class DPSolver:
             if hit is not None:
                 stats.memo_hits += 1
                 suffix = hit[2]
+                if suffix is prev_suffix and suffix is not None:
+                    # Fixpoint identity: recombining is field-identical,
+                    # the budget check passed last iteration, and the
+                    # straggler matches the assumption exactly.
+                    return combined
             else:
-                suffix = self._solve(stage_index + 1, remaining,
+                suffix = self._solve(next_stage, remaining,
                                      remaining_budget, child_bound,
                                      remaining_key)
             if suffix is None:
                 return None
+            prev_suffix = suffix
             combined = self._combine(assignment, suffix)
             if combined.projected_cost(nb) > budget:
                 return None

@@ -346,6 +346,18 @@ class SearchStats:
     #: cross-candidate layer cache instead of being recomputed (resource-
     #: state engine; one hit saves one whole chunked fit-test + dedup pass).
     layer_cache_hits: int = 0
+    #: Straggler-loop suffix resolutions actually performed under a budget
+    #: constraint: scalar straggler-loop iterations that probe or solve a
+    #: suffix, plus each budget combo the batched scan resolves inline via
+    #: engine dominance.  This is the count the straggler convergence
+    #: certificates attack (the observable behind the "fewer iterations,
+    #: not cheaper iterations" claim).
+    suffix_iterations: int = 0
+    #: Suffix resolutions avoided by a convergence/infeasibility
+    #: certificate (straggler or cost lower bound, or the engine-seeded
+    #: dominance pre-check): the loop's answer was proven without probing
+    #: or re-solving the suffix.
+    suffix_certified: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats block into this one (parallel driver)."""
@@ -381,7 +393,9 @@ class SearchStats:
         return (f"nodes={self.nodes_explored} memo_hits={self.memo_hits} "
                 f"pruned={self.pruned_branches} cache_hits={self.cache_hits} "
                 f"gate_skips={self.gate_skips} "
-                f"layer_cache_hits={self.layer_cache_hits}")
+                f"layer_cache_hits={self.layer_cache_hits} "
+                f"suffix_iters={self.suffix_iterations} "
+                f"suffix_certified={self.suffix_certified}")
 
 
 @dataclass

@@ -282,7 +282,7 @@ class ForwardLayers:
     """
 
     __slots__ = ("states", "child_row", "last_sel", "states_computed",
-                 "dedup_hits", "row_of")
+                 "dedup_hits", "row_of", "_row_cols")
 
     def __init__(self, states: list[np.ndarray],
                  child_row: list[np.ndarray | None],
@@ -295,6 +295,15 @@ class ForwardLayers:
         self.dedup_hits = dedup_hits
         #: bytes -> row maps, built lazily per stage (budget probes only).
         self.row_of: list[dict[bytes, int] | None] = [None] * len(states)
+        #: Per-(stage, row) fitting-combo columns and child rows for the
+        #: budget search's row gathers: mbs-independent, so every candidate
+        #: sharing this forward pass reuses them.  Only the rows the budget
+        #: search actually touches are ever built (tiny per-row arrays --
+        #: retaining whole (rows, combos) gather matrices here instead was
+        #: measured ~1.4x *slower* at the 1024-GPU point: hundreds of MB of
+        #: retained intermediates turn every backward temp allocation into
+        #: fresh-page traffic).
+        self._row_cols: dict[tuple[int, int], tuple] = {}
 
     def row_for_key(self, stage_index: int, key: bytes) -> int | None:
         """Row index of an encoded state in one layer, if reachable."""
@@ -307,6 +316,25 @@ class ForwardLayers:
                      for r in range(states.shape[0])}
             self.row_of[stage_index] = table
         return table.get(key)
+
+    def row_cols(self, stage_index: int, row: int,
+                 last: bool) -> tuple[np.ndarray, np.ndarray | None]:
+        """``(fitting combo columns, child rows)`` of one (stage, row).
+
+        The column/child index pair the budget search gathers per engine
+        row; ``child`` is ``None`` on the last stage.  Forward-derived, so
+        shared across candidates like :meth:`child_gather`.
+        """
+        cached = self._row_cols.get((stage_index, row))
+        if cached is None:
+            if last:
+                cached = (self.last_sel[row].nonzero()[0], None)
+            else:
+                crow = self.child_row[stage_index][row]
+                cols = (crow >= 0).nonzero()[0]
+                cached = (cols, crow[cols])
+            self._row_cols[(stage_index, row)] = cached
+        return cached
 
 
 def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
@@ -380,6 +408,131 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
     return ForwardLayers(states=layers, child_row=child_rows,
                          last_sel=last_sel, states_computed=states_computed,
                          dedup_hits=dedup_hits)
+
+
+#: Relative slack applied to the cost lower bounds so they stay admissible
+#: under floating-point rounding: the bound recursions and the solver's
+#: actual cost evaluation associate their adds/muls differently, so the two
+#: can drift by a few ulps; 1e-12 of relative headroom (thousands of ulps)
+#: dwarfs any chain of tens of IEEE-754 operations.  The straggler bound
+#: needs no slack -- it is built from min/max alone, which are exact.
+_BOUND_SLACK = 1.0 - 1e-12
+
+
+@dataclass
+class BudgetBoundTables:
+    """Admissible per-(stage, row) lower bounds for the budget search.
+
+    ``straggler_lb[j][row]`` bounds from below the *max stage compute time*
+    of every solution the truncated search space admits for the pipeline
+    suffix ``j..P-1`` starting from layer row ``row``; ``cost_lb[j][row]``
+    bounds its *projected cost* the same way.  Both are monotone in the
+    budget (they hold for every budget, binding or not), which is what
+    makes them usable as straggler-loop convergence/infeasibility
+    certificates (see ``DPSolver._solve_suffix``):
+
+    * any suffix the straggler loop can discover has
+      ``max_stage_time >= straggler_lb``, so the remaining budgets of
+      iterations 2+ never exceed
+      ``budget - rate * Nb * max(t_a, straggler_lb)``;
+    * ``cost_lb > remaining_budget`` proves the budgeted suffix solve
+      returns ``None`` -- every solution in the space costs more -- without
+      running it (a budgeted solve only ever returns solutions that
+      respect its budget, so certified infeasibility is outcome-identical
+      to solving).
+
+    ``+inf`` rows are infeasible suffixes (no combo chain completes), the
+    same rows the engine's backward values mark infeasible.
+    """
+
+    straggler_lb: list[np.ndarray]
+    cost_lb: list[np.ndarray]
+
+
+def compute_budget_bounds(forward: ForwardLayers,
+                          tables: list[StageKernelTable],
+                          num_microbatches: int) -> BudgetBoundTables:
+    """One batched backward pass producing the budget-certificate bounds.
+
+    Runs over the same (shared) forward layers the engine scores, one stage
+    layer at a time.  Per (state, combo) candidate it propagates four
+    admissible quantities and reduces each with ``min`` over the fitting
+    combos:
+
+    * ``slb``  -- min achievable max stage compute time
+      (``min_c max(t_c, slb_child)``; exact, min/max only);
+    * ``dec``  -- the *decomposable* cost bound
+      ``min_c (rate_c * Nb * t_c + dec_child)``, admissible because any
+      solution's projected time satisfies ``T >= Nb * t_i`` for every
+      stage ``i``, hence ``cost = (sum_i rate_i) * T >= sum_i rate_i *
+      Nb * t_i``;
+    * ``rlb`` / ``sum_lb`` -- min achievable total cost rate / total
+      compute-time sum.
+
+    The final cost bound is the elementwise best of the decomposable bound
+    and the *product* bound ``rlb * (sum_lb + (Nb-1) * slb)`` (each factor
+    is an independent minimum, so the product lower-bounds every
+    solution's ``rate * (sum + (Nb-1) * max)``, itself a lower bound on
+    the projected cost since sync time is non-negative), scaled by
+    :data:`_BOUND_SLACK` for float admissibility.
+    """
+    nb = float(num_microbatches)
+    nb1 = float(num_microbatches - 1)
+    num_stages = len(tables)
+    slb: list[np.ndarray] = [None] * num_stages
+    dec: list[np.ndarray] = [None] * num_stages
+    rlb: list[np.ndarray] = [None] * num_stages
+    sum_lb: list[np.ndarray] = [None] * num_stages
+    for j in range(num_stages - 1, -1, -1):
+        table = tables[j]
+        rows = forward.states[j].shape[0]
+        last = j == num_stages - 1
+        if (table.req.shape[0] == 0
+                or (not last and forward.states[j + 1].shape[0] == 0)):
+            # Infeasible layer, exactly as the engine's backward pass
+            # marks it: nothing can host this stage (or nothing survives
+            # below it).
+            infinite = np.full(rows, np.inf)
+            slb[j] = infinite
+            dec[j] = infinite
+            rlb[j] = infinite
+            sum_lb[j] = infinite
+            continue
+        t_a = table.compute[None, :]
+        rate_a = table.rate[None, :]
+        shape = (rows, table.req.shape[0])
+        stage_cost = (table.rate * (nb * table.compute))[None, :]
+        if last:
+            s_mat = np.broadcast_to(t_a, shape)
+            d_mat = np.broadcast_to(stage_cost, shape)
+            r_mat = np.broadcast_to(rate_a, shape)
+            u_mat = s_mat
+            invalid = ~forward.last_sel
+        else:
+            child_row = forward.child_row[j]
+            safe = np.where(child_row >= 0, child_row, 0)
+            base = child_row < 0
+            child_slb = slb[j + 1][safe]
+            s_mat = np.maximum(t_a, child_slb)
+            d_mat = stage_cost + dec[j + 1][safe]
+            r_mat = rate_a + rlb[j + 1][safe]
+            u_mat = t_a + sum_lb[j + 1][safe]
+            invalid = base | np.isinf(child_slb)
+        slb[j] = np.where(invalid, np.inf, s_mat).min(axis=1)
+        dec[j] = np.where(invalid, np.inf, d_mat).min(axis=1)
+        rlb[j] = np.where(invalid, np.inf, r_mat).min(axis=1)
+        sum_lb[j] = np.where(invalid, np.inf, u_mat).min(axis=1)
+    # Infeasible rows are pinned to +inf explicitly: with Nb == 1 the
+    # product term would otherwise produce 0 * inf = NaN, and NaN compares
+    # false everywhere -- silently disarming the certificates.
+    cost_lb = []
+    for j in range(num_stages):
+        infeasible = np.isinf(slb[j])
+        product = rlb[j] * (sum_lb[j]
+                            + nb1 * np.where(infeasible, 0.0, slb[j]))
+        cost_lb.append(np.where(infeasible, np.inf,
+                                np.maximum(dec[j], product) * _BOUND_SLACK))
+    return BudgetBoundTables(straggler_lb=slb, cost_lb=cost_lb)
 
 
 def forward_signature(root_state: np.ndarray, reqs: list[np.ndarray],
@@ -460,6 +613,11 @@ class ResourceStateEngine:
         self.max_t: list[np.ndarray] = [None] * num_stages
         self.sync_t: list[np.ndarray] = [None] * num_stages
         self.rate: list[np.ndarray] = [None] * num_stages
+        #: Dominance tables for the budget search, built lazily by
+        #: :meth:`budget_tables`: per stage, every row's unconstrained
+        #: projected cost and feasibility in one vectorized pass.
+        self._cost_unc: list[np.ndarray | None] = [None] * num_stages
+        self._feasible: list[np.ndarray | None] = [None] * num_stages
 
     # -- forward-pass views ---------------------------------------------------
 
@@ -527,13 +685,17 @@ class ResourceStateEngine:
             invalid = ~forward.last_sel
         else:
             child_row = forward.child_row[j]
+            # Transient per-candidate gather: retaining these (rows,
+            # combos) intermediates on the shared forward layers was
+            # measured slower at scale (see ForwardLayers._row_cols).
             safe = np.where(child_row >= 0, child_row, 0)
+            base = child_row < 0
             sum_c = t_a + self.sum_t[j + 1][safe]
             max_c = np.maximum(t_a, self.max_t[j + 1][safe])
             sync_c = np.maximum(sync_a, self.sync_t[j + 1][safe])
             rate_c = rate_a + self.rate[j + 1][safe]
             time_v = sum_c + self.nb1 * max_c + sync_c
-            invalid = (child_row < 0) | np.isinf(self.value[j + 1][safe])
+            invalid = base | np.isinf(self.value[j + 1][safe])
         if self.minimize_cost:
             scored = rate_c * time_v
         else:
@@ -562,6 +724,22 @@ class ResourceStateEngine:
         """``cost_rate * projected_iteration_time`` of the row's optimum."""
         return float(self.rate[stage_index][row]
                      * self.time_value[stage_index][row])
+
+    def budget_tables(self, stage_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(unconstrained projected cost, feasibility)`` of a whole layer.
+
+        The budget search's dominance probes touch many rows of one layer;
+        one vectorized ``rate * time_value`` (elementwise, so per-row
+        bit-identical to :meth:`projected_cost`) plus one ``isfinite``
+        replaces the per-row scalar arithmetic.  Built lazily -- the
+        unconstrained objectives never need it.
+        """
+        cost = self._cost_unc[stage_index]
+        if cost is None:
+            cost = self.rate[stage_index] * self.time_value[stage_index]
+            self._cost_unc[stage_index] = cost
+            self._feasible[stage_index] = np.isfinite(self.value[stage_index])
+        return cost, self._feasible[stage_index]
 
     def backpointer(self, stage_index: int, row: int) -> tuple[int, int]:
         """(combo index, child row) of the row's optimum; child row is -1

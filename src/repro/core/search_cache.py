@@ -187,6 +187,13 @@ class PlannerSearchContext:
         #: topologies from accumulating layer arrays without limit.
         self._forward_layers: dict[tuple, object] = {}
         self._forward_layers_max = 256
+        #: Budget-certificate bound tables (resource-state engine):
+        #: BudgetBoundTables keyed by (forward signature, num microbatches,
+        #: per-stage compute/rate blobs) -- everything the bound recursion
+        #: reads -- so only bit-identical bound passes are ever shared.
+        #: Same bounded-FIFO policy as the forward layers.
+        self._budget_bounds: dict[tuple, object] = {}
+        self._budget_bounds_max = 256
         self._link_class: dict[tuple[str, str], LinkClass] = {}
         self._region: dict[str, str] = {}
         self._gpus_per_node: dict[str, int] = {}
@@ -384,6 +391,25 @@ class PlannerSearchContext:
             self._forward_layers.pop(next(iter(self._forward_layers)))
         self._forward_layers[signature] = layers
         return layers
+
+    def budget_bounds(self, signature: tuple, build):
+        """Budget-certificate bound tables for one bound signature.
+
+        The straggler/cost lower bounds the budget search certifies
+        against (``resource_state.compute_budget_bounds``); ``build`` runs
+        the batched bound pass on a miss.  Keyed alongside the forward
+        layers so candidates sharing a forward pass *and* its per-stage
+        compute/rate scalars (plus the microbatch count) share one bound
+        table.
+        """
+        cached = self._budget_bounds.get(signature)
+        if cached is not None:
+            return cached
+        bounds = build()
+        if len(self._budget_bounds) >= self._budget_bounds_max:
+            self._budget_bounds.pop(next(iter(self._budget_bounds)))
+        self._budget_bounds[signature] = bounds
+        return bounds
 
     # -- combo enumeration ------------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""Tests for the benchmark tooling: the median-of-rounds compare gate and
+the ``BENCH_history.jsonl`` recorder ``make bench`` appends to."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "benchmarks" / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    return _load("compare_bench")
+
+
+@pytest.fixture(scope="module")
+def bench_history():
+    return _load("bench_history")
+
+
+def _bench_file(path, stats_by_name):
+    path.write_text(json.dumps({
+        "benchmarks": [{"name": name, "stats": stats}
+                       for name, stats in stats_by_name.items()]
+    }))
+    return str(path)
+
+
+def test_compare_gates_on_median_not_mean_or_min(compare_bench, tmp_path,
+                                                 capsys):
+    """A noisy mean or a lucky min must not decide the verdict: the gate
+    reads the median-of-rounds."""
+    baseline = _bench_file(tmp_path / "base.json", {
+        "bench_planner_x": {"median": 1.0, "min": 0.9, "mean": 1.1},
+    })
+    # Median regresses 2x while the min is flat and the mean improves.
+    candidate = _bench_file(tmp_path / "new.json", {
+        "bench_planner_x": {"median": 2.0, "min": 0.9, "mean": 0.5},
+    })
+    assert compare_bench.main([baseline, candidate]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+
+    # Median flat, mean regressed: must pass.
+    candidate_ok = _bench_file(tmp_path / "ok.json", {
+        "bench_planner_x": {"median": 1.05, "min": 1.0, "mean": 9.0},
+    })
+    assert compare_bench.main([baseline, candidate_ok]) == 0
+
+
+def test_compare_falls_back_to_mean_for_old_recordings(compare_bench,
+                                                       tmp_path):
+    """Recordings that predate the median field still load (mean stands in
+    for both figures)."""
+    stats = compare_bench.load_stats(_bench_file(tmp_path / "old.json", {
+        "bench_planner_x": {"mean": 1.5},
+    }))
+    assert stats["bench_planner_x"] == {"median": 1.5, "min": 1.5,
+                                        "rounds": 0}
+
+
+def test_compare_ungated_benchmarks_never_fail(compare_bench, tmp_path):
+    baseline = _bench_file(tmp_path / "base.json", {
+        "bench_other": {"median": 1.0, "min": 1.0},
+    })
+    candidate = _bench_file(tmp_path / "new.json", {
+        "bench_other": {"median": 5.0, "min": 5.0},
+    })
+    assert compare_bench.main([baseline, candidate]) == 0
+
+
+def test_bench_history_appends_one_line_per_run(bench_history, tmp_path):
+    bench = _bench_file(tmp_path / "bench.json", {
+        "bench_planner_budget": {"median": 2.5, "min": 2.25, "mean": 2.6,
+                                 "rounds": 3},
+        "bench_planner_128": {"median": 0.8, "min": 0.75, "rounds": 1},
+    })
+    history = tmp_path / "history.jsonl"
+    assert bench_history.main([bench, "--history", str(history)]) == 0
+    assert bench_history.main([bench, "--history", str(history)]) == 0
+    lines = history.read_text().strip().splitlines()
+    assert len(lines) == 2
+    record = json.loads(lines[0])
+    assert set(record) == {"rev", "recorded_at", "source", "benches"}
+    assert record["benches"]["bench_planner_budget"] == {
+        "median_s": 2.5, "min_s": 2.25, "rounds": 3}
+    assert record["benches"]["bench_planner_128"]["median_s"] == 0.8
+    # The revision is the repo's short git rev (or "unknown" off-git).
+    assert record["rev"]
+
+
+def test_bench_history_rejects_empty_run(bench_history, tmp_path):
+    bench = _bench_file(tmp_path / "bench.json", {})
+    history = tmp_path / "history.jsonl"
+    assert bench_history.main([bench, "--history", str(history)]) == 1
+    assert not history.exists()

@@ -498,6 +498,192 @@ def test_batched_budget_threading_matches_scalar_recursion(opt_env, opt_job,
             assert getattr(a, field) == getattr(b, field)  # bitwise
 
 
+# ---------------------------------------------------------------------------
+# Straggler convergence certificates (budget lower bounds)
+# ---------------------------------------------------------------------------
+
+def enumerate_solutions(solver, resources, stage_index=0):
+    """Every complete assignment chain in the solver's search space, as
+    ``DPSolution``s (no budget, no pruning -- the raw space the bound
+    tables must lower-bound)."""
+    from repro.core.dp_solver import DPSolution
+
+    is_last = stage_index == len(solver.partitions) - 1
+    solutions = []
+    for placements in solver.generate_combos(stage_index, dict(resources)):
+        assignment = solver.context.stage_assignment(
+            solver.partitions[stage_index], solver.microbatch_size,
+            solver.data_parallel, tuple(placements))
+        if is_last:
+            solutions.append(DPSolution(
+                assignments=[assignment],
+                max_stage_time_s=assignment.compute_time_s,
+                sum_stage_time_s=assignment.compute_time_s,
+                max_sync_time_s=assignment.sync_time_s,
+                cost_rate_usd_per_s=assignment.cost_rate_usd_per_s))
+            continue
+        remaining = dict(resources)
+        feasible = True
+        for key, used in assignment.nodes_used.items():
+            if remaining.get(key, 0) < used:
+                feasible = False
+                break
+            remaining[key] -= used
+        if not feasible:
+            continue
+        for suffix in enumerate_solutions(solver, remaining, stage_index + 1):
+            solutions.append(solver._combine(assignment, suffix))
+    return solutions
+
+
+def _solver_root_state(solver):
+    """The clamped root state exactly as ``solve`` derives it."""
+    codec = solver._codec
+    state = codec.root_state
+    if solver._clamp_active[0]:
+        state = codec.clamp(state, solver._caps_vec[0])
+    return state
+
+
+def test_budget_bounds_are_true_lower_bounds_over_random_pools(opt_env,
+                                                               opt_job):
+    """Property (hypothesis-style randomized sweep): the straggler and cost
+    lower bounds never exceed *any* solution in the search space -- in
+    particular not the minimum -- in both the engine-layer and the
+    scalar-recursion bound implementations.  Admissibility is what makes
+    certificate-answered budget solves outcome-identical to real ones."""
+    import math
+    import random
+
+    rng = random.Random(20260729)
+    checked = 0
+    for _ in range(10):
+        resources = {("us-central1-a", "a2-highgpu-4g"): rng.randint(0, 4),
+                     ("us-central1-a", "n1-standard-v100-4"): rng.randint(0, 4)}
+        resources = {key: count for key, count in resources.items() if count}
+        if not resources:
+            continue
+        pp = rng.choice([1, 2, 3])
+        dp = rng.choice([1, 2, 4])
+
+        engine_solver = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+        engine_solver.config = DPSolverConfig(engine_min_states=0)
+        engine_solver.engine_min_states = 0
+        unconstrained = engine_solver.solve(dict(resources))
+        solutions = enumerate_solutions(engine_solver, resources)
+        nb = engine_solver.num_microbatches
+
+        if engine_solver._engine is not None:
+            bounds = engine_solver._engine_bounds()
+            state = _solver_root_state(engine_solver)
+            row = engine_solver._engine.row_for_key(0, state.tobytes())
+            assert row is not None
+            slb = bounds.straggler_lb[0][row]
+            clb = bounds.cost_lb[0][row]
+            if not solutions:
+                assert unconstrained is None
+                assert math.isinf(slb) and math.isinf(clb)
+            for solution in solutions:
+                assert slb <= solution.max_stage_time_s
+                assert clb <= solution.projected_cost(nb)
+                checked += 1
+
+        scalar_solver = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+        assert scalar_solver.solve(dict(resources)) is not None or \
+            unconstrained is None
+        if not scalar_solver._vector_states:
+            root = tuple(_solver_root_state(scalar_solver).tolist())
+            s_slb, _, _, _, s_clb = scalar_solver._scalar_bound(0, root, root)
+            if not solutions:
+                assert math.isinf(s_slb) and math.isinf(s_clb)
+            for solution in solutions:
+                assert s_slb <= solution.max_stage_time_s
+                assert s_clb <= solution.projected_cost(nb)
+                checked += 1
+    assert checked > 0  # the sweep must have exercised real pools
+
+
+@pytest.mark.parametrize("pp,dp", [(1, 2), (2, 2), (2, 4), (3, 1)])
+@pytest.mark.parametrize("engine_forced", [True, False])
+def test_certificates_match_uncertified_recursion(opt_env, opt_job, pp, dp,
+                                                  engine_forced):
+    """Certificates (straggler/cost bounds, engine seeding, batched-layer
+    resolve) must return bitwise-identical solutions to the plain scalar
+    straggler recursion across binding and non-binding budgets, in both
+    the engine and the tiny-pool (scalar) dispatch regimes."""
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    engine_min = 0 if engine_forced else 10**9
+    probe = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+    nb = probe.num_microbatches
+    unconstrained = probe.solve(dict(resources))
+    if unconstrained is None:
+        pytest.skip("nothing fits this (pp, dp) on the small pool")
+    base_cost = unconstrained.projected_cost(nb)
+
+    for fraction in BUDGET_FRACTIONS:
+        budget = base_cost * fraction
+        certified = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+        certified.config = DPSolverConfig(engine_min_states=engine_min)
+        certified.engine_min_states = engine_min
+        plain = build_solver(opt_env, opt_job, pp=pp, dp=dp)
+        plain.config = DPSolverConfig(
+            engine_min_states=engine_min, enable_straggler_bound=False,
+            engine_seeded_straggler=False, batched_layer_resolve=False,
+            shared_backward=False)
+        plain.engine_min_states = engine_min
+        a = certified.solve(dict(resources), budget_per_iteration=budget)
+        b = plain.solve(dict(resources), budget_per_iteration=budget)
+        assert (a is None) == (b is None)
+        assert plain.stats.suffix_certified == 0
+        if a is None:
+            continue
+        assert [x.placements for x in a.assignments] == \
+            [x.placements for x in b.assignments]
+        for field in ("max_stage_time_s", "sum_stage_time_s",
+                      "max_sync_time_s", "cost_rate_usd_per_s"):
+            assert getattr(a, field) == getattr(b, field)  # bitwise
+
+
+def test_certificates_fire_and_are_counted(opt_env, opt_job):
+    """A binding budget must exercise the certificates (nonzero
+    ``suffix_certified``) and cut ``suffix_iterations`` vs the uncertified
+    recursion -- the observable behind the straggler-tail claim."""
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    certified = build_solver(opt_env, opt_job, pp=2, dp=4)
+    nb = certified.num_microbatches
+    budget = certified.solve(dict(resources)).projected_cost(nb) * 0.55
+    assert certified.solve(dict(resources), budget_per_iteration=budget) \
+        is not None
+    assert certified.stats.suffix_certified > 0
+    assert certified.stats.suffix_iterations > 0
+
+    plain = build_solver(opt_env, opt_job, pp=2, dp=4)
+    plain.config = DPSolverConfig(enable_straggler_bound=False,
+                                  engine_seeded_straggler=False,
+                                  batched_layer_resolve=False)
+    assert plain.solve(dict(resources), budget_per_iteration=budget) \
+        is not None
+    assert plain.stats.suffix_certified == 0
+    assert plain.stats.suffix_iterations > certified.stats.suffix_iterations
+
+
+def test_certificates_disabled_under_fork_tracking(opt_env, opt_job):
+    """Fork tracking must observe every suffix query, so certificates (which
+    remove queries) stay off while it is active."""
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    solver = build_solver(opt_env, opt_job, pp=2, dp=4)
+    nb = solver.num_microbatches
+    budget = solver.solve(dict(resources)).projected_cost(nb) * 0.7
+    solver.track_budget_forks = True
+    assert solver.solve(dict(resources), budget_per_iteration=budget) \
+        is not None
+    assert not solver._certs_active
+    assert solver.stats.suffix_certified == 0
+
+
 def test_interval_memo_repeat_solves_are_deterministic(opt_env, opt_job):
     resources = {("us-central1-a", "a2-highgpu-4g"): 4,
                  ("us-central1-a", "n1-standard-v100-4"): 4}

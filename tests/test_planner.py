@@ -136,6 +136,36 @@ def test_budget_search_stats_report_pruning(planner, opt_job, mixed_topology):
     assert stats.pruned_branches > 0  # B&B must actually cut budget branches
 
 
+def test_budget_search_stats_report_suffix_certificates(planner, opt_job,
+                                                        mixed_topology):
+    """The straggler-certificate win must be observable, not inferred from
+    wall time: a binding budget search reports both the suffix resolutions
+    it performed and the ones its certificates avoided, and the counters
+    survive the stats round trip (parallel-driver merge path)."""
+    from repro.core.plan import SearchStats
+
+    unconstrained = planner.plan(opt_job, mixed_topology,
+                                 Objective.max_throughput())
+    budget = unconstrained.evaluation.cost_per_iteration_usd * 0.6
+    result = planner.plan(
+        opt_job, mixed_topology,
+        Objective.max_throughput(max_cost_per_iteration_usd=budget))
+    stats = result.search_stats
+    assert stats.suffix_iterations > 0
+    assert stats.suffix_certified > 0
+    encoded = stats.as_dict()
+    assert encoded["suffix_iterations"] == stats.suffix_iterations
+    assert encoded["suffix_certified"] == stats.suffix_certified
+    decoded = SearchStats.from_dict(encoded)
+    assert decoded.suffix_iterations == stats.suffix_iterations
+    assert decoded.suffix_certified == stats.suffix_certified
+    assert "suffix_certified=" in stats.describe()
+
+    # Unconstrained searches never enter the straggler loop.
+    assert unconstrained.search_stats.suffix_iterations == 0
+    assert unconstrained.search_stats.suffix_certified == 0
+
+
 def test_h3_early_stop_ignores_infeasible_candidates(opt_env, opt_job,
                                                      mixed_topology):
     """Regression: an infeasible (constraint-violating) candidate's score
@@ -312,6 +342,14 @@ def test_layer_cache_and_batched_threading_do_not_change_the_chosen_plan(
                 DPSolverConfig(engine_min_states=0, enable_layer_cache=False),
                 DPSolverConfig(engine_min_states=0,
                                batched_budget_threading=False),
+                DPSolverConfig(engine_min_states=0,
+                               enable_straggler_bound=False),
+                DPSolverConfig(engine_min_states=0,
+                               engine_seeded_straggler=False),
+                DPSolverConfig(engine_min_states=0, shared_backward=False),
+                DPSolverConfig(engine_min_states=0,
+                               batched_layer_resolve=False),
+                DPSolverConfig(),  # adaptive dispatch (scalar certificates)
                 DPSolverConfig(enable_pruning=False),
         ):
             result = SailorPlanner(opt_env, config=PlannerConfig(

@@ -241,3 +241,82 @@ def test_engine_infeasible_root_returns_none(opt_env, opt_job):
     solver.engine_min_states = 0  # force the engine on a small pool
     # One node cannot host four replicas per stage over two stages.
     assert solver.solve({("us-central1-a", "a2-highgpu-4g"): 1}) is None
+
+
+# ---------------------------------------------------------------------------
+# Shared backward structures + budget bound tables
+# ---------------------------------------------------------------------------
+
+def test_forward_row_cols_matches_local_computation():
+    reqs, caps, clamp_active, root = _toy_forward_inputs()
+    forward = compute_forward_layers(reqs, caps, clamp_active, 16, root)
+    crow = forward.child_row[0][0]
+    cols, child = forward.row_cols(0, 0, last=False)
+    assert np.array_equal(cols, (crow >= 0).nonzero()[0])
+    assert np.array_equal(child, crow[cols])
+    last_cols, last_child = forward.row_cols(1, 0, last=True)
+    assert np.array_equal(last_cols, forward.last_sel[0].nonzero()[0])
+    assert last_child is None
+    assert forward.row_cols(0, 0, last=False)[0] is cols  # cached
+
+
+def test_shared_backward_is_bitwise_identical(opt_env, opt_job):
+    """run_backward with the shared child gathers must produce bitwise the
+    same layer tables as the per-candidate computation."""
+    solver_a = build_solver(opt_env, opt_job, pp=2, dp=2)
+    solver_a.engine_min_states = 0
+    solver_b = build_solver(opt_env, opt_job, pp=2, dp=2)
+    solver_b.config = DPSolverConfig(engine_min_states=0,
+                                     shared_backward=False)
+    solver_b.engine_min_states = 0
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    assert solver_a.solve(dict(resources)) is not None
+    assert solver_b.solve(dict(resources)) is not None
+    shared, local = solver_a._engine, solver_b._engine
+    assert shared is not None and local is not None
+    for name in ("arg", "value", "time_value", "sum_t", "max_t", "sync_t",
+                 "rate"):
+        for a, b in zip(getattr(shared, name), getattr(local, name)):
+            assert np.array_equal(a, b)
+
+
+def test_engine_budget_tables_match_scalar_probes(opt_env, opt_job):
+    """The whole-layer dominance vectors must agree element-for-element
+    with the per-row feasible/projected_cost probes they replace."""
+    solver = build_solver(opt_env, opt_job, pp=2, dp=2)
+    solver.engine_min_states = 0
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    assert solver.solve(dict(resources)) is not None
+    engine = solver._engine
+    for stage in range(2):
+        cost, feasible = engine.budget_tables(stage)
+        for row in range(engine.states[stage].shape[0]):
+            assert bool(feasible[row]) == engine.feasible(stage, row)
+            if feasible[row]:
+                assert float(cost[row]) == engine.projected_cost(stage, row)
+
+
+def test_budget_bounds_mark_infeasible_layers_infinite(opt_env, opt_job):
+    """A suffix no combo chain can complete must carry +inf bounds, the
+    same rows the engine's backward values mark infeasible."""
+    from repro.core.resource_state import compute_budget_bounds
+
+    solver = build_solver(opt_env, opt_job, pp=2, dp=2)
+    solver.engine_min_states = 0
+    resources = {("us-central1-a", "a2-highgpu-4g"): 4,
+                 ("us-central1-a", "n1-standard-v100-4"): 4}
+    assert solver.solve(dict(resources)) is not None
+    engine = solver._engine
+    bounds = compute_budget_bounds(engine.forward, engine.tables,
+                                   solver.num_microbatches)
+    for stage in range(2):
+        infeasible = ~np.isfinite(engine.value[stage])
+        assert np.array_equal(~np.isfinite(bounds.cost_lb[stage]),
+                              infeasible)
+        assert np.array_equal(~np.isfinite(bounds.straggler_lb[stage]),
+                              infeasible)
+        # Feasible rows carry real, positive bounds.
+        assert (bounds.cost_lb[stage][~infeasible] > 0).all()
+        assert (bounds.straggler_lb[stage][~infeasible] > 0).all()
