@@ -1,7 +1,8 @@
 # Developer entry points for the Sailor reproduction.
 #
 #   make test                       tier-1 test suite
-#   make bench                      planner/core micro-benchmarks -> $(BENCH_OUT)
+#   make bench                      planner/core micro-benchmarks + churn
+#                                   replay benches -> $(BENCH_OUT)
 #                                   (BENCH_SCALE=full by default, which
 #                                   includes the 1024-GPU scale point;
 #                                   BENCH_SCALE=smoke skips it), then appends
@@ -32,11 +33,14 @@ BENCH_HISTORY ?= BENCH_history.jsonl
 # (the recorded set) defaults to full; `make ci`'s smoke subset to smoke.
 BENCH_SCALE ?= full
 # Bench smoke subset for `make ci`: every micro-bench plus the 32/64-GPU
-# and budget-constrained planner points.  The 128/256/512 scale points
+# and budget-constrained planner points, plus the short churn-replay smoke
+# (which asserts zero dropped events and >=1 incremental cache hit, so a
+# silently-cold search context fails CI).  The 128/256/512 scale points
 # still run *once* as correctness tests inside the tier-1 phase (ROADMAP
 # defines tier-1 as the whole tree); the filter only skips their slower
-# timed re-measurement (run `make bench` for the full recorded set).
-CI_BENCH_FILTER ?= not 128 and not 256 and not 512 and not 1024
+# timed re-measurement and the 1000-event churn point (run `make bench`
+# for the full recorded set).
+CI_BENCH_FILTER ?= not 128 and not 256 and not 512 and not 1024 and not 1000
 PROFILE_ARGS ?=
 
 .PHONY: test bench bench-compare ci profile
@@ -47,6 +51,7 @@ test:
 bench:
 	BENCH_SCALE=$(BENCH_SCALE) PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_core_micro.py \
+		benchmarks/test_bench_reconfiguration.py \
 		--benchmark-only -q --benchmark-json=$(BENCH_OUT)
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_history.py $(BENCH_OUT) \
 		--history $(BENCH_HISTORY)
@@ -62,6 +67,7 @@ ci:
 	t1=$$(date +%s); echo "[ci] tier-1 tests: $$((t1 - t0))s"; \
 	BENCH_SCALE=smoke PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_core_micro.py \
+		benchmarks/test_bench_reconfiguration.py \
 		--benchmark-only -q -k "$(CI_BENCH_FILTER)" \
 		--benchmark-json=$(BENCH_CI_OUT); \
 	t2=$$(date +%s); echo "[ci] bench smoke: $$((t2 - t1))s"; \

@@ -6,7 +6,9 @@ Installs as ``sailor-repro`` and exposes the library's main workflows:
 * ``sailor-repro plan``        -- plan a job on a described topology and
   optionally write the chosen plan to JSON;
 * ``sailor-repro simulate``    -- evaluate a saved plan (memory, time, cost);
-* ``sailor-repro experiment``  -- regenerate one of the paper's tables/figures.
+* ``sailor-repro experiment``  -- regenerate one of the paper's tables/figures;
+* ``sailor-repro churn``       -- replay a seeded fault trace against the
+  replanning controller loop and report degradation/reuse statistics.
 
 Examples::
 
@@ -18,6 +20,13 @@ Examples::
     sailor-repro simulate --plan plan.json
 
     sailor-repro experiment figure8 --scale small
+
+    sailor-repro churn --model OPT-350M \
+        --pools us-central1-a:a2-highgpu-4g:4 \
+        --pools us-central1-a:n1-standard-v100-4:4 \
+        --events 200 --seed 0 --trace-out churn.json
+
+    sailor-repro churn --model OPT-350M --trace-in churn.json
 """
 
 from __future__ import annotations
@@ -89,6 +98,39 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=EXPERIMENT_NAMES)
     experiment.add_argument("--scale", choices=["tiny", "small", "paper"],
                             default="small")
+
+    churn = subparsers.add_parser(
+        "churn", help="replay a seeded fault trace against the controller")
+    churn.add_argument("--model", default="OPT-350M",
+                       help="model name from the catalog (default: OPT-350M)")
+    churn.add_argument("--global-batch-size", type=int, default=256)
+    churn.add_argument("--sequence-length", type=int, default=2048)
+    churn.add_argument("--pools", action="append", default=None,
+                       metavar="ZONE:NODE_TYPE:COUNT",
+                       help="base capacity of one pool, e.g. "
+                            "us-central1-a:a2-highgpu-4g:4 (repeatable; "
+                            "default: 4 A100 + 4 V100 nodes in one zone)")
+    churn.add_argument("--events", type=int, default=200,
+                       help="number of fault events to generate (default: 200)")
+    churn.add_argument("--seed", type=int, default=0,
+                       help="scenario-generator seed (default: 0)")
+    churn.add_argument("--duration", type=float, default=4 * 3600.0,
+                       help="trace duration in seconds (default: 4h)")
+    churn.add_argument("--objective", choices=["throughput", "cost"],
+                       default="throughput")
+    churn.add_argument("--deadline", type=float, default=None,
+                       help="wall-clock replan deadline in seconds "
+                            "(miss -> keep the incumbent, degraded)")
+    churn.add_argument("--debounce", type=float, default=0.0,
+                       help="minimum seconds between voluntary replans")
+    churn.add_argument("--checkpoint-interval", type=int, default=20,
+                       help="checkpoint every N iterations (default: 20)")
+    churn.add_argument("--trace-in", default=None,
+                       help="replay this fault-trace JSON instead of "
+                            "generating one")
+    churn.add_argument("--trace-out", default=None,
+                       help="write the (generated or loaded) fault trace "
+                            "to this JSON file")
     return parser
 
 
@@ -217,6 +259,63 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_churn(args: argparse.Namespace) -> int:
+    from repro.runtime.checkpoint import CheckpointConfig
+    from repro.runtime.controller import ReplanPolicy
+    from repro.runtime.faults import FaultScenarioGenerator, FaultTrace
+    from repro.runtime.replay import ChurnReplayer
+
+    try:
+        model = get_model(args.model)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    job = TrainingJobSpec(model=model, global_batch_size=args.global_batch_size,
+                          sequence_length=args.sequence_length)
+
+    if args.trace_in:
+        with open(args.trace_in, encoding="utf-8") as handle:
+            trace = FaultTrace.from_json(handle.read())
+        pools = {pool: max((e.available_nodes for e in trace.events
+                            if (e.zone, e.node_type) == pool), default=0)
+                 for pool in trace.pools}
+    else:
+        pool_specs = args.pools or ["us-central1-a:a2-highgpu-4g:4",
+                                    "us-central1-a:n1-standard-v100-4:4"]
+        topology = parse_nodes(pool_specs)
+        pools = {(zone, node_type): count
+                 for zone, per_type in topology.nodes.items()
+                 for node_type, count in per_type.items()}
+        generator = FaultScenarioGenerator(seed=args.seed)
+        trace = generator.churn_trace(pools, duration_s=args.duration,
+                                      num_events=args.events)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_json())
+        print(f"fault trace written to {args.trace_out}")
+
+    base_nodes: dict[str, dict[str, int]] = {}
+    for (zone, node_type), count in pools.items():
+        base_nodes.setdefault(zone, {})[node_type] = count
+    base = ClusterTopology(nodes=base_nodes)
+    print(f"replaying {len(trace.events)} events over "
+          f"{trace.duration_s / 3600:.1f}h on:")
+    print(base.describe())
+
+    env = build_environment(job, base)
+    objective = (Objective.max_throughput() if args.objective == "throughput"
+                 else Objective.min_cost())
+    policy = ReplanPolicy(replan_deadline_s=args.deadline,
+                          debounce_s=args.debounce)
+    replayer = ChurnReplayer(
+        env, job, objective, policy=policy,
+        checkpoint_config=CheckpointConfig(
+            interval_iterations=args.checkpoint_interval))
+    report = replayer.run(trace, base_topology=base)
+    print()
+    print(report.describe())
+    return 0 if report.events_dropped == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -226,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": cmd_plan,
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
+        "churn": cmd_churn,
     }
     return handlers[args.command](args)
 

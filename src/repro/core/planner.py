@@ -109,8 +109,23 @@ class SailorPlanner:
     # -- public API -------------------------------------------------------------
 
     def plan(self, job: TrainingJobSpec, topology: ClusterTopology,
-             objective: Objective | None = None) -> PlannerResult:
-        """Search for the best plan on the currently-available topology."""
+             objective: Objective | None = None,
+             context: PlannerSearchContext | None = None) -> PlannerResult:
+        """Search for the best plan on the currently-available topology.
+
+        ``context`` optionally supplies a long-lived
+        :class:`~repro.core.search_cache.PlannerSearchContext` to search in.
+        The context is topology-independent (resource availability enters
+        every cache key explicitly), so a caller replanning against
+        successive availability snapshots of the same (env, job, goal) --
+        the online controller under churn -- reuses partitions, stage
+        compute/sync/cost tables, forward layers and budget bounds across
+        calls with zero invalidation, and the chosen plan stays identical
+        to a from-scratch solve on the same pool.  The reported
+        ``search_stats`` are always the *delta* this call contributed.
+        The parallel driver builds per-worker contexts and ignores an
+        external one.
+        """
         objective = objective or Objective.max_throughput()
         workers = self.config.parallel_workers
         if workers is not None and workers > 1:
@@ -125,7 +140,12 @@ class SailorPlanner:
         consolidated = consolidate_zones(topology, heuristics)
         resources = self._resource_map(consolidated.topology)
         total_nodes = sum(resources.values())
-        context = PlannerSearchContext(self.env, job, objective.goal)
+        if context is None:
+            context = PlannerSearchContext(self.env, job, objective.goal)
+        elif context.job is not job or context.goal is not objective.goal:
+            raise ValueError("search context is bound to a different "
+                             "(job, goal) than this planning call")
+        stats_before = context.stats.copy()
 
         outcomes: list[_BranchOutcome] = []
         for pp, mbs in self._branch_specs(job, total_nodes, heuristics):
@@ -144,7 +164,7 @@ class SailorPlanner:
             planner_name=self.name,
             candidates_evaluated=candidates,
             oom_plans_generated=ooms,
-            search_stats=context.stats,
+            search_stats=context.stats.diff(stats_before),
         )
 
     # -- branch search -----------------------------------------------------------

@@ -49,6 +49,19 @@ class AvailabilityEvent:
         if self.available_nodes < 0:
             raise ValueError("available_nodes must be non-negative")
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (stable keys; used by trace serialization)."""
+        return {"time_s": self.time_s, "zone": self.zone,
+                "node_type": self.node_type,
+                "available_nodes": self.available_nodes}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AvailabilityEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(time_s=float(data["time_s"]), zone=data["zone"],
+                   node_type=data["node_type"],
+                   available_nodes=int(data["available_nodes"]))
+
 
 @dataclass
 class AvailabilityTrace:
@@ -118,6 +131,18 @@ class AvailabilityTrace:
             per_node = get_node_type(node_type).gpus_per_node
             out[(zone, node_type)] = [c * per_node for c in series]
         return out
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; events in canonical (time, zone, type) order."""
+        return {"duration_s": self.duration_s,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AvailabilityTrace":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        return cls(events=[AvailabilityEvent.from_dict(e)
+                           for e in data.get("events", [])],
+                   duration_s=float(data.get("duration_s", 8 * 3600.0)))
 
 
 class AvailabilityTraceGenerator:
@@ -196,6 +221,91 @@ class AvailabilityTraceGenerator:
                 gain = int(self._rng.integers(1, max_loss + 1))
                 current = min(base_nodes, current + gain)
             events.append(AvailabilityEvent(t, zone, node_type, current))
+        return events
+
+    # -- churn scenario primitives (fault-injection harness) -----------------
+    #
+    # The methods below are the availability-level building blocks of
+    # :mod:`repro.runtime.faults`: each returns the bare event steps of one
+    # fault scenario, and the fault harness labels them with a trigger kind
+    # and composes them into replayable churn traces.
+
+    def preemption_burst(self, zone: str, node_type: str, base_nodes: int,
+                         at_s: float, burst_size: int | None = None,
+                         spacing_s: float = 30.0,
+                         recovery_s: float = 900.0) -> list[AvailabilityEvent]:
+        """Several spot preemptions landing within a short window.
+
+        ``burst_size`` nodes (default: a seeded draw of 1..base) are lost one
+        ``spacing_s`` apart starting at ``at_s``; the lost capacity returns in
+        one step after ``recovery_s``.
+        """
+        if base_nodes < 1:
+            raise ValueError("base_nodes must be >= 1")
+        if burst_size is None:
+            burst_size = int(self._rng.integers(1, base_nodes + 1))
+        burst_size = min(burst_size, base_nodes)
+        events = []
+        current = base_nodes
+        for i in range(burst_size):
+            current -= 1
+            events.append(AvailabilityEvent(at_s + i * spacing_s, zone,
+                                            node_type, current))
+        events.append(AvailabilityEvent(at_s + (burst_size - 1) * spacing_s
+                                        + recovery_s, zone, node_type,
+                                        base_nodes))
+        return events
+
+    def quota_cut(self, zone: str, node_type: str, base_nodes: int,
+                  at_s: float, cut_fraction: float = 0.5,
+                  restore_after_s: float | None = 3600.0,
+                  ) -> list[AvailabilityEvent]:
+        """A provider quota reduction: capacity steps down to a fraction of
+        the base and (optionally) ramps back after ``restore_after_s``."""
+        if not 0.0 <= cut_fraction <= 1.0:
+            raise ValueError("cut_fraction must be within [0, 1]")
+        reduced = int(math.floor(base_nodes * (1.0 - cut_fraction)))
+        events = [AvailabilityEvent(at_s, zone, node_type, reduced)]
+        if restore_after_s is not None:
+            events.append(AvailabilityEvent(at_s + restore_after_s, zone,
+                                            node_type, base_nodes))
+        return events
+
+    def node_flap(self, zone: str, node_type: str, base_nodes: int,
+                  at_s: float, period_s: float = 120.0,
+                  cycles: int = 3, flap_nodes: int = 1,
+                  ) -> list[AvailabilityEvent]:
+        """One node (or a few) repeatedly leaving and rejoining the pool.
+
+        Produces ``2 * cycles`` events alternating between ``base - flap``
+        and ``base``; the scenario the controller's debounce targets.
+        """
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        low = max(0, base_nodes - flap_nodes)
+        events = []
+        for i in range(cycles):
+            t = at_s + i * period_s
+            events.append(AvailabilityEvent(t, zone, node_type, low))
+            events.append(AvailabilityEvent(t + period_s / 2.0, zone,
+                                            node_type, base_nodes))
+        return events
+
+    def zone_outage(self, pools: dict[tuple[str, str], int], zone: str,
+                    at_s: float, outage_s: float = 1800.0,
+                    ) -> list[AvailabilityEvent]:
+        """Every pool of one zone drops to zero, then recovers together.
+
+        ``pools`` maps ``(zone, node_type)`` to the base node count (only the
+        entries of ``zone`` contribute events).
+        """
+        events = []
+        for (pool_zone, node_type), base in sorted(pools.items()):
+            if pool_zone != zone:
+                continue
+            events.append(AvailabilityEvent(at_s, zone, node_type, 0))
+            events.append(AvailabilityEvent(at_s + outage_s, zone, node_type,
+                                            base))
         return events
 
     def figure2_trace(self, node_type: str = "a2-highgpu-4g",

@@ -11,8 +11,22 @@ package reproduces its *systems* behaviour as a discrete-event simulation:
 * :mod:`repro.runtime.checkpoint` -- asynchronous checkpointing and rollback.
 * :mod:`repro.runtime.reconfiguration` -- the kill-free reconfiguration
   latency model (section 5.5 breakdown).
-* :mod:`repro.runtime.controller` -- the controller that monitors resource
-  availability, re-invokes the planner and reconfigures workers.
+* :mod:`repro.runtime.controller` -- the replanning controller loop: when
+  availability changes it reacts at the cheapest sufficient degradation
+  tier (``CONTINUE`` -> ``SHRINK_DP`` -> ``FULL_REPLAN`` -> ``PARK``),
+  governed by a :class:`~repro.runtime.controller.ReplanPolicy`
+  (debounce/hysteresis on flapping pools, wall-clock replan deadline with
+  keep-the-incumbent fallback, retry-with-backoff while parked) and made
+  *incremental* by solving every replan inside one long-lived planner
+  search context.
+* :mod:`repro.runtime.faults` -- seeded fault-injection harness: labelled,
+  serializable churn scenarios (preemption bursts, quota cuts, zone
+  outages, node flaps, mid-drain preemptions).
+* :mod:`repro.runtime.replay` -- deterministic replay of a fault trace
+  against the controller loop, with zero-drop accounting and incremental
+  reuse counters.  From the CLI:
+  ``sailor-repro churn --model <name> --events 200 --seed 0`` generates and
+  replays a trace; ``--trace-out``/``--trace-in`` round-trip it as JSON.
 * :mod:`repro.runtime.session` -- end-to-end elastic training sessions over
   an availability trace (used by the elasticity experiments).
 """
@@ -22,7 +36,14 @@ from repro.runtime.comm_groups import CommunicationGroups, build_rank_topology, 
 from repro.runtime.worker import TrainingWorker, WorkerState
 from repro.runtime.checkpoint import CheckpointManager, CheckpointConfig
 from repro.runtime.reconfiguration import ReconfigurationModel, ReconfigurationBreakdown
-from repro.runtime.controller import TrainingController
+from repro.runtime.controller import (
+    DegradationTier,
+    ReplanDecision,
+    ReplanPolicy,
+    TrainingController,
+)
+from repro.runtime.faults import FaultEvent, FaultScenarioGenerator, FaultTrace
+from repro.runtime.replay import ChurnReplayer, ChurnReport
 from repro.runtime.session import ElasticTrainingSession, SessionReport
 
 __all__ = [
@@ -37,7 +58,15 @@ __all__ = [
     "CheckpointConfig",
     "ReconfigurationModel",
     "ReconfigurationBreakdown",
+    "DegradationTier",
+    "ReplanDecision",
+    "ReplanPolicy",
     "TrainingController",
+    "FaultEvent",
+    "FaultScenarioGenerator",
+    "FaultTrace",
+    "ChurnReplayer",
+    "ChurnReport",
     "ElasticTrainingSession",
     "SessionReport",
 ]

@@ -19,7 +19,7 @@ from repro.hardware.availability import AvailabilityTrace
 from repro.hardware.topology import ClusterTopology
 from repro.models.spec import TrainingJobSpec
 from repro.runtime.checkpoint import CheckpointConfig, CheckpointManager
-from repro.runtime.controller import TrainingController
+from repro.runtime.controller import DegradationTier, TrainingController
 from repro.runtime.engine import SimulationEngine
 
 
@@ -103,28 +103,38 @@ class ElasticTrainingSession:
                                iterations_lost_to_rollback=0)
         completed = 0
 
-        previous_gpus = 0
+        previous_pools: dict[tuple[str, str], int] | None = None
         for start, end in zip(boundaries[:-1], boundaries[1:]):
             if max_iterations is not None and completed >= max_iterations:
                 break
             topology = trace.topology_at(start, base=base_topology)
-            available_gpus = topology.total_gpus()
+            # Compare per-pool counts, not the GPU total: simultaneous
+            # multi-pool events can cancel out in the total (zone A loses
+            # what zone B gains) while still breaking the current plan.
+            pools = self._pool_snapshot(topology)
 
             reconfig_s = 0.0
-            if available_gpus != previous_gpus or self.controller.current_plan is None:
-                scaled_down = available_gpus < previous_gpus
+            if pools != previous_pools or self.controller.current_plan is None:
+                plan_broken = (self.controller.current_plan is not None
+                               and not self.controller._plan_still_fits(topology))
                 event = (self.controller.start(topology, start)
                          if self.controller.current_plan is None
                          else self.controller.handle_availability_change(topology, start))
+                if plan_broken and (event is None
+                                    or event.tier is not DegradationTier.SHRINK_DP):
+                    # Capacity was lost out from under the incumbent plan:
+                    # restart from the latest durable checkpoint.  Voluntary
+                    # kill-free switches (the incumbent still fit) and
+                    # shrink-in-place (surviving data-parallel replicas hold
+                    # complete state) lose nothing.
+                    lost = self.checkpoints.rollback_iterations(completed, start)
+                    report.iterations_lost_to_rollback += lost
+                    completed = max(0, completed - lost)
                 if event is not None:
                     report.reconfigurations += 1
                     reconfig_s = event.total_s
                     report.reconfiguration_time_s += reconfig_s
-                    if scaled_down:
-                        lost = self.checkpoints.rollback_iterations(completed, start)
-                        report.iterations_lost_to_rollback += lost
-                        completed = max(0, completed - lost)
-            previous_gpus = available_gpus
+            previous_pools = pools
 
             plan = self.controller.current_plan
             window = end - start - reconfig_s
@@ -160,3 +170,10 @@ class ElasticTrainingSession:
 
         report.iterations_completed = completed
         return report
+
+    @staticmethod
+    def _pool_snapshot(topology: ClusterTopology) -> dict[tuple[str, str], int]:
+        """Per-(zone, node type) node counts of a topology."""
+        return {(zone, node_type): count
+                for zone, per_type in topology.nodes.items()
+                for node_type, count in per_type.items() if count > 0}

@@ -3,8 +3,13 @@
 import pytest
 
 from repro.core.objectives import Objective
+from repro.core.planner import SailorPlanner
 from repro.hardware.topology import ClusterTopology
-from repro.runtime.controller import TrainingController
+from repro.runtime.controller import (
+    DegradationTier,
+    ReplanPolicy,
+    TrainingController,
+)
 from repro.runtime.worker import WorkerState
 
 
@@ -12,6 +17,12 @@ from repro.runtime.worker import WorkerState
 def controller(opt_env, opt_job):
     return TrainingController(env=opt_env, job=opt_job,
                               objective=Objective.max_throughput())
+
+
+def make_controller(opt_env, opt_job, policy, **kwargs):
+    return TrainingController(env=opt_env, job=opt_job,
+                              objective=Objective.max_throughput(),
+                              policy=policy, **kwargs)
 
 
 def small_topology(nodes=2):
@@ -73,3 +84,191 @@ def test_no_action_when_change_does_not_matter(controller):
     event = controller.handle_availability_change(small_topology(4), time_s=30.0)
     assert event is None
     assert controller.current_plan is plan_before
+    assert controller.decisions[-1].action == "kept"
+    assert controller.decisions[-1].tier is DegradationTier.CONTINUE
+
+
+# -- observability: trigger causes -------------------------------------------
+
+
+def test_events_carry_trigger_cause(controller):
+    start_event = controller.start(small_topology(2), time_s=0.0)
+    assert start_event.trigger == "initial deployment"
+    event = controller.handle_availability_change(
+        small_topology(6), time_s=60.0, cause="quota_cut")
+    assert event is not None
+    assert event.trigger == "quota_cut"
+    assert controller.decisions[-1].trigger == "quota_cut"
+
+
+# -- edge cases surfaced by fault injection ----------------------------------
+
+
+def test_simultaneous_multi_pool_swap_with_equal_totals(opt_env, opt_job):
+    """Zone pool A loses what pool B gains: the GPU total is unchanged but
+    the incumbent plan no longer fits and the controller must react."""
+    controller = TrainingController(env=opt_env, job=opt_job,
+                                    objective=Objective.max_throughput())
+    before = ClusterTopology.single_zone("us-central1-a",
+                                         {"a2-highgpu-4g": 4})
+    after = ClusterTopology.single_zone(
+        "us-central1-a", {"a2-highgpu-4g": 2, "n1-standard-v100-4": 2})
+    controller.start(before, time_s=0.0)
+    assert before.total_gpus() == after.total_gpus()
+    assert not controller._plan_still_fits(after)
+    event = controller.handle_availability_change(after, time_s=60.0,
+                                                  cause="preemption_burst")
+    assert controller.current_plan is not None
+    assert controller.current_plan.resource_allocation().fits_within(after)
+    if event is not None:
+        assert event.tier in (DegradationTier.SHRINK_DP,
+                              DegradationTier.FULL_REPLAN)
+
+
+def test_availability_zero_in_plans_only_zone_replans_elsewhere(opt_env,
+                                                                opt_job):
+    """The plan's only pool drops to zero but another pool has capacity."""
+    controller = TrainingController(env=opt_env, job=opt_job,
+                                    objective=Objective.max_throughput())
+    controller.start(small_topology(4), time_s=0.0)
+    assert controller.current_plan.gpus_by_type() == {"A100-40": 16}
+    survivor = ClusterTopology.single_zone("us-central1-a",
+                                           {"n1-standard-v100-4": 4})
+    event = controller.handle_availability_change(survivor, time_s=60.0,
+                                                  cause="zone_outage")
+    assert event is not None
+    assert event.tier is DegradationTier.FULL_REPLAN
+    assert controller.current_plan.gpus_by_type() == {"V100-16": 16}
+
+
+# -- degradation tiers --------------------------------------------------------
+
+
+def test_shrink_in_place_drops_data_parallel_columns(opt_env, opt_job):
+    controller = make_controller(opt_env, opt_job, ReplanPolicy())
+    controller.start(small_topology(4), time_s=0.0)
+    incumbent = controller.current_plan
+    event = controller.handle_availability_change(
+        small_topology(2), time_s=60.0, cause="preemption_burst")
+    assert event is not None
+    assert event.tier is DegradationTier.SHRINK_DP
+    assert event.planner_result.planner_name == "shrink-in-place"
+    shrunk = controller.current_plan
+    assert shrunk.pipeline_parallel == incumbent.pipeline_parallel
+    assert shrunk.microbatch_size == incumbent.microbatch_size
+    assert shrunk.data_parallel < incumbent.data_parallel
+    assert shrunk.resource_allocation().fits_within(small_topology(2))
+
+
+def test_shrink_disabled_falls_through_to_full_replan(opt_env, opt_job):
+    controller = make_controller(opt_env, opt_job,
+                                 ReplanPolicy(enable_shrink=False))
+    controller.start(small_topology(4), time_s=0.0)
+    event = controller.handle_availability_change(
+        small_topology(2), time_s=60.0, cause="preemption_burst")
+    assert event is not None
+    assert event.tier is DegradationTier.FULL_REPLAN
+    assert event.planner_result.planner_name == "sailor"
+
+
+def test_park_then_resume_on_capacity(controller):
+    controller.start(small_topology(2), time_s=0.0)
+    assert controller.handle_availability_change(
+        ClusterTopology(), time_s=30.0, cause="zone_outage") is None
+    assert controller.parked
+    assert controller.decisions[-1].tier is DegradationTier.PARK
+    event = controller.handle_availability_change(
+        small_topology(2), time_s=900.0, cause="capacity restored")
+    assert event is not None
+    assert not controller.parked
+    assert controller.current_plan is not None
+
+
+# -- replan policy: debounce, hysteresis, deadline, retry ---------------------
+
+
+def test_debounce_suppresses_rapid_voluntary_replans(opt_env, opt_job):
+    controller = make_controller(opt_env, opt_job,
+                                 ReplanPolicy(debounce_s=300.0))
+    controller.start(small_topology(2), time_s=0.0)
+    plan_before = controller.current_plan
+    # A flap 10 s later: the incumbent still fits, so the replan is debounced.
+    event = controller.handle_availability_change(
+        small_topology(6), time_s=10.0, cause="node_flap")
+    assert event is None
+    assert controller.current_plan is plan_before
+    assert controller.decisions[-1].action == "debounced"
+    # Once the debounce window passes, the controller replans and upgrades.
+    event = controller.handle_availability_change(
+        small_topology(6), time_s=400.0, cause="node_flap")
+    assert event is not None
+
+
+def test_hysteresis_ignores_small_pool_changes(opt_env, opt_job):
+    controller = make_controller(opt_env, opt_job,
+                                 ReplanPolicy(hysteresis_fraction=0.5))
+    controller.start(small_topology(4), time_s=0.0)   # 16-GPU pool
+    event = controller.handle_availability_change(
+        small_topology(5), time_s=60.0, cause="node_flap")
+    assert event is None
+    assert controller.decisions[-1].action == "hysteresis"
+    # A 4 -> 8 node change (100% of the deployed pool) clears the band.
+    event = controller.handle_availability_change(
+        small_topology(8), time_s=120.0, cause="quota restored")
+    assert event is not None
+
+
+def test_deadline_miss_keeps_incumbent(opt_env, opt_job):
+    policy = ReplanPolicy(replan_deadline_s=1e-9)
+    controller = make_controller(opt_env, opt_job, policy,
+                                 planner=SailorPlanner(opt_env))
+    start_event = controller.start(small_topology(2), time_s=0.0)
+    assert start_event is not None            # deploy even on a missed deadline
+    assert start_event.deadline_missed
+    plan_before = controller.current_plan
+    event = controller.handle_availability_change(
+        small_topology(6), time_s=60.0, cause="quota restored")
+    assert event is None
+    assert controller.current_plan is plan_before
+    assert controller.decisions[-1].action == "deadline_fallback"
+    assert controller.decisions[-1].deadline_missed
+
+
+def test_infeasible_pool_parks_with_backoff_and_retries(opt_env, opt_job):
+    objective = Objective.max_throughput(max_cost_per_iteration_usd=1e-9)
+    policy = ReplanPolicy(retry_backoff_s=100.0, retry_backoff_factor=2.0,
+                          max_retry_backoff_s=350.0)
+    controller = TrainingController(env=opt_env, job=opt_job,
+                                    objective=objective, policy=policy)
+    assert controller.start(small_topology(2), time_s=0.0) is None
+    assert controller.parked
+    assert controller.next_retry_at_s == pytest.approx(100.0)
+    # Not due yet: nothing happens.
+    assert controller.maybe_retry(small_topology(2), time_s=50.0) is None
+    # Due: retries, fails again, backoff doubles (and is later capped).
+    assert controller.maybe_retry(small_topology(2), time_s=100.0) is None
+    assert controller.next_retry_at_s == pytest.approx(300.0)
+    assert controller.maybe_retry(small_topology(2), time_s=300.0) is None
+    assert controller.next_retry_at_s == pytest.approx(300.0 + 350.0)
+
+
+def test_amortization_horizon_blocks_marginal_switches(opt_env, opt_job):
+    """With a very short horizon no voluntary switch can amortise the pause."""
+    controller = make_controller(opt_env, opt_job,
+                                 ReplanPolicy(amortization_horizon_s=1e-6))
+    controller.start(small_topology(2), time_s=0.0)
+    plan_before = controller.current_plan
+    event = controller.handle_availability_change(
+        small_topology(6), time_s=60.0, cause="quota restored")
+    assert event is None
+    assert controller.current_plan is plan_before
+    assert controller.decisions[-1].action == "not_worth_switching"
+
+
+def test_incremental_context_reused_across_replans(controller):
+    controller.start(small_topology(2), time_s=0.0)
+    context_after_start = controller._search_context
+    assert context_after_start is not None
+    controller.handle_availability_change(small_topology(6), time_s=60.0)
+    assert controller._search_context is context_after_start
+    assert controller.search_stats.cache_hits > 0

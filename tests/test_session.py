@@ -61,6 +61,30 @@ def test_preemption_causes_rollback(opt_env, opt_job, base_topology):
     assert report.iterations_completed > 0
 
 
+def test_simultaneous_pool_swap_with_equal_totals_reconfigures(opt_env,
+                                                               opt_job):
+    """Pool A shrinks while pool B grows at the same instant, keeping the
+    total GPU count constant.  A total-GPU change detector misses this; the
+    session must still react because the incumbent plan no longer fits."""
+    base = ClusterTopology.single_zone(
+        "us-central1-a", {"a2-highgpu-4g": 4, "n1-standard-v100-4": 4})
+    trace = AvailabilityTrace(events=[
+        AvailabilityEvent(0.0, "us-central1-a", "a2-highgpu-4g", 4),
+        AvailabilityEvent(0.0, "us-central1-a", "n1-standard-v100-4", 0),
+        # t=900: A100 pool loses 2 nodes, V100 pool gains 2 -- same total.
+        AvailabilityEvent(900.0, "us-central1-a", "a2-highgpu-4g", 2),
+        AvailabilityEvent(900.0, "us-central1-a", "n1-standard-v100-4", 2),
+    ], duration_s=1800.0)
+    session = ElasticTrainingSession(opt_env, opt_job)
+    report = session.run(trace, base_topology=base)
+    assert report.reconfigurations >= 2
+    plan = session.controller.current_plan
+    assert plan is not None
+    assert plan.resource_allocation().fits_within(
+        ClusterTopology.single_zone(
+            "us-central1-a", {"a2-highgpu-4g": 2, "n1-standard-v100-4": 2}))
+
+
 def test_max_iterations_caps_progress(opt_env, opt_job, base_topology):
     session = ElasticTrainingSession(opt_env, opt_job)
     report = session.run(steady_trace(duration=3600.0),
