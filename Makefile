@@ -16,9 +16,15 @@
 #                                   with per-phase wall time printed.  The
 #                                   smoke subset's budget bench asserts the
 #                                   straggler certificates fire (nonzero
-#                                   SearchStats.suffix_certified), so a
-#                                   silently-disarmed certificate path fails
-#                                   CI rather than just running slow.
+#                                   SearchStats.suffix_certified), and the
+#                                   deadline/crash smokes assert the anytime
+#                                   salvage path works (a 256-GPU plan at a
+#                                   50 ms deadline returns a feasible plan
+#                                   with a finite certified gap; a crash-
+#                                   injected parallel plan loses zero
+#                                   branches), so a silently-disarmed
+#                                   certificate or salvage path fails CI
+#                                   rather than just running slow.
 #   make profile                    cProfile one planner call (PROFILE_ARGS=...;
 #                                   add --stats to dump the SearchStats
 #                                   counters as JSON next to the profile)
@@ -51,6 +57,7 @@ test:
 bench:
 	BENCH_SCALE=$(BENCH_SCALE) PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_core_micro.py \
+		benchmarks/test_bench_deadline.py \
 		benchmarks/test_bench_reconfiguration.py \
 		--benchmark-only -q --benchmark-json=$(BENCH_OUT)
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_history.py $(BENCH_OUT) \
@@ -67,6 +74,7 @@ ci:
 	t1=$$(date +%s); echo "[ci] tier-1 tests: $$((t1 - t0))s"; \
 	BENCH_SCALE=smoke PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_core_micro.py \
+		benchmarks/test_bench_deadline.py \
 		benchmarks/test_bench_reconfiguration.py \
 		--benchmark-only -q -k "$(CI_BENCH_FILTER)" \
 		--benchmark-json=$(BENCH_CI_OUT); \

@@ -87,3 +87,14 @@ def test_bench_planner_churn_1000_events(benchmark):
     print(f"warm replans:       {report.percent_replans_warm:.0%}"
           f" ({report.cache_hits} cache hits)")
     print(f"shrinks/parks:      {report.shrinks}/{report.parks}")
+    print(f"reconfig overhead:  "
+          f"{report.reconfiguration_overhead_fraction:.2%} of productive "
+          f"time ({report.reconfiguration_time_s:.0f}s pauses + "
+          f"{report.rollback_lost_time_s:.0f}s redone after rollback)")
+    # Steady-state acceptance bar: under heavy churn (1000 events / 8h is
+    # one fault every ~29s, far past realistic spot churn) the replanning
+    # stack must keep the throughput lost to reconfiguration -- pauses plus
+    # training redone after rollbacks -- bounded.  The deterministic replay
+    # measures ~37% on this trace; a thrashing policy (switching on every
+    # flap) or a rollback storm blows well past this loose bound.
+    assert report.reconfiguration_overhead_fraction < 0.50

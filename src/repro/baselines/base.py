@@ -17,6 +17,7 @@ plans generated before a valid one is reported alongside throughput.
 from __future__ import annotations
 
 import abc
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -83,6 +84,11 @@ class BaselinePlanner(abc.ABC):
         self.limits = limits or BaselineSearchLimits()
         self.simulator = SailorSimulator(env)
         self.estimator = self.build_estimator()
+        #: Absolute ``time.perf_counter()`` deadline for the current solve,
+        #: set by :meth:`plan`; ``None`` outside a deadline-bounded call.
+        self._deadline: float | None = None
+        #: Whether the last enumeration was cut short by the deadline.
+        self._enumeration_truncated = False
 
     # -- subclass interface -------------------------------------------------------
 
@@ -98,12 +104,32 @@ class BaselinePlanner(abc.ABC):
     # -- shared deployment logic -----------------------------------------------------
 
     def plan(self, job: TrainingJobSpec, topology: ClusterTopology,
-             objective: Objective | None = None) -> PlannerResult:
-        """Pick the baseline's plan and evaluate it accurately."""
+             objective: Objective | None = None, *,
+             deadline: float | None = None) -> PlannerResult:
+        """Pick the baseline's plan and evaluate it accurately.
+
+        ``deadline`` is an *absolute* ``time.perf_counter()`` instant -- the
+        same clock and convention :class:`~repro.core.budget.SearchBudget`
+        uses -- so a quality-vs-deadline sweep can hand every planner,
+        Sailor and baseline alike, one uniform wall deadline instead of
+        per-planner relative limits.  When omitted, the baseline's own
+        ``limits.time_limit_s`` still applies (relative to the call).  A
+        result whose enumeration was cut short is marked ``complete=False``
+        with an infinite gap bound: baselines certify nothing about the
+        candidates they never generated.
+        """
         objective = objective or Objective.max_throughput()
         start = time.perf_counter()
-        ranked = self.ranked_plans(job, topology, objective)
+        if deadline is None and self.limits.time_limit_s:
+            deadline = start + self.limits.time_limit_s
+        self._deadline = deadline
+        self._enumeration_truncated = False
+        try:
+            ranked = self.ranked_plans(job, topology, objective)
+        finally:
+            self._deadline = None
         search_time = time.perf_counter() - start
+        complete = not self._enumeration_truncated
 
         oom_plans = 0
         chosen: ParallelizationPlan | None = None
@@ -126,6 +152,8 @@ class BaselinePlanner(abc.ABC):
             planner_name=self.name,
             candidates_evaluated=len(ranked),
             oom_plans_generated=oom_plans,
+            complete=complete,
+            optimality_gap_bound=0.0 if complete else math.inf,
         )
 
     # -- shared enumeration helpers ----------------------------------------------------
@@ -229,8 +257,11 @@ class BaselinePlanner(abc.ABC):
                                        if d <= max_gpus_per_node]
 
         plans: list[ParallelizationPlan] = []
-        deadline = (time.perf_counter() + self.limits.time_limit_s
-                    if self.limits.time_limit_s else None)
+        # Inside plan() the shared absolute deadline governs; a direct call
+        # falls back to the baseline's own relative time limit.
+        deadline = self._deadline
+        if deadline is None and self.limits.time_limit_s:
+            deadline = time.perf_counter() + self.limits.time_limit_s
         for pp in self.pipeline_candidates(job, total_nodes):
             if pp > job.model.num_layers:
                 continue
@@ -238,6 +269,7 @@ class BaselinePlanner(abc.ABC):
             for tp in tensor_parallel_degrees:
                 for mbs in self.microbatch_candidates(job):
                     if deadline and time.perf_counter() > deadline:
+                        self._enumeration_truncated = True
                         return plans
                     max_dp = self._max_uniform_dp(pools, tp, pp)
                     for dp in self._dp_candidates(job, mbs, max_dp):

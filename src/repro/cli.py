@@ -36,7 +36,7 @@ import importlib
 import sys
 
 from repro.core.objectives import Objective
-from repro.core.planner import ParallelPlanner, SailorPlanner
+from repro.core.planner import ParallelPlanner, PlannerConfig, SailorPlanner
 from repro.core.serialization import plan_from_json, plan_to_json, result_to_json
 from repro.core.simulator import SailorSimulator, build_environment
 from repro.hardware.gpus import list_gpus
@@ -85,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the planner search; >1 fans "
                            "the (pipeline, microbatch) branches out over a "
                            "process pool (default: 1, serial)")
+    plan.add_argument("--time-limit", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall deadline for the search; the anytime planner "
+                           "returns its incumbent with a certified optimality "
+                           "gap bound (default: unbounded)")
     plan.add_argument("--output", default=None,
                       help="write the chosen plan (JSON) to this file")
     plan.add_argument("--result-output", default=None,
@@ -199,14 +204,23 @@ def cmd_plan(args: argparse.Namespace) -> int:
         objective = Objective.min_cost(
             min_throughput_iters_per_s=args.min_throughput)
 
+    config = PlannerConfig(time_limit_s=args.time_limit)
     if args.workers > 1:
-        planner = ParallelPlanner(env, max_workers=args.workers)
+        planner = ParallelPlanner(env, config=config, max_workers=args.workers)
     else:
-        planner = SailorPlanner(env)
+        planner = SailorPlanner(env, config=config)
     result = planner.plan(job, topology, objective)
     print(f"\nsearch time: {result.search_time_s:.2f}s  "
           f"candidates: {result.candidates_evaluated}")
     print(f"search stats: {result.search_stats.describe()}")
+    if result.complete:
+        print("search: complete (certified optimal over the search space)")
+    else:
+        gap = result.optimality_gap_bound
+        bound = ("no bound (no incumbent)" if gap == float("inf")
+                 else f"within {100 * gap:.2f}% of optimal")
+        cut = ", ".join(result.incomplete_branches)
+        print(f"search: anytime result, {bound}; cut branches: {cut or 'none'}")
     if not result.found:
         print("no valid plan found within the constraints")
         return 1

@@ -112,6 +112,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.budget import SearchBudget, SearchBudgetExhausted
 from repro.core.objectives import OptimizationGoal
 from repro.core.resource_state import (
     BudgetBoundTables,
@@ -143,6 +144,8 @@ __all__ = [
     "DPSolver",
     "DPSolverConfig",
     "ResourceMap",
+    "SearchBudget",
+    "SearchBudgetExhausted",
     "StageAssignment",
     "StageOption",
 ]
@@ -286,8 +289,13 @@ class DPSolver:
                  num_microbatches: int,
                  goal: OptimizationGoal = OptimizationGoal.MAX_THROUGHPUT,
                  config: DPSolverConfig | None = None,
-                 context: PlannerSearchContext | None = None) -> None:
+                 context: PlannerSearchContext | None = None,
+                 search_budget: SearchBudget | None = None) -> None:
         self.env = env
+        #: Cooperative cancellation budget shared with the planner; ``None``
+        #: (the default) leaves every hot loop uncancellable and
+        #: byte-identical to the pre-anytime solver.
+        self.search_budget = search_budget
         self.job = job
         self.partitions = partitions
         self.tp_options_per_stage = tp_options_per_stage
@@ -376,7 +384,29 @@ class DPSolver:
 
     def solve(self, resources: ResourceMap,
               budget_per_iteration: float | None = None) -> DPSolution | None:
-        """Assign resources to every stage; ``None`` when nothing fits."""
+        """Assign resources to every stage; ``None`` when nothing fits.
+
+        With a :class:`~repro.core.budget.SearchBudget` attached, a deadline
+        or node-budget hit raises :class:`SearchBudgetExhausted` from the
+        nearest cancellation point.  The exception is salvageable: progress
+        counters (nodes explored, partial memo sizes) are attached before it
+        propagates, the per-solve memos and the context's cross-candidate
+        caches keep every subproblem completed so far, and the caller keeps
+        its pre-deadline incumbent (see ``SailorPlanner._plan_branch``).
+        """
+        try:
+            return self._solve_root(resources, budget_per_iteration)
+        except SearchBudgetExhausted as exc:
+            exc.attach(
+                nodes_explored=self.stats.nodes_explored,
+                stage_memo_entries=sum(len(memo) for memo in self._memo),
+                budget_memo_entries=self.budget_memo_entries(),
+            )
+            raise
+
+    def _solve_root(self, resources: ResourceMap,
+                    budget_per_iteration: float | None = None,
+                    ) -> DPSolution | None:
         num_stages = len(self.partitions)
         self._memo = [{} for _ in range(num_stages)]
         self._budget_memo = [{} for _ in range(num_stages)]
@@ -493,9 +523,12 @@ class DPSolver:
         limit = self.config.max_combos_per_stage
 
         def build():
+            # A budget interrupt mid-pass propagates out of the context's
+            # cache fill, so partially-built layers are never cached.
             return compute_forward_layers(reqs, self._caps_vec,
                                           self._clamp_active, limit,
-                                          root_state)
+                                          root_state,
+                                          search_budget=self.search_budget)
 
         signature = forward_signature(root_state, reqs, self._caps_vec,
                                       self._clamp_active, limit)
@@ -506,7 +539,8 @@ class DPSolver:
             forward = build()
         engine = ResourceStateEngine(
             self._codec, tables, forward, self.num_microbatches,
-            self.goal is OptimizationGoal.MIN_COST)
+            self.goal is OptimizationGoal.MIN_COST,
+            search_budget=self.search_budget)
         engine.run_backward()
         return engine
 
@@ -858,7 +892,8 @@ class DPSolver:
             nb = self.num_microbatches
 
             def build():
-                return compute_budget_bounds(forward, tables, nb)
+                return compute_budget_bounds(
+                    forward, tables, nb, search_budget=self.search_budget)
 
             if self.config.shared_backward:
                 signature = (self._forward_sig, nb,
@@ -886,6 +921,8 @@ class DPSolver:
         cached = memo.get(key)
         if cached is not None:
             return cached
+        if self.search_budget is not None:
+            self.search_budget.tick()
         nb = self.num_microbatches
         combos, _ = self._combos_for_state(stage_index, state, key)
         is_last = stage_index == len(self.partitions) - 1
@@ -972,6 +1009,9 @@ class DPSolver:
                 self.stats.memo_hits += 1
                 return hit[2]
         self.stats.nodes_explored += 1
+        guard = self.search_budget
+        if guard is not None:
+            guard.tick()
 
         if budget is not None:
             # Budget dominance: the unconstrained optimum of this subproblem
@@ -1326,7 +1366,10 @@ class DPSolver:
         forward_states = (None if is_last
                           else self._engine.forward.states[next_stage])
 
+        guard = self.search_budget
         for n in range(num_combos):
+            if guard is not None:
+                guard.tick()
             t_s = t_list[n]
             sync_s = sync_list[n]
             rate_s = rate_list[n]
@@ -1632,7 +1675,10 @@ class DPSolver:
             bound = self._scalar_bound(next_stage, remaining, remaining_key)
             cost_lb = bound[4]
 
+        guard = self.search_budget
         for _ in range(iterations):
+            if guard is not None:
+                guard.tick()
             stage_cost = rate_a * nb * assumed_straggler
             remaining_budget = budget - stage_cost
             if remaining_budget <= 0:

@@ -358,6 +358,15 @@ class SearchStats:
     #: dominance pre-check): the loop's answer was proven without probing
     #: or re-solving the suffix.
     suffix_certified: int = 0
+    #: Per-branch completeness of an anytime search: (P, mbs) branches whose
+    #: candidate enumeration ran to its natural end versus branches cut by
+    #: the deadline / node budget (their unexplored candidates contribute
+    #: admissible lower bounds to ``PlannerResult.optimality_gap_bound``).
+    branches_complete: int = 0
+    branches_incomplete: int = 0
+    #: Cooperative cancellations observed: ``SearchBudgetExhausted`` raised
+    #: inside a DP hot loop and salvaged by the branch search.
+    budget_interrupts: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats block into this one (parallel driver)."""
@@ -395,12 +404,45 @@ class SearchStats:
                 f"gate_skips={self.gate_skips} "
                 f"layer_cache_hits={self.layer_cache_hits} "
                 f"suffix_iters={self.suffix_iterations} "
-                f"suffix_certified={self.suffix_certified}")
+                f"suffix_certified={self.suffix_certified} "
+                f"branches={self.branches_complete}+"
+                f"{self.branches_incomplete}cut "
+                f"interrupts={self.budget_interrupts}")
 
 
 @dataclass
 class PlannerResult:
-    """Outcome of one planner invocation."""
+    """Outcome of one planner invocation.
+
+    **Anytime semantics.**  A deadline- or node-budget-bounded search may be
+    interrupted before it exhausts the candidate space.  The result then
+    still carries the best *incumbent* found before the interrupt, plus a
+    certificate of how much could have been missed:
+
+    * ``complete`` is True only when the search ran to its natural end.  It
+      is False when any (P, mbs) branch was cut by the deadline/node budget
+      *or* (parallel driver) a branch had to be salvaged from a crashed or
+      wedged worker -- even when the retry recovered it, so callers can tell
+      a degraded call from a clean one.  ``incomplete_branches`` lists the
+      affected branches as ``"P<pp>/mbs<mbs>"`` labels.
+    * ``optimality_gap_bound`` is an admissible relative bound on the
+      remaining gap: the true optimum of the unbounded search is no better
+      than ``incumbent_value * (1 - gap)`` for the minimised scalar
+      (iteration time under the throughput goal, cost per iteration under
+      the cost goal).  It is exactly ``0.0`` when ``complete`` (unbounded
+      calls are byte-identical to pre-anytime results), ``inf`` when the
+      search was cut before any feasible incumbent existed, and may be
+      ``0.0`` with ``complete=False`` when the incompleteness is
+      fault-induced only (every branch value was still recovered).
+    * Degraded merges: the parallel driver salvages surviving branches when
+      a worker dies, retries dead branches once on a fresh pool, then
+      re-runs them inline; whatever could not be recovered contributes its
+      admissible lower bound to the gap instead of silently vanishing.
+
+    Callers deciding whether to *adopt* such a result (e.g. the online
+    replanning controller) should gate on ``found`` and
+    ``optimality_gap_bound``, not on ``complete`` alone.
+    """
 
     plan: ParallelizationPlan | None
     evaluation: PlanEvaluation | None
@@ -410,6 +452,12 @@ class PlannerResult:
     oom_plans_generated: int = 0
     notes: str = ""
     search_stats: SearchStats = field(default_factory=SearchStats)
+    #: Whether the search ran to completion (see anytime semantics above).
+    complete: bool = True
+    #: Admissible relative optimality-gap bound; 0.0 exactly when complete.
+    optimality_gap_bound: float = 0.0
+    #: Branch labels cut short or fault-salvaged, in branch order.
+    incomplete_branches: list[str] = field(default_factory=list)
 
     @property
     def found(self) -> bool:

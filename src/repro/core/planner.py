@@ -21,13 +21,19 @@ deterministically (same result as the serial search).
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 import os
 import pickle
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
 
+from repro.core.budget import SearchBudget, SearchBudgetExhausted
 from repro.core.dp_solver import DPSolver, DPSolverConfig, DPSolution, StageOption
 from repro.core.heuristics import (
     ConsolidatedTopology,
@@ -55,6 +61,13 @@ from repro.hardware.topology import ClusterTopology
 from repro.models.spec import TrainingJobSpec
 
 
+#: Relative slack on the unexplored-candidate lower bounds (see
+#: ``SailorPlanner._unexplored_bound``): keeps the gap certificate
+#: admissible under float association drift between the bound arithmetic
+#: and the simulator's evaluation of the same stage times.
+_GAP_BOUND_SLACK = 1.0 - 1e-9
+
+
 @dataclass
 class PlannerConfig:
     """Configuration of the Sailor planner search."""
@@ -64,8 +77,24 @@ class PlannerConfig:
     #: Stop exploring further data-parallel degrees after this many
     #: consecutive non-improving candidates (H3/H4 early stop).
     dp_patience: int = 1
-    #: Optional wall-clock limit for one planning call, in seconds.
+    #: Optional wall-clock limit for one planning call, in seconds.  With
+    #: the cooperative cancellation budget threaded through the DP hot
+    #: loops, the search halts within a bounded number of inner iterations
+    #: of the deadline (plus a bounded salvage epilogue that prices the
+    #: unexplored branches for the optimality-gap certificate) and returns
+    #: the best incumbent found, marked ``complete=False``.
     time_limit_s: float | None = None
+    #: Optional deterministic node budget: the search halts after this many
+    #: cooperative cancellation ticks (DP nodes, engine layers, forward
+    #: chunks...).  Gives tests a wall-clock-free way to exercise the
+    #: anytime path; each parallel worker counts its own ticks.
+    max_search_nodes: int | None = None
+    #: Parallel driver only: extra wall-clock grace (beyond ``time_limit_s``)
+    #: a branch task may take before its worker is declared wedged and the
+    #: branch is salvaged via retry + inline re-run.  ``None`` disables
+    #: wedge detection (a crashed worker is still recovered through
+    #: ``BrokenProcessPool``).
+    branch_timeout_s: float | None = None
     #: When > 1, ``SailorPlanner.plan`` fans the (P, mbs) branches out over
     #: this many worker processes (see :class:`ParallelPlanner`).
     parallel_workers: int | None = None
@@ -93,6 +122,15 @@ class _BranchOutcome:
     evaluation: PlanEvaluation | None = None
     candidates_evaluated: int = 0
     oom_plans_generated: int = 0
+    #: Branch label ("P<pp>/mbs<mbs>") for incomplete-branch reporting.
+    label: str = ""
+    #: False when the deadline / node budget cut the branch's candidate
+    #: enumeration short (H3/H4 early stops still count as complete: they
+    #: are part of the unbounded search, not a truncation of it).
+    complete: bool = True
+    #: Admissible lower bound on the objective's minimised scalar over the
+    #: branch's *unexplored* candidates; +inf when none could win.
+    unexplored_lb: float = math.inf
 
 
 class SailorPlanner:
@@ -146,16 +184,22 @@ class SailorPlanner:
             raise ValueError("search context is bound to a different "
                              "(job, goal) than this planning call")
         stats_before = context.stats.copy()
+        search_budget = SearchBudget.maybe(
+            deadline, self.config.max_search_nodes)
 
+        # Every branch is visited even after the budget trips: an expired
+        # branch skips its DP solves and only prices its unexplored
+        # candidates (a bounded epilogue), which is what makes the reported
+        # optimality gap admissible over the *whole* candidate space.
         outcomes: list[_BranchOutcome] = []
         for pp, mbs in self._branch_specs(job, total_nodes, heuristics):
-            if deadline is not None and time.perf_counter() > deadline:
-                break
             outcomes.append(self._plan_branch(job, objective, consolidated,
                                               resources, pp, mbs, context,
-                                              deadline))
+                                              search_budget))
         best_plan, best_eval, candidates, ooms = self._merge_outcomes(
             objective, outcomes)
+        complete, gap, incomplete = self._anytime_summary(
+            objective, outcomes, best_eval)
 
         return PlannerResult(
             plan=best_plan,
@@ -165,6 +209,9 @@ class SailorPlanner:
             candidates_evaluated=candidates,
             oom_plans_generated=ooms,
             search_stats=context.stats.diff(stats_before),
+            complete=complete,
+            optimality_gap_bound=gap,
+            incomplete_branches=incomplete,
         )
 
     # -- branch search -----------------------------------------------------------
@@ -192,6 +239,38 @@ class SailorPlanner:
         return best_plan, best_eval, candidates, ooms
 
     @staticmethod
+    def _incumbent_value(objective: Objective,
+                         evaluation: PlanEvaluation) -> float:
+        """The minimised scalar the optimality gap is certified against."""
+        if objective.goal is OptimizationGoal.MIN_COST:
+            return evaluation.cost_per_iteration_usd
+        return evaluation.iteration_time_s
+
+    @staticmethod
+    def _anytime_summary(objective: Objective,
+                         outcomes: list[_BranchOutcome],
+                         best_eval: PlanEvaluation | None,
+                         ) -> tuple[bool, float, list[str]]:
+        """(complete, optimality_gap_bound, incomplete branch labels).
+
+        The gap is relative to the incumbent's minimised scalar: the true
+        optimum is no better than ``value * (1 - gap)``.  ``lb > value``
+        (every unexplored candidate provably loses to the incumbent) clamps
+        to 0.0; no incumbent at all yields ``inf``.
+        """
+        incomplete = [o.label for o in outcomes if not o.complete]
+        if not incomplete:
+            return True, 0.0, []
+        lb = min((o.unexplored_lb for o in outcomes if not o.complete),
+                 default=math.inf)
+        if best_eval is None:
+            return False, math.inf, incomplete
+        value = SailorPlanner._incumbent_value(objective, best_eval)
+        if not value > 0 or lb == math.inf:
+            return False, 0.0, incomplete
+        return False, max(0.0, (value - lb) / value), incomplete
+
+    @staticmethod
     def _branch_specs(job: TrainingJobSpec, total_nodes: int,
                       heuristics: HeuristicConfig) -> list[tuple[int, int]]:
         """Independent (pipeline depth, microbatch size) branches, in the
@@ -205,12 +284,18 @@ class SailorPlanner:
                      consolidated: ConsolidatedTopology,
                      resources: dict[tuple[str, str], int],
                      pp: int, mbs: int, context: PlannerSearchContext,
-                     deadline: float | None) -> _BranchOutcome:
-        """Search every data-parallel candidate of one (P, mbs) branch."""
+                     search_budget: SearchBudget | None = None,
+                     ) -> _BranchOutcome:
+        """Search every data-parallel candidate of one (P, mbs) branch.
+
+        With a ``search_budget``, expiry between candidates (or a
+        :class:`~repro.core.budget.SearchBudgetExhausted` raised inside a
+        solve) keeps the branch incumbent found so far and prices the
+        unexplored candidates with an admissible lower bound, so the merged
+        result can certify its remaining optimality gap.
+        """
         heuristics = self.config.heuristics
-        outcome = _BranchOutcome()
-        if deadline is not None and time.perf_counter() > deadline:
-            return outcome  # expired before setup (queued branch task)
+        outcome = _BranchOutcome(label=f"P{pp}/mbs{mbs}")
         maximize_throughput = objective.goal is OptimizationGoal.MAX_THROUGHPUT
         constraint = objective.constraint
         budget = constraint.max_cost_per_iteration_usd
@@ -223,7 +308,10 @@ class SailorPlanner:
             num_microbatches_in_flight_cap=pp, env=self.env,
             config=heuristics)
         if any(not per_stage for per_stage in tp_req):
-            return outcome  # some stage fits on no available GPU type
+            # Some stage fits on no available GPU type: the branch has no
+            # candidates at all, so it is complete even under a deadline.
+            self._count_branch(context, outcome)
+            return outcome
         tp_options = [tp_options_for_stage(per_stage, heuristics)
                       for per_stage in tp_req]
 
@@ -234,8 +322,10 @@ class SailorPlanner:
 
         stale = 0
         best_score_this_branch: float | None = None
-        for dp in dp_candidates:
-            if deadline is not None and time.perf_counter() > deadline:
+        cut_from: int | None = None
+        for dp_index, dp in enumerate(dp_candidates):
+            if search_budget is not None and search_budget.expired():
+                cut_from = dp_index
                 break
             num_microbatches = job.num_microbatches(dp, mbs)
             solver = DPSolver(
@@ -243,8 +333,16 @@ class SailorPlanner:
                 tp_options_per_stage=tp_options, microbatch_size=mbs,
                 data_parallel=dp, num_microbatches=num_microbatches,
                 goal=objective.goal, config=self.config.dp_config,
-                context=context)
-            solution = solver.solve(resources, budget_per_iteration=budget)
+                context=context, search_budget=search_budget)
+            try:
+                solution = solver.solve(resources,
+                                        budget_per_iteration=budget)
+            except SearchBudgetExhausted:
+                # Salvage: the pre-deadline incumbent in ``outcome`` stands;
+                # the aborted candidate joins the unexplored set below.
+                context.stats.budget_interrupts += 1
+                cut_from = dp_index
+                break
             if solution is None:
                 continue
 
@@ -336,7 +434,75 @@ class SailorPlanner:
                     stale = 0
                 if best_score_this_branch is None or score > best_score_this_branch:
                     best_score_this_branch = score
+        if cut_from is not None:
+            outcome.complete = False
+            outcome.unexplored_lb = self._unexplored_bound(
+                job, objective, context, partitions, tp_options, mbs,
+                dp_candidates[cut_from:])
+        self._count_branch(context, outcome)
         return outcome
+
+    @staticmethod
+    def _count_branch(context: PlannerSearchContext,
+                      outcome: _BranchOutcome) -> None:
+        if outcome.complete:
+            context.stats.branches_complete += 1
+        else:
+            context.stats.branches_incomplete += 1
+
+    def _unexplored_bound(self, job: TrainingJobSpec, objective: Objective,
+                          context: PlannerSearchContext, partitions,
+                          tp_options: list[dict[str, list[int]]], mbs: int,
+                          dp_candidates: list[int]) -> float:
+        """Admissible lower bound over a branch's unexplored candidates.
+
+        Modeled on ``DPSolver._prepare_bounds`` but availability-free: the
+        per-stage minima range over *every* (node type, TP) option the
+        branch admits -- a superset of what any placement could use, so the
+        bound holds for every unexplored ``(P, mbs, D)`` candidate:
+
+        * iteration time ``>= sum(best_time) + (Nb-1) * max(best_time)``
+          (pipeline ramp with zero comm/sync/update overhead);
+        * cost ``>= D * sum(best whole-node rate per replica) * time_lb``
+          (compute at the time floor, zero egress).
+
+        Both are floors of the *simulator's* evaluation, which is what the
+        incumbent values the gap compares against.  The small relative
+        slack absorbs float association drift between the bound arithmetic
+        and the simulator's.
+        """
+        sum_t = 0.0
+        max_t = 0.0
+        rate_sum = 0.0
+        for partition, options in zip(partitions, tp_options):
+            best_time = math.inf
+            best_rate = math.inf
+            for node_type, tps in options.items():
+                gpus = context.gpus_per_node(node_type)
+                node_rate = gpus * context.gpu_price_per_second(node_type)
+                for tp in tps:
+                    compute = context.stage_compute_time(partition, mbs,
+                                                         node_type, tp)
+                    if compute < best_time:
+                        best_time = compute
+                    rate = node_rate / max(1, gpus // tp)
+                    if rate < best_rate:
+                        best_rate = rate
+            if best_time == math.inf:
+                return math.inf  # no unexplored candidate can host this stage
+            sum_t += best_time
+            if best_time > max_t:
+                max_t = best_time
+            rate_sum += best_rate
+        minimize_cost = objective.goal is OptimizationGoal.MIN_COST
+        best = math.inf
+        for dp in dp_candidates:
+            nb = job.num_microbatches(dp, mbs)
+            time_lb = sum_t + (nb - 1) * max_t
+            value = (dp * rate_sum * time_lb if minimize_cost else time_lb)
+            if value < best:
+                best = value
+        return best * _GAP_BOUND_SLACK
 
     # -- helpers ------------------------------------------------------------------
 
@@ -491,6 +657,48 @@ def _init_worker_shm(name: str, size: int) -> None:
     _init_worker(payload)
 
 
+def _maybe_inject_fault(pp: int, mbs: int) -> None:
+    """Test-only fault hook for the fault-tolerant parallel driver.
+
+    Armed via environment variables (modeled on the seeded fault scenarios
+    in :mod:`repro.runtime.faults`, but at the *planner worker* layer):
+
+    * ``SAILOR_PLANNER_FAULT="<kind>:<pp>:<mbs>[:<seconds>]"`` -- fire on
+      the matching branch (``*`` wildcards both selectors).  ``sigkill``
+      terminates the worker process uncleanly mid-branch (the
+      ``BrokenProcessPool`` salvage path); ``hang`` sleeps for ``seconds``
+      (default 30) to wedge the worker (the per-branch-timeout path).
+    * ``SAILOR_PLANNER_FAULT_ONCE=<path>`` -- fire only once across every
+      process that sees the spec, via atomic create of ``path`` (so the
+      retry pool succeeds and the salvage can be asserted lossless).
+
+    The hook only ever fires in a pool worker (never in the driver or the
+    inline re-run), so an armed fault cannot take down the planning call.
+    """
+    spec = os.environ.get("SAILOR_PLANNER_FAULT")
+    if not spec:
+        return
+    parts = spec.split(":")
+    if len(parts) < 3:
+        return
+    kind, want_pp, want_mbs = parts[0], parts[1], parts[2]
+    if want_pp not in ("*", str(pp)) or want_mbs not in ("*", str(mbs)):
+        return
+    if multiprocessing.parent_process() is None:
+        return  # never fault the driver process
+    once_path = os.environ.get("SAILOR_PLANNER_FAULT_ONCE")
+    if once_path:
+        try:
+            os.close(os.open(once_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return  # the fault already fired once
+    if kind == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(float(parts[3]) if len(parts) > 3 else 30.0)
+
+
 def _plan_branch_task(payload: tuple,
                       state: dict | None = None,
                       ) -> tuple[_BranchOutcome, SearchStats]:
@@ -506,6 +714,7 @@ def _plan_branch_task(payload: tuple,
     pp, mbs, wall_deadline = payload
     if state is None:
         state = _WORKER_STATE
+        _maybe_inject_fault(pp, mbs)
     planner = state["planner"]
     job = state["job"]
     objective = state["objective"]
@@ -513,9 +722,11 @@ def _plan_branch_task(payload: tuple,
     before = context.stats.copy()
     deadline = (None if wall_deadline is None
                 else time.perf_counter() + (wall_deadline - time.time()))
+    search_budget = SearchBudget.maybe(deadline,
+                                       planner.config.max_search_nodes)
     outcome = planner._plan_branch(job, objective, state["consolidated"],
                                    state["resources"], pp, mbs, context,
-                                   deadline)
+                                   search_budget)
     return outcome, context.stats.diff(before)
 
 
@@ -575,6 +786,7 @@ class ParallelPlanner:
         payloads = [(pp, mbs, wall_deadline) for pp, mbs in specs]
 
         stats = SearchStats()
+        salvaged: list[str] = []
         if len(payloads) <= 1 or self.max_workers <= 1:
             local_state = _make_worker_state(*invariants)
             results = [_plan_branch_task(payload, state=local_state)
@@ -587,13 +799,14 @@ class ParallelPlanner:
             # exotic platforms) fall back to shipping the blob via initargs.
             #
             # Lifecycle: the single try/finally below starts *before* the
-            # segment is created, so every exit path -- a worker raising
-            # mid-branch (pool.map re-raises), pool shutdown on
-            # KeyboardInterrupt, and even a non-OSError between creation
-            # and the pool block -- retires the segment.  (An OSError
-            # during creation/population falls back to initargs-bytes; a
-            # half-created segment from that path is retired by the same
-            # finally.)
+            # segment is created, so every exit path -- a worker raising a
+            # genuine error mid-branch (re-raised by the gather), pool
+            # shutdown on KeyboardInterrupt, and even a non-OSError between
+            # creation and the pool block -- retires the segment.  (An
+            # OSError during creation/population falls back to
+            # initargs-bytes; a half-created segment from that path is
+            # retired by the same finally.)  The segment outlives the retry
+            # pool too, so retried branches reuse the same initializer.
             blob = pickle.dumps(invariants, protocol=pickle.HIGHEST_PROTOCOL)
             segment = None
             try:
@@ -605,10 +818,32 @@ class ParallelPlanner:
                                                                len(blob))
                 except OSError:
                     initializer, initargs = _init_worker, (blob,)
-                with ProcessPoolExecutor(max_workers=workers,
-                                         initializer=initializer,
-                                         initargs=initargs) as pool:
-                    results = list(pool.map(_plan_branch_task, payloads))
+                # Fault-tolerant gather: a crashed (BrokenProcessPool) or
+                # wedged (per-branch timeout) worker marks its branches
+                # dead instead of killing the call.  Dead branches are
+                # retried once on a fresh pool, then re-run inline
+                # serially; the merged result lists them and is marked
+                # incomplete even when fully recovered.
+                results, dead = self._run_pool(payloads, workers,
+                                               initializer, initargs)
+                if dead:
+                    salvaged = [f"P{payloads[i][0]}/mbs{payloads[i][1]}"
+                                for i in dead]
+                    retry_payloads = [payloads[i] for i in dead]
+                    retried, still_dead = self._run_pool(
+                        retry_payloads, min(workers, len(dead)),
+                        initializer, initargs)
+                    for offset, index in enumerate(dead):
+                        results[index] = retried[offset]
+                    if still_dead:
+                        # Inline re-run in the driver process: the fault
+                        # hook never fires here, and a genuine error
+                        # surfaces with its real traceback.
+                        local_state = _make_worker_state(*invariants)
+                        for offset in still_dead:
+                            index = dead[offset]
+                            results[index] = _plan_branch_task(
+                                payloads[index], state=local_state)
             finally:
                 if segment is not None:
                     segment.close()
@@ -619,9 +854,24 @@ class ParallelPlanner:
 
         for _, branch_stats in results:
             stats.merge(branch_stats)
+        outcomes = [outcome for outcome, _ in results]
         best_plan, best_eval, candidates, ooms = SailorPlanner._merge_outcomes(
-            objective, [outcome for outcome, _ in results])
+            objective, outcomes)
+        complete, gap, incomplete = SailorPlanner._anytime_summary(
+            objective, outcomes, best_eval)
+        if salvaged:
+            # Fault-degraded: even a lossless salvage is reported as
+            # incomplete so callers can tell a degraded call from a clean
+            # one (the gap still certifies the recovered values).
+            complete = False
+            affected = set(salvaged)
+            incomplete = [o.label for o in outcomes
+                          if not o.complete or o.label in affected]
 
+        notes = (f"parallel driver, "
+                 f"{min(self.max_workers, max(1, len(payloads)))} workers")
+        if salvaged:
+            notes += f", salvaged {len(salvaged)} branch(es)"
         return PlannerResult(
             plan=best_plan,
             evaluation=best_eval,
@@ -629,6 +879,62 @@ class ParallelPlanner:
             planner_name=self.name,
             candidates_evaluated=candidates,
             oom_plans_generated=ooms,
-            notes=f"parallel driver, {min(self.max_workers, max(1, len(payloads)))} workers",
+            notes=notes,
             search_stats=stats,
+            complete=complete,
+            optimality_gap_bound=gap,
+            incomplete_branches=incomplete,
         )
+
+    def _run_pool(self, payloads: list[tuple], workers: int,
+                  initializer, initargs,
+                  ) -> tuple[list, list[int]]:
+        """Run branch tasks on one pool; report dead indices, don't raise.
+
+        Returns ``(results, dead)`` where ``results[i]`` is the task result
+        or None for every index in ``dead``.  Only worker *death* is
+        absorbed -- ``BrokenProcessPool`` (crash) and the per-branch
+        timeout (wedge, with ``branch_timeout_s`` grace beyond the call
+        deadline).  Genuine task exceptions (and ``KeyboardInterrupt``)
+        propagate exactly as under the old ``pool.map`` driver.
+        """
+        grace = self.config.branch_timeout_s
+        gather_deadline = None
+        if grace is not None:
+            gather_deadline = (time.monotonic() + grace
+                               + (self.config.time_limit_s or 0.0))
+        results: list = [None] * len(payloads)
+        dead: list[int] = []
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   initializer=initializer,
+                                   initargs=initargs)
+        try:
+            futures: list = []
+            for payload in payloads:
+                try:
+                    futures.append(pool.submit(_plan_branch_task, payload))
+                except BrokenProcessPool:
+                    futures.append(None)  # pool died mid-submit
+            for index, future in enumerate(futures):
+                if future is None:
+                    dead.append(index)
+                    continue
+                timeout = (None if gather_deadline is None
+                           else max(0.0, gather_deadline - time.monotonic()))
+                try:
+                    results[index] = future.result(timeout=timeout)
+                except (BrokenProcessPool, _FuturesTimeout):
+                    dead.append(index)
+        finally:
+            # A clean pool drains normally; a pool with dead branches is
+            # abandoned without waiting and its workers are killed, so a
+            # wedged worker cannot pin the process (or the retry) forever.
+            pool.shutdown(wait=not dead, cancel_futures=bool(dead))
+            if dead:
+                processes = dict(getattr(pool, "_processes", None) or {})
+                for process in processes.values():
+                    try:
+                        process.kill()
+                    except Exception:  # racing a normal exit is fine
+                        pass
+        return results, dead

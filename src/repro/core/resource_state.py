@@ -341,7 +341,7 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
                            clamp_active: list[bool], limit: int,
                            root_state: np.ndarray,
                            chunk_elems: int = FORWARD_CHUNK_ELEMS,
-                           ) -> ForwardLayers:
+                           search_budget=None) -> ForwardLayers:
     """Forward reachability, one whole stage layer at a time.
 
     Starting from the (clamped) root, each layer's fitting combos are found
@@ -351,6 +351,11 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
     clamped at the next stage's caps, and deduplicated through the packed
     int64 hash (:func:`dedup_states`).  Deduplicated children are exactly
     the states the recursion's memo would collapse.
+
+    ``search_budget`` (any object with a ``tick()`` cancellation point, see
+    :class:`~repro.core.budget.SearchBudget`) is ticked once per chunk so a
+    deadline interrupts the pass between chunks; a partially-built pass
+    propagates the exception and is never cached by the caller.
     """
     num_stages = len(reqs)
     num_slots = root_state.shape[0]
@@ -371,6 +376,8 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
         sel_full = np.empty((num_states, num_combos), dtype=bool)
         child_chunks: list[np.ndarray] = []
         for start in range(0, num_states, chunk):
+            if search_budget is not None:
+                search_budget.tick()
             block = states[start:start + chunk]
             # (chunk, M): which master combos fit which states, truncated to
             # the first `limit` fitting per state in master (ranking) order.
@@ -451,7 +458,8 @@ class BudgetBoundTables:
 
 def compute_budget_bounds(forward: ForwardLayers,
                           tables: list[StageKernelTable],
-                          num_microbatches: int) -> BudgetBoundTables:
+                          num_microbatches: int,
+                          search_budget=None) -> BudgetBoundTables:
     """One batched backward pass producing the budget-certificate bounds.
 
     Runs over the same (shared) forward layers the engine scores, one stage
@@ -484,6 +492,8 @@ def compute_budget_bounds(forward: ForwardLayers,
     rlb: list[np.ndarray] = [None] * num_stages
     sum_lb: list[np.ndarray] = [None] * num_stages
     for j in range(num_stages - 1, -1, -1):
+        if search_budget is not None:
+            search_budget.tick()
         table = tables[j]
         rows = forward.states[j].shape[0]
         last = j == num_stages - 1
@@ -594,8 +604,12 @@ class ResourceStateEngine:
 
     def __init__(self, codec: ResourceStateCodec,
                  tables: list[StageKernelTable], forward: ForwardLayers,
-                 num_microbatches: int, minimize_cost: bool) -> None:
+                 num_microbatches: int, minimize_cost: bool,
+                 search_budget=None) -> None:
         self.codec = codec
+        #: Optional cooperative cancellation point (``tick()`` per layer in
+        #: the backward sweep); None leaves the sweep uncancellable.
+        self.search_budget = search_budget
         self.tables = tables
         self.forward = forward
         self.nb1 = float(num_microbatches - 1)
@@ -641,7 +655,10 @@ class ResourceStateEngine:
 
     def run_backward(self) -> None:
         """Backward optimisation over the (possibly shared) forward layers."""
+        budget = self.search_budget
         for j in range(len(self.tables) - 1, -1, -1):
+            if budget is not None:
+                budget.tick()
             self._solve_layer(j)
 
     def _solve_layer(self, j: int) -> None:

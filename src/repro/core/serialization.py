@@ -105,6 +105,9 @@ def result_to_dict(result: PlannerResult) -> dict[str, Any]:
         "candidates_evaluated": result.candidates_evaluated,
         "oom_plans_generated": result.oom_plans_generated,
         "notes": result.notes,
+        "complete": result.complete,
+        "optimality_gap_bound": result.optimality_gap_bound,
+        "incomplete_branches": list(result.incomplete_branches),
         "search_stats": result.search_stats.as_dict(),
         "plan": plan_to_dict(result.plan) if result.plan is not None else None,
         "evaluation": (evaluation_to_dict(result.evaluation)
@@ -215,6 +218,10 @@ def result_from_dict(data: dict[str, Any]) -> PlannerResult:
         oom_plans_generated=int(data.get("oom_plans_generated", 0)),
         notes=data.get("notes", ""),
         search_stats=SearchStats.from_dict(data.get("search_stats", {})),
+        complete=bool(data.get("complete", True)),
+        optimality_gap_bound=float(data.get("optimality_gap_bound", 0.0)),
+        incomplete_branches=[str(b) for b in
+                             data.get("incomplete_branches", [])],
     )
 
 

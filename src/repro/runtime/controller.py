@@ -86,6 +86,13 @@ class ReplanPolicy:
     #: on the voluntary path the incumbent is kept (degraded), on the
     #: broken path the anytime answer is applied but flagged.
     replan_deadline_s: float | None = None
+    #: Gap-aware adoption of *degraded* voluntary replans (deadline missed
+    #: or anytime result incomplete): adopt the degraded plan when its
+    #: certified ``optimality_gap_bound`` is at most this fraction,
+    #: otherwise keep the incumbent.  ``None`` (default) keeps the
+    #: incumbent on every degraded voluntary replan, the pre-anytime
+    #: behaviour.
+    max_adopt_gap: float | None = None
     #: Backoff schedule for retrying a transiently-infeasible pool.
     retry_backoff_s: float = 60.0
     retry_backoff_factor: float = 2.0
@@ -275,11 +282,56 @@ class TrainingController:
                 self._decide(time_s, cause, DegradationTier.CONTINUE,
                              "hysteresis")
                 return None
+        return self._consider_switch(topology, time_s, cause,
+                                     reason="better plan available")
+
+    def handle_price_change(self, topology: ClusterTopology, time_s: float,
+                            cause: str = "price_move",
+                            ) -> ReconfigurationEvent | None:
+        """React to a GPU pricing change (e.g. a ``price_move`` fault).
+
+        Prices are baked into the search context's cost tables, the
+        simulators and the planner's caches, so all three are rebuilt
+        before replanning.  Debounce and hysteresis are bypassed: a price
+        move invalidates the incumbent's *cost basis* even when the
+        topology (and so the pool size) is completely unchanged.
+        """
+        self.invalidate_price_caches()
+        if self.current_plan is None:
+            return self._attempt_deploy(topology, time_s, cause)
+        if not self._plan_still_fits(topology):
+            return self._handle_broken_plan(topology, time_s, cause)
+        return self._consider_switch(topology, time_s, cause,
+                                     reason="price move")
+
+    def invalidate_price_caches(self) -> None:
+        """Drop every cache that has prices baked in.
+
+        Callers that mutate ``env.prices`` in place (e.g. the churn
+        replayer applying a ``price_move`` multiplier) must invalidate
+        before the next replan, or the solve would price candidates with
+        the stale tables.
+        """
+        self._search_context = None
+        self.simulator = SailorSimulator(self.env)
+        if isinstance(self.planner, SailorPlanner):
+            self.planner = SailorPlanner(self.env, config=self.planner.config)
+
+    def _consider_switch(self, topology: ClusterTopology, time_s: float,
+                         cause: str, reason: str,
+                         ) -> ReconfigurationEvent | None:
+        """Replan and switch if the result is adoptable, better and worth it.
+
+        A *degraded* result (deadline missed, or anytime search incomplete)
+        is adoptable only through the policy's gap-aware gate
+        (:meth:`_adopt_degraded`); otherwise the incumbent is kept -- never
+        block training on, or switch blindly after, a slow solve.
+        """
+        pool_gpus = topology.total_gpus()
         self._last_replan_check_s = time_s
         result, missed = self._timed_replan(topology)
-        if missed:
-            # Deadline miss on a voluntary replan: keep the incumbent,
-            # degraded -- never block training on a slow solve.
+        degraded = missed or not result.complete
+        if degraded and not self._adopt_degraded(result):
             self._decide(time_s, cause, DegradationTier.CONTINUE,
                          "deadline_fallback", result=result,
                          deadline_missed=True)
@@ -295,12 +347,21 @@ class TrainingController:
             self._decide(time_s, cause, DegradationTier.CONTINUE,
                          "not_worth_switching", result=result)
             return None
-        event = self._apply(result, time_s, reason="better plan available",
+        event = self._apply(result, time_s, reason=reason,
                             trigger=cause, tier=DegradationTier.FULL_REPLAN,
+                            deadline_missed=degraded,
                             pool_gpus=pool_gpus)
         self._decide(time_s, cause, DegradationTier.FULL_REPLAN, "switched",
-                     result=result)
+                     result=result, deadline_missed=degraded)
         return event
+
+    def _adopt_degraded(self, result: PlannerResult) -> bool:
+        """Keep-incumbent vs adopt-degraded-plan, decided by the certified
+        optimality gap instead of a blind timeout fallback."""
+        gap = self.policy.max_adopt_gap
+        if gap is None or not result.found:
+            return False
+        return result.optimality_gap_bound <= gap
 
     def _handle_broken_plan(self, topology: ClusterTopology, time_s: float,
                             cause: str) -> ReconfigurationEvent | None:
@@ -325,12 +386,15 @@ class TrainingController:
                 return event
         result, missed = self._timed_replan(topology)
         if result.found:
+            # The broken path applies the anytime answer even when degraded
+            # (an incomplete search beats no plan), but flags it.
+            degraded = missed or not result.complete
             event = self._apply(result, time_s, reason=cause, trigger=cause,
                                 tier=DegradationTier.FULL_REPLAN,
-                                deadline_missed=missed,
+                                deadline_missed=degraded,
                                 pool_gpus=topology.total_gpus())
             self._decide(time_s, cause, DegradationTier.FULL_REPLAN,
-                         "replanned", result=result, deadline_missed=missed)
+                         "replanned", result=result, deadline_missed=degraded)
             return event
         self._park(time_s, cause, result, retry=topology.total_gpus() > 0)
         return None

@@ -51,24 +51,39 @@ FAULT_KINDS = (
     "quota_cut",
     "zone_outage",
     "node_flap",
+    "price_move",
 )
 
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One availability step change labelled with its trigger cause."""
+    """One availability step change labelled with its trigger cause.
+
+    A ``price_move`` event additionally carries ``price_multiplier``: the
+    factor applied to the pool's GPU hourly price from this instant on
+    (relative to the price at replay start).  Its ``available_nodes`` is
+    the pool's unchanged level, so replaying the availability step function
+    alone is a no-op -- the pricing perturbation is interpreted by
+    :class:`~repro.runtime.replay.ChurnReplayer`, which drives a
+    cost-objective replan through the controller.  The field is emitted
+    only when set, so traces without price moves stay byte-identical to
+    format version 1 documents.
+    """
 
     time_s: float
     kind: str
     zone: str
     node_type: str
     available_nodes: int
+    price_multiplier: float | None = None
 
     def __post_init__(self) -> None:
         if self.time_s < 0:
             raise ValueError("time_s must be non-negative")
         if self.available_nodes < 0:
             raise ValueError("available_nodes must be non-negative")
+        if self.price_multiplier is not None and self.price_multiplier <= 0:
+            raise ValueError("price_multiplier must be positive")
 
     def to_availability_event(self) -> AvailabilityEvent:
         """Strip the cause label down to the availability-layer event."""
@@ -78,16 +93,22 @@ class FaultEvent:
 
     def to_dict(self) -> dict:
         """Plain-dict form (stable keys, used by trace serialization)."""
-        return {"time_s": self.time_s, "kind": self.kind, "zone": self.zone,
+        data = {"time_s": self.time_s, "kind": self.kind, "zone": self.zone,
                 "node_type": self.node_type,
                 "available_nodes": self.available_nodes}
+        if self.price_multiplier is not None:
+            data["price_multiplier"] = self.price_multiplier
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultEvent":
         """Inverse of :meth:`to_dict`."""
+        multiplier = data.get("price_multiplier")
         return cls(time_s=float(data["time_s"]), kind=data["kind"],
                    zone=data["zone"], node_type=data["node_type"],
-                   available_nodes=int(data["available_nodes"]))
+                   available_nodes=int(data["available_nodes"]),
+                   price_multiplier=(None if multiplier is None
+                                     else float(multiplier)))
 
 
 @dataclass
@@ -228,6 +249,28 @@ class FaultScenarioGenerator:
                                  zone, node_type, base_nodes))
         return events
 
+    def price_move(self, zone: str, node_type: str, base_nodes: int,
+                   at_s: float, multiplier: float,
+                   revert_after_s: float | None = None) -> list[FaultEvent]:
+        """A spot-price change on one pool (availability unchanged).
+
+        Emits one ``price_move`` event scaling the pool's GPU hourly price
+        by ``multiplier`` (relative to the price at replay start), plus an
+        optional revert to the original price after ``revert_after_s``.
+        The events carry the pool's unchanged node level so the
+        availability step function is untouched; the replayer interprets
+        the multiplier and triggers a cost-objective replan.
+        """
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        events = [FaultEvent(at_s, "price_move", zone, node_type, base_nodes,
+                             price_multiplier=multiplier)]
+        if revert_after_s is not None:
+            events.append(FaultEvent(at_s + revert_after_s, "price_move",
+                                     zone, node_type, base_nodes,
+                                     price_multiplier=1.0))
+        return events
+
     # -- composed churn ------------------------------------------------------
 
     def churn_trace(self, pools: dict[tuple[str, str], int],
@@ -287,6 +330,14 @@ class FaultScenarioGenerator:
                     zone, node_type, base, at,
                     period_s=float(self._rng.uniform(60.0, 240.0)),
                     cycles=int(self._rng.integers(1, 4)))
+            elif kind == "price_move":
+                # Only reachable through caller-supplied kind_weights: the
+                # default weights (and so every existing seeded trace) are
+                # unchanged, byte for byte.
+                produced = self.price_move(
+                    zone, node_type, base, at,
+                    multiplier=float(self._rng.uniform(0.5, 2.0)),
+                    revert_after_s=float(self._rng.uniform(900.0, 3600.0)))
             else:  # zone_outage
                 outage_zone = zones[int(self._rng.integers(len(zones)))]
                 produced = self.zone_outage(

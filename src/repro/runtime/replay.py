@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.core.objectives import Objective
 from repro.core.serialization import plan_to_json
 from repro.core.simulator import SailorSimulator, SimulationEnvironment
+from repro.hardware.nodes import get_node_type
 from repro.hardware.topology import ClusterTopology
 from repro.models.spec import TrainingJobSpec
 from repro.runtime.checkpoint import CheckpointConfig, CheckpointManager
@@ -59,6 +60,8 @@ class ChurnReport:
     #: controller; the acceptance criterion is ``events_dropped == 0``.
     events_total: int = 0
     events_applied: int = 0
+    #: ``price_move`` events applied to the price catalog during the run.
+    price_moves: int = 0
     #: Planner solves, and the subset answered warm (the solve's stats
     #: delta shows reuse out of the controller's long-lived context).
     replans: int = 0
@@ -79,6 +82,9 @@ class ChurnReport:
     #: Training outcome.
     iterations_completed: int = 0
     iterations_lost_to_rollback: int = 0
+    #: Training wall-clock re-done after rollbacks: iterations lost times
+    #: the iteration time of the plan that had produced them.
+    rollback_lost_time_s: float = 0.0
     reconfiguration_time_s: float = 0.0
     idle_time_s: float = 0.0
     training_time_s: float = 0.0
@@ -112,6 +118,23 @@ class ChurnReport:
         return len(self.replan_latencies_s) / total
 
     @property
+    def reconfiguration_overhead_fraction(self) -> float:
+        """Steady-state fraction of productive time lost to reconfiguration.
+
+        Counts both the explicit reconfiguration pauses and the training
+        wall-clock re-done after checkpoint rollbacks, over the total time
+        the job was *trying* to make progress (training + reconfiguring).
+        This is the headline robustness metric the churn bench gates: a
+        replanning stack that thrashes shows up here even when every event
+        was technically "handled".
+        """
+        denominator = self.training_time_s + self.reconfiguration_time_s
+        if denominator <= 0:
+            return 0.0
+        return ((self.reconfiguration_time_s + self.rollback_lost_time_s)
+                / denominator)
+
+    @property
     def percent_replans_warm(self) -> float:
         """Fraction of solves answered with cross-replan cache reuse."""
         if self.replans == 0:
@@ -129,7 +152,7 @@ class ChurnReport:
         """Multi-line human-readable summary (used by the CLI)."""
         lines = [
             f"events: {self.events_applied}/{self.events_total} applied "
-            f"({self.events_dropped} dropped)",
+            f"({self.events_dropped} dropped, {self.price_moves} price moves)",
             f"decisions: {self.replans} replans ({self.replans_warm} warm, "
             f"{100 * self.percent_replans_warm:.0f}%), {self.shrinks} shrinks, "
             f"{self.switches} switches, {self.keeps} keeps, "
@@ -146,6 +169,10 @@ class ChurnReport:
             f"{self.training_time_s:.0f}s training / "
             f"{self.idle_time_s:.0f}s idle / "
             f"{self.reconfiguration_time_s:.1f}s reconfiguring",
+            f"reconfiguration overhead: "
+            f"{100 * self.reconfiguration_overhead_fraction:.2f}% of "
+            f"productive time (incl. {self.rollback_lost_time_s:.1f}s "
+            f"redone after rollback)",
         ]
         return "\n".join(lines)
 
@@ -167,6 +194,9 @@ class ChurnReplayer:
         self.checkpoints = CheckpointManager(
             job=job, config=checkpoint_config or CheckpointConfig())
         self.simulator = SailorSimulator(env)
+        #: Iteration time of the incumbent the last training window ran
+        #: under; prices the wall-clock lost when a rollback discards work.
+        self._last_iter_time_s = 0.0
 
     # -- main entry point ---------------------------------------------------------
 
@@ -185,6 +215,9 @@ class ChurnReplayer:
             events_total=sum(len(events) for _, events in groups))
         controller = self.controller
         decisions_before = len(controller.decisions)
+        # price_move multipliers are relative to the prices the run started
+        # with, so a revert event (multiplier 1.0) restores these exactly.
+        base_prices = dict(self.env.prices.gpu_hourly_usd)
 
         completed = 0
         now = 0.0
@@ -212,8 +245,24 @@ class ChurnReplayer:
                 fault_events = groups[index][1]
                 index += 1
                 trigger = ",".join(sorted({e.kind for e in fault_events}))
-                event = controller.handle_availability_change(
-                    topology, now, cause=trigger)
+                price_events = [e for e in fault_events
+                                if e.kind == "price_move"]
+                if price_events:
+                    self._apply_price_moves(price_events, base_prices, report)
+                if price_events and len(price_events) == len(fault_events):
+                    # A pure pricing boundary: the pool is unchanged, so the
+                    # availability path's debounce/hysteresis would wrongly
+                    # swallow the cost-basis change.
+                    event = controller.handle_price_change(
+                        topology, now, cause=trigger)
+                else:
+                    if price_events:
+                        # Capacity moved at the same instant: take the
+                        # availability path, but drop the price-stale caches
+                        # first so the replan costs with the new tables.
+                        controller.invalidate_price_caches()
+                    event = controller.handle_availability_change(
+                        topology, now, cause=trigger)
                 report.events_applied += len(fault_events)
 
             lost = 0
@@ -224,6 +273,7 @@ class ChurnReplayer:
                 # exempt -- the surviving replicas hold complete state.
                 lost = self.checkpoints.rollback_iterations(completed, now)
                 report.iterations_lost_to_rollback += lost
+                report.rollback_lost_time_s += lost * self._last_iter_time_s
                 completed = max(0, completed - lost)
 
             if event is not None:
@@ -252,6 +302,24 @@ class ChurnReplayer:
         return report
 
     # -- internals ----------------------------------------------------------------
+
+    def _apply_price_moves(self, events: list, base_prices: dict[str, float],
+                           report: ChurnReport) -> None:
+        """Apply ``price_move`` multipliers to the live price catalog.
+
+        Multipliers are absolute w.r.t. the run-start base, not compounding:
+        two successive 1.5x moves on the same pool leave the price at 1.5x
+        the base, and the generator's revert event (multiplier 1.0) restores
+        it exactly.  The replayer's own simulator is rebuilt so the
+        training-rate accounting can never read a price-stale evaluator.
+        """
+        for event in events:
+            gpu = get_node_type(event.node_type).gpu.name
+            multiplier = (event.price_multiplier
+                          if event.price_multiplier is not None else 1.0)
+            self.env.prices.gpu_hourly_usd[gpu] = base_prices[gpu] * multiplier
+            report.price_moves += 1
+        self.simulator = SailorSimulator(self.env)
 
     def _next_boundary(self, groups: list, index: int,
                        duration: float) -> tuple[float, bool]:
@@ -285,6 +353,7 @@ class ChurnReplayer:
             return completed, remaining_debt
         evaluation = self.simulator.evaluate(plan)
         iter_time = evaluation.iteration_time_s
+        self._last_iter_time_s = iter_time
         stall = self.checkpoints.stall_time_s(plan)
         drain = self.checkpoints.drain_time_s(plan)
         interval = self.checkpoints.config.interval_iterations

@@ -1,5 +1,8 @@
 """Integration tests for the baseline planners."""
 
+import math
+import time
+
 import pytest
 
 from repro.baselines import get_baseline, list_baselines
@@ -117,3 +120,28 @@ def test_baseline_search_times_reported(opt_env, opt_job, a100_topology):
     fast = make("piper", opt_env)
     result = fast.plan(opt_job, a100_topology, Objective.max_throughput())
     assert 0 <= result.search_time_s < 10.0
+
+
+def test_baseline_deadline_marks_truncated_search_incomplete(opt_env, opt_job,
+                                                             a100_topology):
+    """The uniform absolute deadline every baseline inherits from
+    ``HeterogeneityBlindBaseline.plan``: an already-expired deadline cuts
+    candidate enumeration immediately and the result says so (incomplete,
+    infinite gap -- a truncated grid search certifies nothing)."""
+    baseline = make("piper", opt_env)
+    result = baseline.plan(opt_job, a100_topology, Objective.max_throughput(),
+                           deadline=time.perf_counter() - 1.0)
+    assert not result.complete
+    assert result.optimality_gap_bound == math.inf
+    # A generous deadline leaves the exhaustive enumeration untouched and
+    # the result certified complete, matching the no-deadline call.
+    relaxed = baseline.plan(opt_job, a100_topology, Objective.max_throughput(),
+                            deadline=time.perf_counter() + 60.0)
+    assert relaxed.complete
+    assert relaxed.optimality_gap_bound == 0.0
+    untimed = baseline.plan(opt_job, a100_topology, Objective.max_throughput())
+    assert untimed.complete
+    assert untimed.found == relaxed.found
+    if untimed.found:
+        assert untimed.evaluation.iteration_time_s \
+            == relaxed.evaluation.iteration_time_s

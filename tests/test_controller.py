@@ -272,3 +272,78 @@ def test_incremental_context_reused_across_replans(controller):
     controller.handle_availability_change(small_topology(6), time_s=60.0)
     assert controller._search_context is context_after_start
     assert controller.search_stats.cache_hits > 0
+
+
+# -- anytime results: gap-aware adoption & price moves ------------------------
+
+
+def test_max_adopt_gap_adopts_degraded_result_with_small_gap(opt_env, opt_job):
+    """A missed deadline no longer auto-keeps the incumbent: when the
+    anytime result certifies a gap within the policy's tolerance, the
+    degraded plan is adopted (flagged deadline_missed for observability)."""
+    policy = ReplanPolicy(replan_deadline_s=1e-9, max_adopt_gap=1.0)
+    controller = make_controller(opt_env, opt_job, policy,
+                                 planner=SailorPlanner(opt_env))
+    controller.start(small_topology(2), time_s=0.0)
+    event = controller.handle_availability_change(
+        small_topology(6), time_s=60.0, cause="quota restored")
+    # The unbounded solve completed (gap 0.0 <= 1.0), so the better plan on
+    # the larger pool is adopted despite the missed wall deadline.
+    assert event is not None
+    assert controller.decisions[-1].action == "switched"
+    assert controller.decisions[-1].deadline_missed
+
+
+def test_incomplete_result_is_degraded_even_without_deadline_miss(
+        opt_env, opt_job):
+    """A truncated anytime search (complete=False) goes through the same
+    gap gate as a missed deadline: without max_adopt_gap the incumbent is
+    kept."""
+    from repro.core.planner import PlannerConfig
+
+    truncated_planner = SailorPlanner(opt_env, config=PlannerConfig(
+        max_search_nodes=50))
+    controller = make_controller(opt_env, opt_job, ReplanPolicy(),
+                                 planner=truncated_planner)
+    controller.start(small_topology(2), time_s=0.0)
+    plan_before = controller.current_plan
+    event = controller.handle_availability_change(
+        small_topology(6), time_s=60.0, cause="quota restored")
+    assert event is None
+    assert controller.current_plan is plan_before
+    assert controller.decisions[-1].action == "deadline_fallback"
+
+
+def test_incomplete_result_adopted_through_gap_gate(opt_env, opt_job):
+    """Same truncated planner, but the policy tolerates any certified gap:
+    the degraded plan is adopted when it beats the incumbent."""
+    from repro.core.planner import PlannerConfig
+
+    truncated_planner = SailorPlanner(opt_env, config=PlannerConfig(
+        max_search_nodes=50))
+    policy = ReplanPolicy(max_adopt_gap=1.0)
+    controller = make_controller(opt_env, opt_job, policy,
+                                 planner=truncated_planner)
+    controller.start(small_topology(2), time_s=0.0)
+    event = controller.handle_availability_change(
+        small_topology(6), time_s=60.0, cause="quota restored")
+    assert event is not None
+    assert controller.decisions[-1].action == "switched"
+    assert controller.decisions[-1].deadline_missed  # degraded adoption
+
+
+def test_handle_price_change_rebuilds_caches_and_replans(opt_env, opt_job):
+    """A price move invalidates the cost basis: the long-lived search
+    context, the simulator and the planner are rebuilt, debounce is
+    bypassed, and a decision is recorded under the price cause."""
+    policy = ReplanPolicy(debounce_s=3600.0)  # would swallow a replan
+    controller = make_controller(opt_env, opt_job, policy)
+    controller.start(small_topology(4), time_s=0.0)
+    context_before = controller._search_context
+    simulator_before = controller.simulator
+    decisions_before = len(controller.decisions)
+    controller.handle_price_change(small_topology(4), time_s=1.0)
+    assert controller._search_context is not context_before
+    assert controller.simulator is not simulator_before
+    assert len(controller.decisions) > decisions_before
+    assert controller.decisions[-1].trigger == "price_move"

@@ -101,6 +101,43 @@ def test_mid_drain_preemption_lands_inside_the_drain_window():
                                        drain_duration_s=0.0)
 
 
+def test_price_move_event_round_trips_and_validates_multiplier():
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, "price_move", "z", "a2-highgpu-4g", 4,
+                   price_multiplier=0.0)
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, "price_move", "z", "a2-highgpu-4g", 4,
+                   price_multiplier=-2.0)
+    event = FaultEvent(60.0, "price_move", "z", "a2-highgpu-4g", 4,
+                       price_multiplier=2.5)
+    assert FaultEvent.from_dict(event.to_dict()) == event
+    # The field is emitted only when set, so availability-only traces stay
+    # byte-identical to format version 1 documents.
+    plain = FaultEvent(5.0, "quota_cut", "z", "a2-highgpu-4g", 2)
+    assert "price_multiplier" not in plain.to_dict()
+    assert FaultEvent.from_dict(plain.to_dict()).price_multiplier is None
+
+
+def test_price_move_scenario_emits_move_and_revert():
+    generator = FaultScenarioGenerator(seed=0)
+    events = generator.price_move("z", "a2-highgpu-4g", base_nodes=4,
+                                  at_s=600.0, multiplier=3.0,
+                                  revert_after_s=1200.0)
+    assert [e.kind for e in events] == ["price_move", "price_move"]
+    assert [e.price_multiplier for e in events] == [3.0, 1.0]
+    assert [e.time_s for e in events] == [600.0, 1800.0]
+    # Availability is untouched: replaying the step function alone is a
+    # no-op, the pricing perturbation lives entirely in the multiplier.
+    assert all(e.available_nodes == 4 for e in events)
+    solo = generator.price_move("z", "a2-highgpu-4g", 4, at_s=0.0,
+                                multiplier=0.5)
+    assert len(solo) == 1
+    assert solo[0].price_multiplier == 0.5
+    with pytest.raises(ValueError):
+        generator.price_move("z", "a2-highgpu-4g", 4, at_s=0.0,
+                             multiplier=0.0)
+
+
 # -- fault traces -------------------------------------------------------------
 
 def test_trace_sorts_events_and_groups_simultaneous_ones():

@@ -262,8 +262,10 @@ def test_failing_branch_does_not_leak_shm_segment(opt_env, opt_job,
                                                   failure):
     """Regression (lifecycle audit): a worker raising mid-branch -- or the
     pool dying on KeyboardInterrupt -- must still close+unlink the driver's
-    shared-memory segment.  The pool is replaced by a stub whose ``map``
-    raises, standing in for the re-raised worker exception."""
+    shared-memory segment.  The pool is replaced by a stub whose futures
+    raise, standing in for the re-raised worker exception.  Genuine worker
+    exceptions are exactly the failures the fault-tolerant gather must NOT
+    absorb: they propagate, unlike a crashed or wedged worker."""
     import repro.core.planner as planner_mod
 
     created: list = []
@@ -272,18 +274,19 @@ def test_failing_branch_does_not_leak_shm_segment(opt_env, opt_job,
         _RecordingSharedMemory(planner_mod.shared_memory.SharedMemory,
                                created))
 
+    class ExplodingFuture:
+        def result(self, timeout=None):
+            raise failure("branch failed")
+
     class ExplodingPool:
         def __init__(self, *args, **kwargs):
             pass
 
-        def __enter__(self):
-            return self
+        def submit(self, *args, **kwargs):
+            return ExplodingFuture()
 
-        def __exit__(self, *exc):
-            return False
-
-        def map(self, *args, **kwargs):
-            raise failure("branch failed")
+        def shutdown(self, *args, **kwargs):
+            pass
 
     monkeypatch.setattr(planner_mod, "ProcessPoolExecutor", ExplodingPool)
     planner = ParallelPlanner(opt_env, max_workers=2)

@@ -6,6 +6,8 @@ import pytest
 from repro.core.objectives import Objective
 from repro.core.planner import SailorPlanner
 from repro.core.serialization import plan_to_json
+from repro.core.simulator import build_environment
+from repro.hardware.nodes import get_node_type
 from repro.hardware.topology import ClusterTopology
 from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.controller import (
@@ -241,3 +243,62 @@ def test_shrink_in_place_does_not_roll_back(opt_env, opt_job, mixed_base):
         assert report.iterations_lost_to_rollback == 0
     else:                              # pool shape forced a full replan
         assert report.iterations_lost_to_rollback >= 0
+
+
+# -- price moves --------------------------------------------------------------
+#
+# These tests build a private environment: the replayer mutates
+# env.prices.gpu_hourly_usd in place while interpreting price_move events,
+# and the session-scoped fixtures must not see those edits.
+
+def _price_env(job, base):
+    return build_environment(job, base, seed=7)
+
+
+def test_price_move_replans_under_cost_objective_and_revert_restores(
+        opt_job, mixed_base):
+    env = _price_env(opt_job, mixed_base)
+    base_prices = dict(env.prices.gpu_hourly_usd)
+    events = [FaultEvent(0.0, "initial", "us-central1-a",
+                         "a2-highgpu-4g", 4),
+              FaultEvent(0.0, "initial", "us-central1-a",
+                         "n1-standard-v100-4", 4)]
+    events += FaultScenarioGenerator(seed=0).price_move(
+        "us-central1-a", "a2-highgpu-4g", base_nodes=4, at_s=900.0,
+        multiplier=4.0, revert_after_s=900.0)
+    trace = FaultTrace(events=events, duration_s=2700.0)
+    replayer = ChurnReplayer(env, opt_job, Objective.min_cost(),
+                             policy=ReplanPolicy(deterministic_timing=True),
+                             checkpoint_config=CheckpointConfig(
+                                 interval_iterations=10))
+    report = replayer.run(trace, base_topology=mixed_base)
+    assert report.events_dropped == 0
+    assert report.price_moves == 2
+    # Each move drove a decision through the controller's price path.
+    price_records = [r for r in report.records
+                     if "price_move" in r.trigger]
+    assert len(price_records) == 2
+    # The revert restored the exact run-start catalog: multipliers are
+    # absolute with respect to base prices, not compounding.
+    assert env.prices.gpu_hourly_usd == base_prices
+
+
+def test_price_move_without_revert_leaves_scaled_price(opt_job, mixed_base):
+    env = _price_env(opt_job, mixed_base)
+    base_prices = dict(env.prices.gpu_hourly_usd)
+    moved = get_node_type("a2-highgpu-4g").gpu.name
+    untouched = get_node_type("n1-standard-v100-4").gpu.name
+    events = [FaultEvent(0.0, "initial", "us-central1-a",
+                         "a2-highgpu-4g", 4),
+              FaultEvent(0.0, "initial", "us-central1-a",
+                         "n1-standard-v100-4", 4)]
+    events += FaultScenarioGenerator(seed=0).price_move(
+        "us-central1-a", "a2-highgpu-4g", base_nodes=4, at_s=600.0,
+        multiplier=2.0)
+    trace = FaultTrace(events=events, duration_s=1200.0)
+    report = make_replayer(env, opt_job).run(trace, base_topology=mixed_base)
+    assert report.events_dropped == 0
+    assert report.price_moves == 1
+    assert env.prices.gpu_hourly_usd[moved] \
+        == pytest.approx(base_prices[moved] * 2.0)
+    assert env.prices.gpu_hourly_usd[untouched] == base_prices[untouched]
