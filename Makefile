@@ -4,10 +4,11 @@
 #   make bench                      planner/core micro-benchmarks + churn
 #                                   replay benches -> $(BENCH_OUT)
 #                                   (BENCH_SCALE=full by default, which
-#                                   includes the 1024-GPU scale point;
-#                                   BENCH_SCALE=smoke skips it), then appends
-#                                   a one-line run summary (git rev + per-
-#                                   bench medians) to $(BENCH_HISTORY)
+#                                   includes the 1024/2048/4096-GPU scale
+#                                   points; BENCH_SCALE=smoke skips them),
+#                                   then appends a one-line run summary
+#                                   (git rev + per-bench medians) to
+#                                   $(BENCH_HISTORY)
 #   make bench-compare              diff $(BENCH_BASELINE) vs $(BENCH_OUT) on
 #                                   median-of-rounds; fails on >20%
 #                                   planner/simulator regression
@@ -16,7 +17,13 @@
 #                                   with per-phase wall time printed.  The
 #                                   smoke subset's budget bench asserts the
 #                                   straggler certificates fire (nonzero
-#                                   SearchStats.suffix_certified), and the
+#                                   SearchStats.suffix_certified); the
+#                                   128-GPU budget and 256-GPU points --
+#                                   run once in the tier-1 phase -- assert
+#                                   the candidate-ordering tail kills fire
+#                                   (nonzero candidates_killed_unevaluated,
+#                                   so a disarmed ordering path fails CI);
+#                                   and the
 #                                   deadline/crash smokes assert the anytime
 #                                   salvage path works (a 256-GPU plan at a
 #                                   50 ms deadline returns a feasible plan
@@ -27,7 +34,10 @@
 #                                   rather than just running slow.
 #   make profile                    cProfile one planner call (PROFILE_ARGS=...;
 #                                   add --stats to dump the SearchStats
-#                                   counters as JSON next to the profile)
+#                                   counters as JSON next to the profile,
+#                                   --phases to split the wall time into
+#                                   forward-build / backward-scoring /
+#                                   suffix-solve / evaluation buckets)
 
 PYTHON ?= python
 BENCH_OUT ?= BENCH_new.json
@@ -35,8 +45,9 @@ BENCH_BASELINE ?= BENCH_seed.json
 BENCH_CI_OUT ?= BENCH_ci.json
 BENCH_HISTORY ?= BENCH_history.jsonl
 # Scale toggle consumed by benchmarks/test_bench_core_micro.py: the
-# 1024-GPU planner point only runs under BENCH_SCALE=full.  `make bench`
-# (the recorded set) defaults to full; `make ci`'s smoke subset to smoke.
+# 1024/2048/4096-GPU planner points only run under BENCH_SCALE=full.
+# `make bench` (the recorded set) defaults to full; `make ci`'s smoke
+# subset to smoke.
 BENCH_SCALE ?= full
 # Bench smoke subset for `make ci`: every micro-bench plus the 32/64-GPU
 # and budget-constrained planner points, plus the short churn-replay smoke
@@ -45,8 +56,10 @@ BENCH_SCALE ?= full
 # still run *once* as correctness tests inside the tier-1 phase (ROADMAP
 # defines tier-1 as the whole tree); the filter only skips their slower
 # timed re-measurement and the 1000-event churn point (run `make bench`
-# for the full recorded set).
-CI_BENCH_FILTER ?= not 128 and not 256 and not 512 and not 1024 and not 1000
+# for the full recorded set).  The 1024/2048/4096 points are additionally
+# BENCH_SCALE-gated (skipped under smoke even without the filter).
+CI_BENCH_FILTER ?= not 128 and not 256 and not 512 and not 1024 \
+	and not 2048 and not 4096 and not 1000
 PROFILE_ARGS ?=
 
 .PHONY: test bench bench-compare ci profile

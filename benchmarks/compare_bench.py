@@ -55,6 +55,17 @@ def load_stats(path: str) -> dict[str, dict[str, float]]:
     return loaded
 
 
+#: Scale points gated behind ``BENCH_SCALE=full`` (``make bench``); the
+#: smoke subset never runs them, so their absence from one side of a
+#: comparison is a scale difference, not a dropped/added benchmark.
+FULL_SCALE_MARKERS = ("_1024_", "_2048_", "_4096_")
+
+
+def is_full_scale_only(name: str) -> bool:
+    """True for benches that only run under ``BENCH_SCALE=full``."""
+    return any(marker in name for marker in FULL_SCALE_MARKERS)
+
+
 def format_seconds(seconds: float) -> str:
     if seconds < 1e-3:
         return f"{seconds * 1e6:8.1f}us"
@@ -101,15 +112,33 @@ def compare(baseline: dict[str, dict[str, float]],
               f"{ratio:>6.2f}x {min_ratio:>8.2f}x  {verdict}")
 
     missing = sorted(set(baseline) - set(candidate))
+    missing_full = [name for name in missing if is_full_scale_only(name)]
+    missing = [name for name in missing if not is_full_scale_only(name)]
     if missing:
         print(f"\nnot in current run: {', '.join(missing)}")
+    if missing_full:
+        # A smoke-scale candidate compared against a full-scale baseline:
+        # the BENCH_SCALE=full-only points are absent by construction, not
+        # dropped benchmarks.
+        print("\nfull-scale-only benches absent from this run "
+              "(informational, need BENCH_SCALE=full): "
+              + ", ".join(missing_full))
     added = sorted(set(candidate) - set(baseline))
+    added_full = [name for name in added if is_full_scale_only(name)]
+    added = [name for name in added if not is_full_scale_only(name)]
     if added:
         # New scale points (e.g. a freshly added 128-GPU budget bench) have
         # no baseline to gate against yet; print them with their time so
         # the first recorded run is still visible in the CI log.
         print("\nnew in current run (not gated):")
         for name in added:
+            print(f"  {name:<46} {format_seconds(candidate[name]['median'])}")
+    if added_full:
+        # The converse: a full-scale run against a smoke-scale baseline.
+        # These are a different BENCH_SCALE, not new benchmarks.
+        print("\nfull-scale-only benches without a baseline "
+              "(informational, baseline was not BENCH_SCALE=full):")
+        for name in added_full:
             print(f"  {name:<46} {format_seconds(candidate[name]['median'])}")
     return regressions
 

@@ -17,6 +17,10 @@ into the DP engine (``--limit`` is kept as an alias of ``--top``).
 counters as JSON next to the cProfile rows -- the straggler-certificate
 counters (``suffix_iterations`` / ``suffix_certified``) live there, so a
 profile and its iteration counts come from the same call.
+``--phases`` splits the profiled call's wall time into the planner's four
+coarse phases (forward-layer build / backward scoring / suffix solves /
+plan evaluation, derived from the same cProfile capture), so the next
+scale wall is visible without spelunking the row listing.
 """
 
 from __future__ import annotations
@@ -34,6 +38,46 @@ from repro.core.simulator import build_environment
 from repro.hardware.topology import ClusterTopology
 from repro.models.catalog import get_model
 from repro.models.spec import TrainingJobSpec
+
+
+#: The planner's coarse phases, as (file suffix, function name) anchors in
+#: the cProfile capture.  Cumulative times, so each bucket includes the
+#: kernels it drives; nested calls *within* one bucket (the batched budget
+#: threading falling back to scalar suffix solves) are de-duplicated via
+#: the callers table, so a bucket never counts the same wall time twice.
+_PHASES = {
+    "forward_layer_build": (("resource_state.py", "compute_forward_layers"),),
+    "backward_scoring": (("resource_state.py", "run_backward"),),
+    "suffix_solves": (("dp_solver.py", "_solve_suffix"),
+                      ("dp_solver.py", "_solve_budget_batched")),
+    "evaluation": (("evaluator.py", "evaluate"),),
+}
+
+
+def phase_wall_times(stats: pstats.Stats, search_time_s: float,
+                     ) -> dict[str, float]:
+    """Wall time per planner phase, from an existing cProfile capture.
+
+    ``other`` is the remainder of the planning call (candidate
+    enumeration, cache lookups, plan materialisation...), clamped at 0 --
+    the buckets are cumulative over *distinct* subtrees, so their sum
+    cannot meaningfully exceed the call's wall time beyond timer jitter.
+    """
+    raw = stats.stats
+    phases: dict[str, float] = {}
+    for phase, anchors in _PHASES.items():
+        keys = {key for key in raw
+                for suffix, func in anchors
+                if key[2] == func and key[0].endswith(suffix)}
+        total = 0.0
+        for key in keys:
+            ct, callers = raw[key][3], raw[key][4]
+            nested = sum(entry[3] for caller, entry in callers.items()
+                         if caller in keys and caller != key)
+            total += ct - nested
+        phases[phase] = total
+    phases["other"] = max(0.0, search_time_s - sum(phases.values()))
+    return phases
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,6 +106,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stats", action="store_true",
                         help="dump the profiled call's SearchStats counters "
                              "as JSON next to the cProfile output")
+    parser.add_argument("--phases", action="store_true",
+                        help="split the profiled call's wall time into "
+                             "forward-layer build / backward scoring / "
+                             "suffix solves / evaluation (JSON, from the "
+                             "same cProfile capture)")
     args = parser.parse_args(argv)
 
     if args.gpus < 8 or args.gpus % 8:
@@ -108,6 +157,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.stats:
         print("search_stats_json="
               + json.dumps(result.search_stats.as_dict(), sort_keys=True))
+    if args.phases:
+        phases = phase_wall_times(stats, result.search_time_s)
+        for phase, seconds in phases.items():
+            share = (seconds / result.search_time_s * 100.0
+                     if result.search_time_s > 0 else 0.0)
+            print(f"phase {phase:<20s} {seconds:8.3f}s  {share:5.1f}%")
+        print("phase_wall_times_json=" + json.dumps(
+            {phase: round(seconds, 6) for phase, seconds in phases.items()},
+            sort_keys=True))
     return 0
 
 

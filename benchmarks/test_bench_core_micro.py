@@ -175,6 +175,11 @@ def test_bench_planner_heterogeneous_256_gpus(benchmark, job):
         lambda: planner.plan(job, topology, Objective.max_throughput()),
         rounds=3, iterations=1)
     assert result.found
+    # `make ci` acceptance bar: cost-bound-driven candidate scheduling must
+    # actually kill unexplored tails at this scale -- a disarmed ordering
+    # path (bounds silently inf, toggle wired wrong) fails here rather
+    # than showing up only as a latency drift.
+    assert result.search_stats.candidates_killed_unevaluated > 0
 
 
 def test_bench_planner_heterogeneous_512_gpus(benchmark, job):
@@ -218,6 +223,44 @@ def test_bench_planner_heterogeneous_1024_gpus(benchmark, job):
     assert result.found
 
 
+@pytest.mark.skipif(os.environ.get("BENCH_SCALE", "smoke") != "full",
+                    reason="2048-GPU point runs only under BENCH_SCALE=full")
+def test_bench_planner_heterogeneous_2048_gpus(benchmark, job):
+    """Sailor planner on 1024 A100 + 1024 V100 -- 2x beyond the paper.
+
+    First beyond-1024 scale point, enabled by the shared backward argmin
+    skeletons (the per-candidate argmin reductions dominated the 1024-GPU
+    profile) and the candidate-ordering tail kills.  The mixed-radix state
+    packing stays exact well past this scale (~2^63 budget)."""
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": 256, "n1-standard-v100-4": 256})
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, Objective.max_throughput()),
+        rounds=1, iterations=1)
+    assert result.found
+    assert result.search_stats.candidates_killed_unevaluated > 0
+
+
+@pytest.mark.skipif(os.environ.get("BENCH_SCALE", "smoke") != "full",
+                    reason="4096-GPU point runs only under BENCH_SCALE=full")
+def test_bench_planner_heterogeneous_4096_gpus(benchmark, job):
+    """Sailor planner on 2048 A100 + 2048 V100 -- 4x beyond the paper.
+
+    The current ceiling of the recorded scaling trajectory; single round,
+    like every full-scale-only point."""
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": 512, "n1-standard-v100-4": 512})
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, Objective.max_throughput()),
+        rounds=1, iterations=1)
+    assert result.found
+    assert result.search_stats.candidates_killed_unevaluated > 0
+
+
 def test_bench_planner_budget_constrained_64_gpus(benchmark, job, topology, env):
     """Budget-constrained search on the mixed cluster (Table 3's slow case).
 
@@ -235,8 +278,10 @@ def test_bench_planner_budget_constrained_64_gpus(benchmark, job, topology, env)
     assert result.evaluation.cost_per_iteration_usd <= 0.031
     # `make ci` acceptance bar (this point is in the smoke subset): the
     # straggler convergence certificates must actually fire on a binding
-    # budget -- here on the *scalar* tiny-pool path, which sits below the
-    # engine dispatch threshold.
+    # budget.  Since the budget-aware dispatch threshold
+    # (``engine_min_states_budget``) this pool (~81 root states) runs on
+    # the engine path -- measured faster than the scalar recursion here,
+    # see the dp_solver dispatch decision table.
     assert result.search_stats.suffix_certified > 0
     assert result.search_stats.suffix_iterations > 0
 
@@ -262,6 +307,10 @@ def test_bench_planner_budget_constrained_128_gpus(benchmark, job):
     assert result.evaluation.cost_per_iteration_usd <= 0.0364
     # Engine-scale certificates: resolved in-layer, not via scalar fallback.
     assert result.search_stats.suffix_certified > 0
+    # `make ci` acceptance bar: the ordering tail kill must arm on the
+    # binding-budget search too (the kill compares iteration-time floors
+    # against the budget incumbent's iteration time).
+    assert result.search_stats.candidates_killed_unevaluated > 0
 
 
 def test_bench_planner_budget_constrained_geo_64_gpus(benchmark, job):

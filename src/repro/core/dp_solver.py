@@ -115,6 +115,7 @@ import numpy as np
 from repro.core.budget import SearchBudget, SearchBudgetExhausted
 from repro.core.objectives import OptimizationGoal
 from repro.core.resource_state import (
+    SHARED_ARGMIN_MAX_DENSITY,
     BudgetBoundTables,
     ResourceStateCodec,
     ResourceStateEngine,
@@ -199,6 +200,38 @@ class DPSolverConfig:
     #: -- byte-identical by the equivalence suites -- is faster.  Tests set
     #: this to 0 to force the engine.
     engine_min_states: int = 100
+    #: Budget-aware dispatch: with a budget constraint the engine pays for
+    #: itself much earlier (its dominance tables and bound certificates
+    #: answer most straggler-loop work in O(1), where the scalar recursion
+    #: re-walks suffixes), so budgeted solves dispatch at
+    #: ``min(engine_min_states, engine_min_states_budget)``.  Decision
+    #: table (measured on the bench scenarios, see ROADMAP item 4):
+    #:
+    #: ==================  ============  =====================  ==========
+    #: objective           state space   dispatch               why
+    #: ==================  ============  =====================  ==========
+    #: unconstrained       < 100         scalar recursion       NumPy call
+    #:                                                          overhead
+    #:                                                          dominates
+    #: unconstrained       >= 100        engine                 batched
+    #:                                                          layers win
+    #: budget-constrained  < 32          scalar recursion       tiny pools
+    #:                                                          still churn
+    #:                                                          too few
+    #:                                                          states
+    #: budget-constrained  >= 32         engine                 0.52s vs
+    #:                                                          0.68s on
+    #:                                                          the 64-GPU
+    #:                                                          (81-state)
+    #:                                                          budget
+    #:                                                          point
+    #: ==================  ============  =====================  ==========
+    #:
+    #: Unconstrained 32/64-GPU points re-checked scalar-faster, so their
+    #: threshold is unchanged.  Both regimes produce byte-identical plans
+    #: (engine/scalar equivalence suites), so this is purely a latency
+    #: knob.
+    engine_min_states_budget: int = 32
     #: Share forward reachability layers across DP candidates through the
     #: search context (keyed by the per-stage footprint signature, so only
     #: byte-identical forward passes are ever reused).  Off only for
@@ -239,6 +272,21 @@ class DPSolverConfig:
     #: re-tested budgets) instead of falling back to the scalar recursion.
     #: Off only for equivalence testing.
     batched_layer_resolve: bool = True
+    #: Score backward layers through the CSR skeleton of valid (state,
+    #: combo) entries cached on the shared forward layers
+    #: (``ForwardLayers.backward_csr``) -- at most the truncation limit of
+    #: entries per state instead of the dense (rows, combos) product, with
+    #: a segmented first-min replacing the dense argmin.  Bit-identical
+    #: values and tie-breaks (segment order is master ranking order); the
+    #: dense path stays as the equivalence reference.
+    shared_backward_argmin: bool = True
+    #: Density ceiling for routing a layer through the CSR kernel (valid
+    #: entries / dense size; ``resource_state.SHARED_ARGMIN_MAX_DENSITY``).
+    #: Dense layers are faster through the broadcast argmin, so the CSR
+    #: route only engages once the truncation masks make a layer sparse;
+    #: 1.0 forces the shared kernel everywhere (the equivalence suites do).
+    #: A pure latency policy -- both routes are bit-identical.
+    shared_backward_density: float = SHARED_ARGMIN_MAX_DENSITY
 
     def __post_init__(self) -> None:
         if self.max_combos_per_stage < 1:
@@ -251,6 +299,8 @@ class DPSolverConfig:
             raise ValueError("max_budget_iterations must be >= 1")
         if self.engine_min_states < 0:
             raise ValueError("engine_min_states must be >= 0")
+        if self.engine_min_states_budget < 0:
+            raise ValueError("engine_min_states_budget must be >= 0")
         for fraction in self.split_fractions:
             if not 0.0 < fraction < 1.0:
                 raise ValueError("split_fractions must lie strictly in (0, 1)")
@@ -347,9 +397,10 @@ class DPSolver:
         self._sfx_sum: list[float] = []
         self._sfx_max: list[float] = []
         self._sfx_rate: list[float] = []
-        #: Layered-engine dispatch threshold (see DPSolverConfig); kept as an
-        #: instance attribute so tests can force the engine per solver.
+        #: Layered-engine dispatch thresholds (see DPSolverConfig); kept as
+        #: instance attributes so tests can force a regime per solver.
         self.engine_min_states = self.config.engine_min_states
+        self.engine_min_states_budget = self.config.engine_min_states_budget
         #: Observability for the interval-memo property tests: when
         #: ``track_budget_forks`` is set (tests only; off the hot path by
         #: default), ``fork_keys`` collects the distinct ``(stage, state,
@@ -461,7 +512,14 @@ class DPSolver:
         state_space = 1
         for count in codec.root_state.tolist():
             state_space *= count + 1
-        self._vector_states = state_space >= self.engine_min_states
+        # Budget-aware dispatch (decision table on DPSolverConfig): budget
+        # solves profit from the engine on much smaller pools, so they use
+        # the min of the two thresholds -- a test forcing the engine via
+        # ``engine_min_states = 0`` still gets it in both regimes.
+        threshold = self.engine_min_states
+        if budget_per_iteration is not None:
+            threshold = min(threshold, self.engine_min_states_budget)
+        self._vector_states = state_space >= threshold
         if not self._vector_states:
             # Scalar mode keys memos on the state tuples themselves (the
             # original tuple encoding's keying; pack()-ing bytes here would
@@ -540,8 +598,11 @@ class DPSolver:
         engine = ResourceStateEngine(
             self._codec, tables, forward, self.num_microbatches,
             self.goal is OptimizationGoal.MIN_COST,
-            search_budget=self.search_budget)
+            search_budget=self.search_budget,
+            shared_argmin=self.config.shared_backward_argmin,
+            shared_argmin_max_density=self.config.shared_backward_density)
         engine.run_backward()
+        self.stats.backward_shared_hits += engine.shared_skeleton_hits
         return engine
 
     def _materialize(self, stage_index: int, row: int) -> DPSolution:
@@ -882,8 +943,10 @@ class DPSolver:
         One batched backward pass (``compute_budget_bounds``); shared
         across candidates through the search context when the backward
         sharing toggle is on -- the key captures everything the pass reads
-        (forward signature, microbatch count, per-stage compute/cost
-        scalars), so only bit-identical tables are ever reused.
+        (forward signature, microbatch count, per-stage compute/cost/sync
+        scalars -- sync entered the pass with the folded sync floor, and it
+        varies with the data-parallel degree, so omitting it would alias
+        candidates), so only bit-identical tables are ever reused.
         """
         bounds = self._bounds
         if bounds is None:
@@ -898,7 +961,8 @@ class DPSolver:
             if self.config.shared_backward:
                 signature = (self._forward_sig, nb,
                              tuple(t.compute.tobytes() for t in tables),
-                             tuple(t.rate.tobytes() for t in tables))
+                             tuple(t.rate.tobytes() for t in tables),
+                             tuple(t.sync.tobytes() for t in tables))
                 bounds = self.context.budget_bounds(signature, build)
             else:
                 bounds = build()
@@ -908,10 +972,12 @@ class DPSolver:
     def _scalar_bound(self, stage_index: int, state: tuple,
                       key: tuple) -> tuple:
         """Scalar-mode bound recursion: ``(straggler_lb, decomposable cost,
-        rate_lb, sum_lb, cost_lb)`` of one tuple state, memoized.
+        rate_lb, sum_lb, sync_lb, cost_lb)`` of one tuple state, memoized.
 
-        The tiny-pool counterpart of ``compute_budget_bounds`` -- same four
-        admissible quantities, same product/decomposable cost bound, same
+        The tiny-pool counterpart of ``compute_budget_bounds`` -- same five
+        admissible quantities, same sync-folded product/decomposable cost
+        bound (see that function's docstring for the admissibility
+        argument, including why sync folds in and egress must not), same
         slack -- computed over the recursion's own per-state combo cache
         (one memoized pass over the unconstrained reachable space, which a
         binding budget search walks anyway).  All-``inf`` marks an
@@ -931,12 +997,15 @@ class DPSolver:
         if not is_last and self._clamp_active[next_stage]:
             caps = self._caps_list[next_stage]
         context = self.context
-        best_s = best_d = best_r = best_u = math.inf
+        partition = self.partitions[stage_index]
+        dp = self.data_parallel
+        best_s = best_d = best_r = best_u = best_m = math.inf
         for entry, pairs in combos:
             t_c = entry[4]
             rate = context.stage_cost_rate(entry[0])
+            sync = context.stage_sync_time(partition, dp, entry[0])
             if is_last:
-                s, d, r, u = t_c, rate * (nb * t_c), rate, t_c
+                s, d, r, u, m = t_c, rate * (nb * t_c), rate, t_c, sync
             else:
                 child = list(state)
                 for slot, used in pairs:
@@ -945,7 +1014,7 @@ class DPSolver:
                     child = [count if count <= cap else cap
                              for count, cap in zip(child, caps)]
                 child_state = tuple(child)
-                c_s, c_d, c_r, c_u, _ = self._scalar_bound(
+                c_s, c_d, c_r, c_u, c_m, _ = self._scalar_bound(
                     next_stage, child_state, child_state)
                 if c_s == math.inf:
                     continue
@@ -953,6 +1022,7 @@ class DPSolver:
                 d = rate * (nb * t_c) + c_d
                 r = rate + c_r
                 u = t_c + c_u
+                m = sync if sync >= c_m else c_m
             if s < best_s:
                 best_s = s
             if d < best_d:
@@ -961,13 +1031,17 @@ class DPSolver:
                 best_r = r
             if u < best_u:
                 best_u = u
+            if m < best_m:
+                best_m = m
         if best_s == math.inf:
-            result = (math.inf, math.inf, math.inf, math.inf, math.inf)
+            result = (math.inf, math.inf, math.inf, math.inf, math.inf,
+                      math.inf)
         else:
-            product = best_r * (best_u + (nb - 1) * best_s)
-            cost = ((best_d if best_d >= product else product)
+            product = best_r * (best_u + (nb - 1) * best_s + best_m)
+            decomposable = best_d + best_r * best_m
+            cost = ((decomposable if decomposable >= product else product)
                     * _COST_BOUND_SLACK)
-            result = (best_s, best_d, best_r, best_u, cost)
+            result = (best_s, best_d, best_r, best_u, best_m, cost)
         memo[key] = result
         return result
 
@@ -1075,7 +1149,7 @@ class DPSolver:
                     return unconstrained
                 if (self._certs_active and not self._vector_states
                         and self._scalar_bound(stage_index, resources,
-                                               key)[4] > budget):
+                                               key)[5] > budget):
                     # Scalar-mode node certificate (tiny pools): same true
                     # infeasibility proof as the engine-layer bound above.
                     self.stats.suffix_certified += 1
@@ -1673,7 +1747,7 @@ class DPSolver:
                         assumed_straggler = actual
         elif certs and engine is None:
             bound = self._scalar_bound(next_stage, remaining, remaining_key)
-            cost_lb = bound[4]
+            cost_lb = bound[5]
 
         guard = self.search_budget
         for _ in range(iterations):

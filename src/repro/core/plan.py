@@ -367,6 +367,15 @@ class SearchStats:
     #: Cooperative cancellations observed: ``SearchBudgetExhausted`` raised
     #: inside a DP hot loop and salvaged by the branch search.
     budget_interrupts: int = 0
+    #: Backward layers scored through a CSR skeleton reused from the shared
+    #: forward pass (``ForwardLayers.backward_csr``): each hit saves the
+    #: per-candidate dense (rows, combos) mask/gather rebuild.
+    backward_shared_hits: int = 0
+    #: Candidates dropped by the bound-ordered tail cut before their DP
+    #: solve ran: an admissible evaluation floor proved every remaining
+    #: candidate of the branch cannot beat the incumbent, so none of them
+    #: was solved, built or evaluated (see ``SailorPlanner._plan_branch``).
+    candidates_killed_unevaluated: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats block into this one (parallel driver)."""
@@ -405,6 +414,8 @@ class SearchStats:
                 f"layer_cache_hits={self.layer_cache_hits} "
                 f"suffix_iters={self.suffix_iterations} "
                 f"suffix_certified={self.suffix_certified} "
+                f"shared_backward={self.backward_shared_hits} "
+                f"killed_unevaluated={self.candidates_killed_unevaluated} "
                 f"branches={self.branches_complete}+"
                 f"{self.branches_incomplete}cut "
                 f"interrupts={self.budget_interrupts}")

@@ -112,6 +112,28 @@ class PlannerConfig:
     #: the constraint bookkeeping stays exact.  ``False`` disables the gate
     #: for the equivalence tests.
     enable_candidate_gate: bool = True
+    #: Cost-bound-driven candidate scheduling: precompute an admissible
+    #: evaluation floor for every data-parallel candidate of a branch (the
+    #: availability-free per-stage minima of ``_unexplored_bound``, i.e.
+    #: the candidate list viewed in cost-bound order) and, at the top of
+    #: each iteration, kill the *entire remaining tail* once its best floor
+    #: already loses to the branch incumbent
+    #: (``SearchStats.candidates_killed_unevaluated`` counts them).  Unlike
+    #: the incumbent gate -- which runs after the DP solve and only skips
+    #: the simulator evaluation -- a tail kill skips the DP solve itself.
+    #: Killing only whole tails is what makes the scheduling
+    #: value-preserving: ``Objective.better`` is strict, so no killed
+    #: candidate could have replaced the incumbent, and because nothing
+    #: after the cut is evaluated the H3/H4 staleness divergence cannot
+    #: propagate to a surviving candidate.  (Physically re-sorting the
+    #: evaluation order by bound would *not* be value-preserving: the
+    #: H3/H4 early stop and the first-wins tie-break are
+    #: evaluation-order-dependent.)  The floors are simulator floors, not
+    #: the DP engine's ``cost_lb`` tables: the kill compares against the
+    #: *simulator's* incumbent value, which the DP model does not bound.
+    #: Armed only together with ``dp_config.enable_pruning``; ``False``
+    #: restores the exhaustive per-candidate loop.
+    candidate_ordering: bool = True
 
 
 @dataclass
@@ -320,6 +342,26 @@ class SailorPlanner:
             job, mbs, max_dp, maximize_throughput=maximize_throughput,
             config=heuristics)
 
+        # Cost-bound-driven candidate scheduling (see PlannerConfig
+        # .candidate_ordering): suffix minima of the per-candidate
+        # admissible floors, so one comparison at the top of the loop
+        # prices the whole unexplored tail.  Branch-local state only --
+        # serial and parallel workers take identical kill decisions, and
+        # the incumbent gate on/off does not perturb them (the gate never
+        # changes the branch incumbent's evolution).
+        tail_floor: list[float] | None = None
+        if (self.config.candidate_ordering
+                and self.config.dp_config.enable_pruning and dp_candidates):
+            floors = self._stage_floors(context, partitions, tp_options, mbs)
+            if floors is not None:
+                tail_floor = [
+                    self._candidate_floor(job, floors, mbs, dp,
+                                          not maximize_throughput)
+                    for dp in dp_candidates]
+                for i in range(len(tail_floor) - 2, -1, -1):
+                    if tail_floor[i + 1] < tail_floor[i]:
+                        tail_floor[i] = tail_floor[i + 1]
+
         stale = 0
         best_score_this_branch: float | None = None
         cut_from: int | None = None
@@ -327,6 +369,17 @@ class SailorPlanner:
             if search_budget is not None and search_budget.expired():
                 cut_from = dp_index
                 break
+            if tail_floor is not None and outcome.evaluation is not None:
+                incumbent = self._incumbent_value(objective,
+                                                  outcome.evaluation)
+                if incumbent > 0 and tail_floor[dp_index] >= incumbent:
+                    # No remaining candidate can *strictly* beat the branch
+                    # incumbent (its floor is already >= the incumbent's
+                    # minimised scalar, and ties keep the incumbent), so
+                    # the whole tail is killed before its DP solves.
+                    context.stats.candidates_killed_unevaluated += (
+                        len(dp_candidates) - dp_index)
+                    break
             num_microbatches = job.num_microbatches(dp, mbs)
             solver = DPSolver(
                 env=self.env, job=job, partitions=partitions,
@@ -469,7 +522,30 @@ class SailorPlanner:
         Both are floors of the *simulator's* evaluation, which is what the
         incumbent values the gap compares against.  The small relative
         slack absorbs float association drift between the bound arithmetic
-        and the simulator's.
+        and the simulator's.  The same floors drive the candidate-ordering
+        tail kill (``PlannerConfig.candidate_ordering``).
+        """
+        floors = self._stage_floors(context, partitions, tp_options, mbs)
+        if floors is None:
+            return math.inf  # no unexplored candidate can host every stage
+        minimize_cost = objective.goal is OptimizationGoal.MIN_COST
+        best = math.inf
+        for dp in dp_candidates:
+            value = self._candidate_floor(job, floors, mbs, dp, minimize_cost)
+            if value < best:
+                best = value
+        return best
+
+    @staticmethod
+    def _stage_floors(context: PlannerSearchContext, partitions,
+                      tp_options: list[dict[str, list[int]]], mbs: int,
+                      ) -> tuple[float, float, float] | None:
+        """Availability-free per-stage minima of one (P, mbs) branch.
+
+        ``(sum of best stage times, max best stage time, sum of best
+        per-replica whole-node rates)`` over *every* (node type, TP) option
+        the branch admits -- a superset of what any placement could use --
+        or ``None`` when some stage fits on no node type at all.
         """
         sum_t = 0.0
         max_t = 0.0
@@ -489,20 +565,29 @@ class SailorPlanner:
                     if rate < best_rate:
                         best_rate = rate
             if best_time == math.inf:
-                return math.inf  # no unexplored candidate can host this stage
+                return None
             sum_t += best_time
             if best_time > max_t:
                 max_t = best_time
             rate_sum += best_rate
-        minimize_cost = objective.goal is OptimizationGoal.MIN_COST
-        best = math.inf
-        for dp in dp_candidates:
-            nb = job.num_microbatches(dp, mbs)
-            time_lb = sum_t + (nb - 1) * max_t
-            value = (dp * rate_sum * time_lb if minimize_cost else time_lb)
-            if value < best:
-                best = value
-        return best * _GAP_BOUND_SLACK
+        return sum_t, max_t, rate_sum
+
+    @staticmethod
+    def _candidate_floor(job: TrainingJobSpec,
+                         floors: tuple[float, float, float], mbs: int,
+                         dp: int, minimize_cost: bool) -> float:
+        """Admissible floor of one ``(P, mbs, D)`` candidate's minimised
+        scalar (iteration time, or monetary cost per iteration), from the
+        branch's ``_stage_floors``.  Slack as in ``_unexplored_bound``;
+        applying it per candidate commutes with the min over candidates
+        (multiplication by a positive constant is monotone), so the gap
+        certificates are bit-identical to the pre-refactor arithmetic.
+        """
+        sum_t, max_t, rate_sum = floors
+        nb = job.num_microbatches(dp, mbs)
+        time_lb = sum_t + (nb - 1) * max_t
+        value = (dp * rate_sum * time_lb if minimize_cost else time_lb)
+        return value * _GAP_BOUND_SLACK
 
     # -- helpers ------------------------------------------------------------------
 

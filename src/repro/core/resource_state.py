@@ -223,6 +223,26 @@ class StageKernelTable(StageComboTable):
 #: the chunking is what keeps the engine's memory flat beyond that.
 FORWARD_CHUNK_ELEMS = 1 << 25
 
+#: Maximum layer density (valid entries / dense size) at which the backward
+#: sweep routes a layer through the shared CSR argmin kernel.  The CSR
+#: chain pays fancy-index gathers plus two segmented ``reduceat`` passes
+#: per *valid* entry, where the dense path pays broadcast arithmetic plus
+#: one ``argmin`` per *dense* entry; measured at the 1024-GPU bench point
+#: the per-entry ratio is ~3-4x, so the CSR path only wins once the
+#: truncation masks leave well under a quarter of the dense product valid.
+#: Above the threshold the skeleton is not even built.  Both paths are
+#: bit-identical (the equivalence suite forces each in turn), so the
+#: dispatch is a pure latency policy.
+SHARED_ARGMIN_MAX_DENSITY = 0.25
+
+#: Packed-value ceiling below which :func:`dedup_states` uses the counting
+#: (bincount) dedup instead of the sort-based ``np.unique``.  The bound
+#: caps the side tables at a few MB; pools whose packed range exceeds it
+#: (beyond ~4M distinct states) fall back to the sort.  4096-GPU pools
+#: pack to ~513^2 values, so every current bench point stays on the
+#: counting path.
+DEDUP_BINCOUNT_RANGE = 1 << 22
+
 
 def layer_pack_weights(root_state: np.ndarray) -> np.ndarray | None:
     """Mixed-radix weights packing any reachable state into one ``int64``.
@@ -260,6 +280,23 @@ def dedup_states(children: np.ndarray,
     """
     if weights is not None:
         packed = children @ weights
+        if packed.shape[0] and int(packed.max()) < DEDUP_BINCOUNT_RANGE:
+            # Counting dedup: O(n + range) instead of the O(n log n)
+            # argsort `np.unique` performs -- the dominant forward-pass
+            # cost at the 1024-GPU point.  Output-identical to the sort
+            # path: unique values ascend (cumsum ranks ascend with the
+            # packed value), the inverse maps through those ranks, and the
+            # representative row per value is bitwise arbitrary-free --
+            # packing is injective, so every row sharing a packed value is
+            # the same row.
+            counts = np.bincount(packed)
+            present = counts > 0
+            rank = np.cumsum(present, dtype=np.int64) - 1
+            inverse = rank[packed]
+            representative = np.empty(counts.shape[0], dtype=np.int64)
+            representative[packed] = np.arange(packed.shape[0],
+                                               dtype=np.int64)
+            return children[representative[present]], inverse
         _, first, inverse = np.unique(packed, return_index=True,
                                       return_inverse=True)
         return children[first], inverse
@@ -282,12 +319,14 @@ class ForwardLayers:
     """
 
     __slots__ = ("states", "child_row", "last_sel", "states_computed",
-                 "dedup_hits", "row_of", "_row_cols")
+                 "dedup_hits", "row_of", "_row_cols", "_backward_csr",
+                 "_backward_nnz")
 
     def __init__(self, states: list[np.ndarray],
                  child_row: list[np.ndarray | None],
                  last_sel: np.ndarray, states_computed: int,
-                 dedup_hits: int) -> None:
+                 dedup_hits: int,
+                 backward_nnz: dict[int, int] | None = None) -> None:
         self.states = states
         self.child_row = child_row
         self.last_sel = last_sel
@@ -304,6 +343,20 @@ class ForwardLayers:
         #: retained intermediates turn every backward temp allocation into
         #: fresh-page traffic).
         self._row_cols: dict[tuple[int, int], tuple] = {}
+        #: Per-stage CSR skeleton of the valid (state, combo) entries, built
+        #: lazily by :meth:`backward_csr` and shared across every candidate
+        #: (it is a pure function of ``child_row``/``last_sel``).  Index
+        #: arrays only -- at the default truncation limit that is at most
+        #: ~2*limit+1 int64 per state, far below the transient (rows,
+        #: combos) float64 gather matrices PR 4's negative result keeps off
+        #: the shared layers.
+        self._backward_csr: dict[int, tuple] = {}
+        #: Per-stage count of valid (state, combo) entries, the density
+        #: input of the backward-path dispatch (:meth:`backward_nnz`);
+        #: mbs-independent like the skeleton itself.  The forward pass
+        #: pre-fills it from counts it computes anyway; the lazy fallback
+        #: covers hand-built layers.
+        self._backward_nnz: dict[int, int] = dict(backward_nnz or {})
 
     def row_for_key(self, stage_index: int, key: bytes) -> int | None:
         """Row index of an encoded state in one layer, if reachable."""
@@ -336,6 +389,61 @@ class ForwardLayers:
             self._row_cols[(stage_index, row)] = cached
         return cached
 
+    def backward_nnz(self, stage_index: int, last: bool) -> int:
+        """Count of valid (state, combo) entries in one layer.
+
+        A cheap boolean reduction over the forward masks, cached per stage
+        (mbs-independent), so the backward dispatch can compare a layer's
+        density against :data:`SHARED_ARGMIN_MAX_DENSITY` without building
+        the CSR skeleton first.
+        """
+        cached = self._backward_nnz.get(stage_index)
+        if cached is None:
+            if last:
+                cached = int(np.count_nonzero(self.last_sel))
+            else:
+                cached = int(np.count_nonzero(
+                    self.child_row[stage_index] >= 0))
+            self._backward_nnz[stage_index] = cached
+        return cached
+
+    def backward_csr(self, stage_index: int,
+                     last: bool) -> tuple[tuple, bool]:
+        """CSR skeleton of one layer's valid (state, combo) entries.
+
+        Returns ``((row_ptr, cols, child), reused)``: the flattened
+        row-major valid entries of ``child_row[stage_index]`` (or
+        ``last_sel`` on the last stage, where ``child`` is ``None``) --
+        ``cols[k]`` is the k-th entry's master combo column, ``child[k]``
+        its child-layer row, and ``row_ptr`` the per-state segment offsets.
+        Within each segment entries appear in ascending column order, i.e.
+        master ranking order, which is what lets a segmented first-min
+        reduction reproduce the dense ``argmin`` tie-break exactly.
+
+        The skeleton is mbs-independent (child maps are forward state), so
+        every candidate sharing this forward pass reuses it; ``reused``
+        reports whether this call hit the cache (surfaced as
+        ``SearchStats.backward_shared_hits``).
+        """
+        cached = self._backward_csr.get(stage_index)
+        if cached is not None:
+            return cached, True
+        if last:
+            rows_idx, cols = self.last_sel.nonzero()
+            child = None
+            num_rows = self.last_sel.shape[0]
+        else:
+            crow = self.child_row[stage_index]
+            rows_idx, cols = (crow >= 0).nonzero()
+            child = crow[rows_idx, cols]
+            num_rows = crow.shape[0]
+        counts = np.bincount(rows_idx, minlength=num_rows)
+        row_ptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_ptr[1:])
+        cached = (row_ptr, cols, child)
+        self._backward_csr[stage_index] = cached
+        return cached, False
+
 
 def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
                            clamp_active: list[bool], limit: int,
@@ -366,6 +474,7 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
     last_sel: np.ndarray | None = None
     states_computed = 0
     dedup_hits = 0
+    stage_nnz: dict[int, int] = {}
     for j in range(num_stages):
         layers.append(states)
         states_computed += states.shape[0]
@@ -375,13 +484,23 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
         chunk = max(1, chunk_elems // max(1, num_combos * num_slots))
         sel_full = np.empty((num_states, num_combos), dtype=bool)
         child_chunks: list[np.ndarray] = []
+        reqT = np.ascontiguousarray(req.T)
         for start in range(0, num_states, chunk):
             if search_budget is not None:
                 search_budget.tick()
             block = states[start:start + chunk]
             # (chunk, M): which master combos fit which states, truncated to
             # the first `limit` fitting per state in master (ranking) order.
-            fits = (req[None, :, :] <= block[:, None, :]).all(axis=2)
+            # Accumulated slot by slot: each step is one contiguous 2-D
+            # compare-and-AND, which beats materialising the (chunk, M,
+            # slots) cube and reducing along its strided last axis.  The
+            # boolean result is identical to `(req <= block).all(axis=2)`.
+            if num_slots:
+                fits = block[:, 0:1] >= reqT[0]
+                for slot in range(1, num_slots):
+                    fits &= block[:, slot:slot + 1] >= reqT[slot]
+            else:
+                fits = np.ones((block.shape[0], num_combos), dtype=bool)
             if (limit < num_combos
                     and int(fits.sum(axis=1).max(initial=0)) > limit):
                 # Only pay the cumsum when some state actually has more
@@ -391,8 +510,10 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
                 sel = fits
             sel_full[start:start + chunk] = sel
             if last:
+                stage_nnz[j] = stage_nnz.get(j, 0) + int(np.count_nonzero(sel))
                 continue
             rows, cols = sel.nonzero()
+            stage_nnz[j] = stage_nnz.get(j, 0) + rows.shape[0]
             children = block[rows] - req[cols]
             if clamp_active[j + 1]:
                 children = np.minimum(children, caps_vec[j + 1])
@@ -414,7 +535,7 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
         states = uniq
     return ForwardLayers(states=layers, child_row=child_rows,
                          last_sel=last_sel, states_computed=states_computed,
-                         dedup_hits=dedup_hits)
+                         dedup_hits=dedup_hits, backward_nnz=stage_nnz)
 
 
 #: Relative slack applied to the cost lower bounds so they stay admissible
@@ -450,10 +571,17 @@ class BudgetBoundTables:
 
     ``+inf`` rows are infeasible suffixes (no combo chain completes), the
     same rows the engine's backward values mark infeasible.
+
+    ``sync_lb[j][row]`` bounds the *max sync time* of every solution the
+    same way (min over combo chains of the max sync along the chain; exact
+    min/max arithmetic, like ``straggler_lb``).  It is folded into
+    ``cost_lb`` -- the sync floor the bound previously dropped -- and kept
+    here for the admissibility property suite.
     """
 
     straggler_lb: list[np.ndarray]
     cost_lb: list[np.ndarray]
+    sync_lb: list[np.ndarray]
 
 
 def compute_budget_bounds(forward: ForwardLayers,
@@ -475,14 +603,40 @@ def compute_budget_bounds(forward: ForwardLayers,
       stage ``i``, hence ``cost = (sum_i rate_i) * T >= sum_i rate_i *
       Nb * t_i``;
     * ``rlb`` / ``sum_lb`` -- min achievable total cost rate / total
-      compute-time sum.
+      compute-time sum;
+    * ``mslb`` -- min achievable max sync time
+      (``min_c max(sync_c, mslb_child)``; exact, min/max only).
 
     The final cost bound is the elementwise best of the decomposable bound
-    and the *product* bound ``rlb * (sum_lb + (Nb-1) * slb)`` (each factor
-    is an independent minimum, so the product lower-bounds every
-    solution's ``rate * (sum + (Nb-1) * max)``, itself a lower bound on
-    the projected cost since sync time is non-negative), scaled by
-    :data:`_BOUND_SLACK` for float admissibility.
+    and the *product* bound, each tightened by the sync floor the previous
+    formulation dropped:
+
+    * product: ``rlb * (sum_lb + (Nb-1) * slb + mslb)`` -- each factor is
+      an independent minimum, and every solution's projected time is
+      exactly ``sum + (Nb-1) * max + sync`` with ``sum >= sum_lb``,
+      ``max >= slb``, ``sync >= mslb``, so the product lower-bounds every
+      solution's ``rate * time`` (no longer discarding the sync term);
+    * decomposable: ``dec + rlb * mslb`` -- any solution's projected time
+      satisfies ``T >= Nb * t_i + sync`` for every stage ``i`` (``sum >=
+      t_i``, ``max >= t_i``, so ``sum + (Nb-1) * max >= Nb * t_i``), hence
+      ``cost = (sum_i rate_i) * T >= sum_i rate_i * Nb * t_i +
+      (sum_i rate_i) * sync >= dec + rlb * mslb``.
+
+    Both scaled by :data:`_BOUND_SLACK` for float admissibility.
+
+    **Why sync folds in but egress does not.**  These bounds certify
+    outcomes of the *DP solver's* budget recursion, whose projected cost is
+    the compute-only ``rate * (sum + (Nb-1) * max + sync)``
+    (``DPSolution.projected_cost``); sync is part of that model, so the
+    fold above is admissible against every solution the recursion can
+    return.  Egress (inter-zone traffic priced by
+    ``SailorSimulator.communication_cost``) is *not* in the DP cost model
+    -- it appears first at the planner's candidate gate, where
+    ``SailorSimulator.cost_floor`` adds it exactly.  Folding an egress
+    floor in here would over-bound relative to ``projected_cost`` and
+    could certify-infeasible a suffix the recursion would have solved,
+    changing chosen plans; the candidate-gate level is where egress
+    already prunes admissibly.
     """
     nb = float(num_microbatches)
     nb1 = float(num_microbatches - 1)
@@ -491,6 +645,7 @@ def compute_budget_bounds(forward: ForwardLayers,
     dec: list[np.ndarray] = [None] * num_stages
     rlb: list[np.ndarray] = [None] * num_stages
     sum_lb: list[np.ndarray] = [None] * num_stages
+    mslb: list[np.ndarray] = [None] * num_stages
     for j in range(num_stages - 1, -1, -1):
         if search_budget is not None:
             search_budget.tick()
@@ -507,9 +662,11 @@ def compute_budget_bounds(forward: ForwardLayers,
             dec[j] = infinite
             rlb[j] = infinite
             sum_lb[j] = infinite
+            mslb[j] = infinite
             continue
         t_a = table.compute[None, :]
         rate_a = table.rate[None, :]
+        sync_a = table.sync[None, :]
         shape = (rows, table.req.shape[0])
         stage_cost = (table.rate * (nb * table.compute))[None, :]
         if last:
@@ -517,6 +674,7 @@ def compute_budget_bounds(forward: ForwardLayers,
             d_mat = np.broadcast_to(stage_cost, shape)
             r_mat = np.broadcast_to(rate_a, shape)
             u_mat = s_mat
+            m_mat = np.broadcast_to(sync_a, shape)
             invalid = ~forward.last_sel
         else:
             child_row = forward.child_row[j]
@@ -527,22 +685,31 @@ def compute_budget_bounds(forward: ForwardLayers,
             d_mat = stage_cost + dec[j + 1][safe]
             r_mat = rate_a + rlb[j + 1][safe]
             u_mat = t_a + sum_lb[j + 1][safe]
+            m_mat = np.maximum(sync_a, mslb[j + 1][safe])
             invalid = base | np.isinf(child_slb)
         slb[j] = np.where(invalid, np.inf, s_mat).min(axis=1)
         dec[j] = np.where(invalid, np.inf, d_mat).min(axis=1)
         rlb[j] = np.where(invalid, np.inf, r_mat).min(axis=1)
         sum_lb[j] = np.where(invalid, np.inf, u_mat).min(axis=1)
+        mslb[j] = np.where(invalid, np.inf, m_mat).min(axis=1)
     # Infeasible rows are pinned to +inf explicitly: with Nb == 1 the
     # product term would otherwise produce 0 * inf = NaN, and NaN compares
-    # false everywhere -- silently disarming the certificates.
+    # false everywhere -- silently disarming the certificates.  The sync
+    # factors are masked the same way (inf * 0-rate and rate * inf-sync
+    # would NaN too).
     cost_lb = []
     for j in range(num_stages):
         infeasible = np.isinf(slb[j])
+        sync_floor = np.where(infeasible, 0.0, mslb[j])
+        rlb_safe = np.where(infeasible, 0.0, rlb[j])
         product = rlb[j] * (sum_lb[j]
-                            + nb1 * np.where(infeasible, 0.0, slb[j]))
+                            + nb1 * np.where(infeasible, 0.0, slb[j])
+                            + sync_floor)
+        decomposable = dec[j] + rlb_safe * sync_floor
         cost_lb.append(np.where(infeasible, np.inf,
-                                np.maximum(dec[j], product) * _BOUND_SLACK))
-    return BudgetBoundTables(straggler_lb=slb, cost_lb=cost_lb)
+                                np.maximum(decomposable, product)
+                                * _BOUND_SLACK))
+    return BudgetBoundTables(straggler_lb=slb, cost_lb=cost_lb, sync_lb=mslb)
 
 
 def forward_signature(root_state: np.ndarray, reqs: list[np.ndarray],
@@ -605,7 +772,9 @@ class ResourceStateEngine:
     def __init__(self, codec: ResourceStateCodec,
                  tables: list[StageKernelTable], forward: ForwardLayers,
                  num_microbatches: int, minimize_cost: bool,
-                 search_budget=None) -> None:
+                 search_budget=None, shared_argmin: bool = True,
+                 shared_argmin_max_density: float =
+                 SHARED_ARGMIN_MAX_DENSITY) -> None:
         self.codec = codec
         #: Optional cooperative cancellation point (``tick()`` per layer in
         #: the backward sweep); None leaves the sweep uncancellable.
@@ -614,6 +783,19 @@ class ResourceStateEngine:
         self.forward = forward
         self.nb1 = float(num_microbatches - 1)
         self.minimize_cost = minimize_cost
+        #: Score layers through the shared CSR skeleton
+        #: (:meth:`ForwardLayers.backward_csr`) instead of dense (rows,
+        #: combos) matrices; bit-identical by construction (same per-entry
+        #: op chain, segment order = master ranking order), kept toggleable
+        #: as the equivalence reference (``shared_backward_argmin``).
+        self.shared_argmin = shared_argmin
+        #: Per-layer density ceiling for the CSR route (see
+        #: :data:`SHARED_ARGMIN_MAX_DENSITY`); 1.0 forces every layer
+        #: through the shared kernel (the equivalence tests do).
+        self.shared_argmin_max_density = shared_argmin_max_density
+        #: Layers whose CSR skeleton was reused from the shared forward
+        #: pass this backward sweep (-> SearchStats.backward_shared_hits).
+        self.shared_skeleton_hits = 0
         num_stages = len(tables)
         #: Backward results: per stage, the chosen combo per row and the
         #: optimum's (value, sum, max, sync, rate); value is +inf where the
@@ -654,12 +836,48 @@ class ResourceStateEngine:
     # -- passes --------------------------------------------------------------
 
     def run_backward(self) -> None:
-        """Backward optimisation over the (possibly shared) forward layers."""
+        """Backward optimisation over the (possibly shared) forward layers.
+
+        Per layer, routes through the shared CSR kernel only when the
+        layer is sparse enough for it to win (see
+        :data:`SHARED_ARGMIN_MAX_DENSITY`); the two paths are bit-identical
+        so the dispatch never changes a result.
+        """
         budget = self.search_budget
-        for j in range(len(self.tables) - 1, -1, -1):
+        num_stages = len(self.tables)
+        for j in range(num_stages - 1, -1, -1):
             if budget is not None:
                 budget.tick()
-            self._solve_layer(j)
+            if self.shared_argmin and self._layer_is_sparse(j, num_stages):
+                self._solve_layer_shared(j)
+            else:
+                self._solve_layer(j)
+
+    def _layer_is_sparse(self, j: int, num_stages: int) -> bool:
+        """Whether one layer clears the CSR route's density ceiling."""
+        dense = (self.forward.states[j].shape[0]
+                 * self.tables[j].req.shape[0])
+        if dense == 0:
+            return True  # both paths short-circuit to the infeasible form
+        last = j == num_stages - 1
+        nnz = self.forward.backward_nnz(j, last)
+        return nnz <= self.shared_argmin_max_density * dense
+
+    def _mark_layer_infeasible(self, j: int, rows: int) -> None:
+        """Record a whole layer as infeasible (no combo chain completes).
+
+        The same normal form both scoring paths emit for individually
+        infeasible rows: ``value``/``time_value`` ``+inf``, backpointer 0,
+        zeroed quadruples.  Consumers gate on feasibility before reading
+        any of the finite fields (see :meth:`budget_tables`).
+        """
+        self.arg[j] = np.zeros(rows, dtype=np.int64)
+        self.value[j] = np.full(rows, np.inf)
+        self.time_value[j] = np.full(rows, np.inf)
+        self.sum_t[j] = np.zeros(rows)
+        self.max_t[j] = np.zeros(rows)
+        self.sync_t[j] = np.zeros(rows)
+        self.rate[j] = np.zeros(rows)
 
     def _solve_layer(self, j: int) -> None:
         """Score every (state, combo) candidate of one layer and reduce.
@@ -680,13 +898,7 @@ class ResourceStateEngine:
                 or (not last and forward.states[j + 1].shape[0] == 0)):
             # No combo can host this stage (or nothing survives below it):
             # the whole layer is infeasible, exactly as the recursion finds.
-            self.arg[j] = np.zeros(rows, dtype=np.int64)
-            self.value[j] = np.full(rows, np.inf)
-            self.time_value[j] = np.full(rows, np.inf)
-            self.sum_t[j] = np.zeros(rows)
-            self.max_t[j] = np.zeros(rows)
-            self.sync_t[j] = np.zeros(rows)
-            self.rate[j] = np.zeros(rows)
+            self._mark_layer_infeasible(j, rows)
             return
         t_a = table.compute[None, :]
         sync_a = table.sync[None, :]
@@ -705,28 +917,130 @@ class ResourceStateEngine:
             # Transient per-candidate gather: retaining these (rows,
             # combos) intermediates on the shared forward layers was
             # measured slower at scale (see ForwardLayers._row_cols).
-            safe = np.where(child_row >= 0, child_row, 0)
+            # Every elementwise step below reuses its gather buffer
+            # in place (same operand association as the expression form,
+            # so results stay bit-identical) -- at scale these (rows,
+            # combos) temporaries are memory-bandwidth bound and halving
+            # the passes is a measurable share of the backward wall.
             base = child_row < 0
-            sum_c = t_a + self.sum_t[j + 1][safe]
-            max_c = np.maximum(t_a, self.max_t[j + 1][safe])
-            sync_c = np.maximum(sync_a, self.sync_t[j + 1][safe])
-            rate_c = rate_a + self.rate[j + 1][safe]
-            time_v = sum_c + self.nb1 * max_c + sync_c
-            invalid = base | np.isinf(self.value[j + 1][safe])
+            safe = np.where(base, 0, child_row)
+            sum_c = self.sum_t[j + 1][safe]
+            np.add(t_a, sum_c, out=sum_c)
+            max_c = self.max_t[j + 1][safe]
+            np.maximum(t_a, max_c, out=max_c)
+            sync_c = self.sync_t[j + 1][safe]
+            np.maximum(sync_a, sync_c, out=sync_c)
+            rate_c = self.rate[j + 1][safe]
+            np.add(rate_a, rate_c, out=rate_c)
+            # time_v = sum_c + self.nb1 * max_c + sync_c, left-associated.
+            time_v = self.nb1 * max_c
+            np.add(sum_c, time_v, out=time_v)
+            np.add(time_v, sync_c, out=time_v)
+            # isinf on the 1-D child values once, gathered -- not isinf on
+            # the full (rows, combos) gather.
+            invalid = np.isinf(self.value[j + 1])[safe]
+            invalid |= base
         if self.minimize_cost:
             scored = rate_c * time_v
+        elif last:
+            scored = time_v.copy()  # time_v is a read-only broadcast view
         else:
+            # Masking time_v in place is safe: the entries the mask touches
+            # are exactly the ones the feasibility gate below never reads.
             scored = time_v
-        scored = np.where(invalid, np.inf, scored)
+        scored[invalid] = np.inf
         arg = np.argmin(scored, axis=1)
         take = np.arange(rows)
+        value = scored[take, arg]
+        # Normal form for infeasible rows (all entries invalid): argmin of
+        # an all-inf row is already 0; the gathered quadruples would be
+        # whatever column 0 combined to, which nothing may read -- pin them
+        # to 0 so both scoring paths emit identical arrays everywhere and
+        # feasibility-gated consumers (see budget_tables) stay NaN-free.
+        feasible = np.isfinite(value)
         self.arg[j] = arg
-        self.value[j] = scored[take, arg]
-        self.time_value[j] = np.where(invalid, np.inf, time_v)[take, arg]
-        self.sum_t[j] = sum_c[take, arg]
-        self.max_t[j] = max_c[take, arg]
-        self.sync_t[j] = sync_c[take, arg]
-        self.rate[j] = rate_c[take, arg]
+        self.value[j] = value
+        # Equivalent to gathering np.where(invalid, inf, time_v): a feasible
+        # row's argmin entry is never invalid (it scored finite), and an
+        # infeasible row is pinned to inf either way -- so the 1-D gate
+        # replaces another full (rows, combos) where pass.
+        self.time_value[j] = np.where(feasible, time_v[take, arg], np.inf)
+        self.sum_t[j] = np.where(feasible, sum_c[take, arg], 0.0)
+        self.max_t[j] = np.where(feasible, max_c[take, arg], 0.0)
+        self.sync_t[j] = np.where(feasible, sync_c[take, arg], 0.0)
+        self.rate[j] = np.where(feasible, rate_c[take, arg], 0.0)
+
+    def _solve_layer_shared(self, j: int) -> None:
+        """Score one layer through the shared CSR skeleton.
+
+        Same per-entry operation chain as :meth:`_solve_layer`, evaluated
+        only on the valid (state, combo) entries (at most the truncation
+        limit per state) instead of the dense (rows, combos) product, with
+        the layer reduction as a segmented first-min: ``minimum.reduceat``
+        per row segment, then the first flat index attaining the segment
+        minimum.  Segment entries are in master ranking order
+        (:meth:`ForwardLayers.backward_csr`), so the tie-break is the dense
+        ``argmin``'s first-minimum, bit for bit.  Infeasible rows (empty
+        segment, or every entry's child infeasible) take the shared normal
+        form of :meth:`_mark_layer_infeasible`.
+        """
+        table = self.tables[j]
+        forward = self.forward
+        last = j == len(self.tables) - 1
+        rows = forward.states[j].shape[0]
+        if (table.req.shape[0] == 0
+                or (not last and forward.states[j + 1].shape[0] == 0)):
+            self._mark_layer_infeasible(j, rows)
+            return
+        (row_ptr, cols, child), reused = forward.backward_csr(j, last)
+        self.shared_skeleton_hits += reused
+        nnz = cols.shape[0]
+        if nnz == 0:
+            self._mark_layer_infeasible(j, rows)
+            return
+        t_a = table.compute[cols]
+        sync_a = table.sync[cols]
+        rate_a = table.rate[cols]
+        if last:
+            sum_e = t_a
+            max_e = t_a
+            sync_e = sync_a
+            rate_e = rate_a
+            time_e = t_a + self.nb1 * t_a + sync_a
+            invalid_e = None
+        else:
+            sum_e = t_a + self.sum_t[j + 1][child]
+            max_e = np.maximum(t_a, self.max_t[j + 1][child])
+            sync_e = np.maximum(sync_a, self.sync_t[j + 1][child])
+            rate_e = rate_a + self.rate[j + 1][child]
+            time_e = sum_e + self.nb1 * max_e + sync_e
+            invalid_e = np.isinf(self.value[j + 1][child])
+        if self.minimize_cost:
+            scored_e = rate_e * time_e
+        else:
+            scored_e = time_e
+        if invalid_e is not None:
+            scored_e = np.where(invalid_e, np.inf, scored_e)
+        starts = row_ptr[:-1]
+        counts = row_ptr[1:] - starts
+        nonempty = counts > 0
+        # reduceat rejects start == len and treats empty segments as a
+        # 1-element gather; clamp, reduce, then overwrite the empty rows.
+        safe_starts = np.minimum(starts, nnz - 1)
+        seg_min = np.minimum.reduceat(scored_e, safe_starts)
+        value = np.where(nonempty, seg_min, np.inf)
+        is_min = scored_e == np.repeat(value, counts)
+        first = np.minimum.reduceat(
+            np.where(is_min, np.arange(nnz), nnz), safe_starts)
+        feasible = np.isfinite(value)
+        sel = np.where(feasible, first, 0)
+        self.arg[j] = np.where(feasible, cols[sel], 0)
+        self.value[j] = value
+        self.time_value[j] = np.where(feasible, time_e[sel], np.inf)
+        self.sum_t[j] = np.where(feasible, sum_e[sel], 0.0)
+        self.max_t[j] = np.where(feasible, max_e[sel], 0.0)
+        self.sync_t[j] = np.where(feasible, sync_e[sel], 0.0)
+        self.rate[j] = np.where(feasible, rate_e[sel], 0.0)
 
     # -- lookups -------------------------------------------------------------
 
@@ -753,9 +1067,16 @@ class ResourceStateEngine:
         """
         cost = self._cost_unc[stage_index]
         if cost is None:
-            cost = self.rate[stage_index] * self.time_value[stage_index]
+            feasible = np.isfinite(self.value[stage_index])
+            # Infeasible rows hold the (0 rate, +inf time) normal form whose
+            # product is NaN -- pin them to +inf; only feasible entries are
+            # ever compared against budgets.
+            with np.errstate(invalid="ignore"):
+                cost = np.where(feasible,
+                                self.rate[stage_index]
+                                * self.time_value[stage_index], np.inf)
             self._cost_unc[stage_index] = cost
-            self._feasible[stage_index] = np.isfinite(self.value[stage_index])
+            self._feasible[stage_index] = feasible
         return cost, self._feasible[stage_index]
 
     def backpointer(self, stage_index: int, row: int) -> tuple[int, int]:

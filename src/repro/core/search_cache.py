@@ -181,17 +181,26 @@ class PlannerSearchContext:
         #: (clamped root + per-stage footprint matrices + clamps + limit).
         #: Layer reachability is microbatch-size independent, so every
         #: (P, mbs, D) candidate with the same signature -- typically all
-        #: mbs variants of one (P, D) -- shares one forward pass.  Bounded
-        #: FIFO: one planner call produces one signature per (P, D)-shaped
+        #: mbs variants of one (P, D) -- shares one forward pass.  The
+        #: cached ForwardLayers also lazily grow the backward CSR argmin
+        #: skeletons (``ForwardLayers.backward_csr``): the sparsity pattern
+        #: of each layer's feasible (row, combo) pairs, which is likewise
+        #: mbs-independent, so every candidate sharing a forward pass
+        #: shares the backward reduction's structure too
+        #: (``SearchStats.backward_shared_hits``).  Bounded FIFO: one
+        #: planner call produces one signature per (P, D)-shaped
         #: candidate, far below the cap; the bound only guards pathological
         #: topologies from accumulating layer arrays without limit.
         self._forward_layers: dict[tuple, object] = {}
         self._forward_layers_max = 256
         #: Budget-certificate bound tables (resource-state engine):
-        #: BudgetBoundTables keyed by (forward signature, num microbatches,
-        #: per-stage compute/rate blobs) -- everything the bound recursion
-        #: reads -- so only bit-identical bound passes are ever shared.
-        #: Same bounded-FIFO policy as the forward layers.
+        #: BudgetBoundTables (straggler, cost *and* sync floors -- the cost
+        #: floor folds the minimal attainable sync overhead, see
+        #: ``resource_state.compute_budget_bounds``) keyed by (forward
+        #: signature, num microbatches, per-stage compute/sync/rate blobs)
+        #: -- everything the bound recursion reads -- so only bit-identical
+        #: bound passes are ever shared.  Same bounded-FIFO policy as the
+        #: forward layers.
         self._budget_bounds: dict[tuple, object] = {}
         self._budget_bounds_max = 256
         self._link_class: dict[tuple[str, str], LinkClass] = {}

@@ -69,15 +69,61 @@ class SimulationEnvironment:
         # comparison being strict -- can never displace the incumbent:
         # probing each distinct combination once is behavior-preserving and
         # turns the O(D^2) curve evaluations into O(distinct classes).
+        #
+        # The pair scan itself is also collapsed: a replica's contribution
+        # is fully determined by its (node_type, zone) group, so once a
+        # leading replica's group has been scanned against every group
+        # present, later replicas of that group can contribute no new
+        # ordered combination and their whole inner loop is skipped.  The
+        # scan order over *new* combinations is exactly the naive double
+        # loop's first-encounter order, so the returned profile (including
+        # equal-bandwidth ties, resolved by the strict comparison to the
+        # earliest encounter) is unchanged.
+        group_of: dict[tuple[str, str], int] = {}
+        groups: list[tuple[str, str]] = []
+        gids = []
+        for replica in replicas:
+            key = (replica.node_type, replica.zone)
+            gid = group_of.get(key)
+            if gid is None:
+                gid = len(groups)
+                group_of[key] = gid
+                groups.append(key)
+            gids.append(gid)
+        if len(groups) == 1:
+            # All replicas share one (node type, zone): every pair probes
+            # the same intra-zone profile the naive scan would return.
+            return self.link_between(replicas[0], replicas[0])
+        all_gids = frozenset(gids)
+        link_classes: dict[tuple[str, str], LinkClass] = {}
+        scanned: dict[int, set[int]] = {}
         seen: set[tuple[str, str, LinkClass]] = set()
-        for i, a in enumerate(replicas):
-            for b in replicas[i + 1:]:
-                pair_key = (a.node_type, b.node_type,
-                            self.link_class(a.zone, b.zone))
+        num = len(replicas)
+        for i in range(num - 1):
+            ga = gids[i]
+            partners = scanned.get(ga)
+            if partners is None:
+                partners = scanned[ga] = set()
+            elif len(partners) == len(all_gids):
+                continue
+            node_a, zone_a = groups[ga]
+            for j in range(i + 1, num):
+                gb = gids[j]
+                if gb in partners:
+                    continue
+                partners.add(gb)
+                node_b, zone_b = groups[gb]
+                zone_pair = (zone_a, zone_b)
+                link_class = link_classes.get(zone_pair)
+                if link_class is None:
+                    link_class = self.link_class(zone_a, zone_b)
+                    link_classes[zone_pair] = link_class
+                pair_key = (node_a, node_b, link_class)
                 if pair_key in seen:
                     continue
                 seen.add(pair_key)
-                profile = self.link_between(a, b)
+                profile = self.profiles.network_profile(node_a, node_b,
+                                                        link_class)
                 bw = profile.bandwidth(probe)
                 if bw < worst_bw:
                     worst, worst_bw = profile, bw

@@ -580,11 +580,14 @@ def test_budget_bounds_are_true_lower_bounds_over_random_pools(opt_env,
             assert row is not None
             slb = bounds.straggler_lb[0][row]
             clb = bounds.cost_lb[0][row]
+            mlb = bounds.sync_lb[0][row]
             if not solutions:
                 assert unconstrained is None
                 assert math.isinf(slb) and math.isinf(clb)
+                assert math.isinf(mlb)
             for solution in solutions:
                 assert slb <= solution.max_stage_time_s
+                assert mlb <= solution.max_sync_time_s
                 assert clb <= solution.projected_cost(nb)
                 checked += 1
 
@@ -593,11 +596,14 @@ def test_budget_bounds_are_true_lower_bounds_over_random_pools(opt_env,
             unconstrained is None
         if not scalar_solver._vector_states:
             root = tuple(_solver_root_state(scalar_solver).tolist())
-            s_slb, _, _, _, s_clb = scalar_solver._scalar_bound(0, root, root)
+            s_slb, _, _, _, s_mlb, s_clb = scalar_solver._scalar_bound(
+                0, root, root)
             if not solutions:
                 assert math.isinf(s_slb) and math.isinf(s_clb)
+                assert math.isinf(s_mlb)
             for solution in solutions:
                 assert s_slb <= solution.max_stage_time_s
+                assert s_mlb <= solution.max_sync_time_s
                 assert s_clb <= solution.projected_cost(nb)
                 checked += 1
     assert checked > 0  # the sweep must have exercised real pools
@@ -624,14 +630,19 @@ def test_certificates_match_uncertified_recursion(opt_env, opt_job, pp, dp,
     for fraction in BUDGET_FRACTIONS:
         budget = base_cost * fraction
         certified = build_solver(opt_env, opt_job, pp=pp, dp=dp)
-        certified.config = DPSolverConfig(engine_min_states=engine_min)
+        certified.config = DPSolverConfig(engine_min_states=engine_min,
+                                          engine_min_states_budget=engine_min)
         certified.engine_min_states = engine_min
+        certified.engine_min_states_budget = engine_min
         plain = build_solver(opt_env, opt_job, pp=pp, dp=dp)
         plain.config = DPSolverConfig(
-            engine_min_states=engine_min, enable_straggler_bound=False,
+            engine_min_states=engine_min,
+            engine_min_states_budget=engine_min,
+            enable_straggler_bound=False,
             engine_seeded_straggler=False, batched_layer_resolve=False,
             shared_backward=False)
         plain.engine_min_states = engine_min
+        plain.engine_min_states_budget = engine_min
         a = certified.solve(dict(resources), budget_per_iteration=budget)
         b = plain.solve(dict(resources), budget_per_iteration=budget)
         assert (a is None) == (b is None)

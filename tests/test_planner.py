@@ -351,7 +351,12 @@ def test_layer_cache_and_batched_threading_do_not_change_the_chosen_plan(
                                engine_seeded_straggler=False),
                 DPSolverConfig(engine_min_states=0, shared_backward=False),
                 DPSolverConfig(engine_min_states=0,
+                               shared_backward_argmin=False),
+                DPSolverConfig(engine_min_states=0,
+                               shared_backward_density=1.0),  # force CSR
+                DPSolverConfig(engine_min_states=0,
                                batched_layer_resolve=False),
+                DPSolverConfig(engine_min_states_budget=0),  # budget -> engine
                 DPSolverConfig(),  # adaptive dispatch (scalar certificates)
                 DPSolverConfig(enable_pruning=False),
         ):
@@ -411,6 +416,62 @@ def test_pruning_does_not_change_the_chosen_plan(opt_env, opt_job,
     assert exhaustive.search_stats.pruned_branches == 0
     assert pruned.search_stats.nodes_explored <= \
         exhaustive.search_stats.nodes_explored
+
+
+def test_candidate_ordering_preserves_plans_and_bookkeeping(opt_env, opt_job,
+                                                            mixed_topology):
+    """Cost-bound-driven candidate scheduling must be observability-only:
+    the chosen plan *and* its evaluation are byte-identical with
+    ``candidate_ordering`` on/off, composed with the incumbent gate on/off,
+    across objectives; the kill decision is gate-independent (surviving
+    candidates' bookkeeping replays exactly), kills actually fire when
+    armed, and the toggle disarms under ``enable_pruning=False``."""
+    from repro.core.dp_solver import DPSolverConfig
+
+    unconstrained = SailorPlanner(opt_env).plan(opt_job, mixed_topology,
+                                                Objective.max_throughput())
+    budget = unconstrained.evaluation.cost_per_iteration_usd * 0.6
+    killed_total = 0
+    for objective in (Objective.max_throughput(),
+                      Objective.min_cost(),
+                      Objective.max_throughput(
+                          max_cost_per_iteration_usd=budget)):
+        reference = None
+        evaluated = {}
+        for ordering in (True, False):
+            for gate in (True, False):
+                result = SailorPlanner(opt_env, config=PlannerConfig(
+                    candidate_ordering=ordering,
+                    enable_candidate_gate=gate)).plan(
+                    opt_job, mixed_topology, objective)
+                assert result.found
+                snapshot = (plan_to_json(result.plan),
+                            result.evaluation.iteration_time_s,
+                            result.evaluation.cost_per_iteration_usd)
+                if reference is None:
+                    reference = snapshot
+                else:
+                    assert snapshot == reference
+                evaluated[(ordering, gate)] = result.candidates_evaluated
+                killed = result.search_stats.candidates_killed_unevaluated
+                if ordering:
+                    killed_total += killed
+                else:
+                    assert killed == 0
+        # Tail kills depend only on the branch incumbent's evolution, which
+        # the gate never perturbs -- so the surviving candidate count is
+        # identical gate on/off (within one ordering setting).
+        assert evaluated[(True, True)] == evaluated[(True, False)]
+        assert evaluated[(False, True)] == evaluated[(False, False)]
+    assert killed_total > 0
+    # Without the pruned DP there is no bound machinery to trust: the
+    # exhaustive reference must stay exhaustive even with the toggle on.
+    exhaustive = SailorPlanner(opt_env, config=PlannerConfig(
+        candidate_ordering=True,
+        dp_config=DPSolverConfig(enable_pruning=False))).plan(
+        opt_job, mixed_topology, Objective.max_throughput())
+    assert exhaustive.search_stats.candidates_killed_unevaluated == 0
+    assert plan_to_json(exhaustive.plan) == plan_to_json(unconstrained.plan)
 
 
 def test_disabling_h2_can_generate_oom_candidates(neo_env, neo_job,
