@@ -1,6 +1,11 @@
 # Developer entry points for the Sailor reproduction.
 #
 #   make test                       tier-1 test suite
+#   make lint                       project-invariant static analysis
+#                                   (repro.analysis; rules + suppression
+#                                   contract in CONTRACTS.md).  Exit 0 on
+#                                   a clean tree, 1 on findings, 2 on
+#                                   usage errors / rule crashes.
 #   make bench                      planner/core micro-benchmarks + churn
 #                                   replay benches -> $(BENCH_OUT)
 #                                   (BENCH_SCALE=full by default, which
@@ -12,7 +17,9 @@
 #   make bench-compare              diff $(BENCH_BASELINE) vs $(BENCH_OUT) on
 #                                   median-of-rounds; fails on >20%
 #                                   planner/simulator regression
-#   make ci                         tier-1 tests + fast bench smoke subset
+#   make ci                         invariant lint (plus --help smokes of
+#                                   the bench tooling), then tier-1 tests
+#                                   + fast bench smoke subset
 #                                   + the compare_bench.py regression gate,
 #                                   with per-phase wall time printed.  The
 #                                   smoke subset's budget bench asserts the
@@ -62,10 +69,13 @@ CI_BENCH_FILTER ?= not 128 and not 256 and not 512 and not 1024 \
 	and not 2048 and not 4096 and not 1000
 PROFILE_ARGS ?=
 
-.PHONY: test bench bench-compare ci profile
+.PHONY: test lint bench bench-compare ci profile
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis
 
 bench:
 	BENCH_SCALE=$(BENCH_SCALE) PYTHONPATH=src $(PYTHON) -m pytest \
@@ -82,7 +92,11 @@ bench-compare:
 
 ci:
 	@set -e; \
-	t0=$$(date +%s); \
+	tl=$$(date +%s); \
+	PYTHONPATH=src $(PYTHON) -m repro.analysis; \
+	PYTHONPATH=src $(PYTHON) benchmarks/compare_bench.py --help > /dev/null; \
+	PYTHONPATH=src $(PYTHON) benchmarks/profile_planner.py --help > /dev/null; \
+	t0=$$(date +%s); echo "[ci] lint + tooling smokes: $$((t0 - tl))s"; \
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q; \
 	t1=$$(date +%s); echo "[ci] tier-1 tests: $$((t1 - t0))s"; \
 	BENCH_SCALE=smoke PYTHONPATH=src $(PYTHON) -m pytest \
@@ -95,7 +109,7 @@ ci:
 	PYTHONPATH=src $(PYTHON) benchmarks/compare_bench.py \
 		$(BENCH_BASELINE) $(BENCH_CI_OUT); \
 	t3=$$(date +%s); echo "[ci] bench compare: $$((t3 - t2))s"; \
-	echo "[ci] total: $$((t3 - t0))s"
+	echo "[ci] total: $$((t3 - tl))s"
 
 profile:
 	PYTHONPATH=src $(PYTHON) benchmarks/profile_planner.py $(PROFILE_ARGS)

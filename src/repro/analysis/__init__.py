@@ -1,0 +1,37 @@
+"""Project-invariant static analysis (the invariant linter).
+
+Eight PRs of planner speedups survive only because of hand-maintained
+invariants: byte-identical plans under every toggle, admissible lower
+bounds, signature-keyed caches, deterministic replay.  This package turns
+those tribal rules into machine-checked ones: a self-contained AST
+analysis framework (rule registry, per-file visitor pipeline, justified
+``# lint: disable=<rule> -- why`` suppressions, text + JSON reporters)
+plus the project rules themselves (``repro.analysis.rules``).
+
+Entry points
+------------
+* ``sailor-repro lint`` / ``python -m repro.analysis`` -- the CLI.
+* ``make lint`` -- the same, wired into ``make ci`` ahead of tier-1.
+* :func:`repro.analysis.driver.run_lint` -- the library API the tests use.
+
+Exit-code contract: 0 = clean tree, 1 = findings (or malformed
+suppressions), 2 = usage or internal error.  The enforced invariants are
+documented rule by rule in ``CONTRACTS.md`` at the repo root.
+"""
+
+from repro.analysis.core import Finding, ProjectIndex, SourceFile, Suppression
+from repro.analysis.driver import LintResult, main, run_lint
+from repro.analysis.registry import RULES, Rule, register_rule
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ProjectIndex",
+    "RULES",
+    "Rule",
+    "SourceFile",
+    "Suppression",
+    "main",
+    "register_rule",
+    "run_lint",
+]

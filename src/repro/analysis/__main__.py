@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` -> the lint CLI."""
+
+import sys
+
+from repro.analysis.driver import main
+
+sys.exit(main())

@@ -1,0 +1,334 @@
+"""Framework primitives of the invariant linter.
+
+Three pieces, deliberately dependency-free (stdlib ``ast`` only):
+
+* :class:`Finding` -- one rule violation, anchored to a file/line.
+* :class:`Suppression` -- a parsed ``# lint: disable=<rule> -- <why>``
+  comment.  The justification text is **mandatory**: a disable comment
+  without one is itself reported (rule id ``bad-suppression``) and
+  suppresses nothing, so every waived invariant carries its reason in the
+  source next to the waiver.
+* :class:`SourceFile` / :class:`ProjectIndex` -- parsed files plus the
+  cross-file lookups the project rules share (config-class extraction,
+  the identifier corpus of the test suite).
+
+Suppression scopes
+------------------
+``# lint: disable=rule[,rule2] -- justification`` applies to findings on
+the same line or the first code line below it; contiguous comment lines in
+between still count, so a long justification may continue over several
+``#`` lines under the disable comment.  Rules that check whole functions
+additionally anchor their findings to the ``def``/decorator lines, so one
+justified comment above the function covers it (used sparingly; see
+CONTRACTS.md).
+``# lint: disable-file=rule -- justification`` at any line waives the rule
+for the whole file.  The rule name ``all`` matches every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: ``# lint: disable=rule-a,rule-b -- justification`` (file variant:
+#: ``disable-file``).  The justification separator is a literal ``--``.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+?)\s*"
+    r"(?:--\s*(?P<why>.*\S)\s*)?$")
+
+#: Marker phrases in a config field's ``#:`` doc comment that declare it
+#: value-preserving (a pure latency/dispatch knob whose on/off products are
+#: bit-identical, backed by the equivalence suites).  Such fields are
+#: exempt from the cache-key completeness contract -- an unkeyed field can
+#: only fork cached results if it can change a result at all.
+VALUE_PRESERVING_MARKERS = (
+    "byte-identical",
+    "bit-identical",
+    "value-preserving",
+    "value-identical",
+    "outcome-identical",
+    "equivalence test",
+    "latency knob",
+    "latency policy",
+    "purely a latency",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str
+    path: str  # repo-relative, "/" separated
+    line: int
+    col: int
+    message: str
+    #: Extra lines where a suppression also waives this finding (e.g. the
+    #: ``def`` line of the enclosing function for whole-function rules).
+    anchor_lines: tuple[int, ...] = ()
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(rule=data["rule"], path=data["path"], line=data["line"],
+                   col=data["col"], message=data["message"])
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed, well-formed disable comment."""
+
+    rules: tuple[str, ...]
+    justification: str
+    line: int
+    file_scope: bool
+
+    def matches(self, rule: str) -> bool:
+        return rule in self.rules or "all" in self.rules
+
+
+def parse_suppressions(source: str, rel_path: str,
+                       ) -> tuple[dict[int, list[Suppression]],
+                                  list[Suppression], list[Finding]]:
+    """Extract disable comments from one file's source.
+
+    Returns ``(by_line, file_scope, malformed)`` where ``malformed`` holds
+    ``bad-suppression`` findings for disable comments missing their
+    mandatory ``-- justification`` tail (those suppress nothing).
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    file_scope: list[Suppression] = []
+    malformed: list[Finding] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "lint:" not in text:
+            continue
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        why = match.group("why")
+        rules = tuple(part.strip() for part in match.group("rules").split(",")
+                      if part.strip())
+        if not why or not rules:
+            malformed.append(Finding(
+                rule="bad-suppression", path=rel_path, line=lineno,
+                col=text.index("#"),
+                message="lint suppression without a justification: write "
+                        "'# lint: disable=<rule> -- <why>' (the reason is "
+                        "mandatory; this comment suppresses nothing)"))
+            continue
+        suppression = Suppression(
+            rules=rules, justification=why, line=lineno,
+            file_scope=match.group("scope") == "disable-file")
+        if suppression.file_scope:
+            file_scope.append(suppression)
+        else:
+            by_line.setdefault(lineno, []).append(suppression)
+    return by_line, file_scope, malformed
+
+
+@dataclass
+class SourceFile:
+    """One parsed python file plus its suppression table."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, list[Suppression]]
+    file_suppressions: list[Suppression]
+    malformed: list[Finding]
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        source = path.read_text(encoding="utf-8")
+        rel = path.relative_to(root).as_posix()
+        tree = ast.parse(source, filename=str(path))
+        by_line, file_scope, malformed = parse_suppressions(source, rel)
+        return cls(path=path, rel=rel, source=source, tree=tree,
+                   suppressions=by_line, file_suppressions=file_scope,
+                   malformed=malformed)
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+    def is_suppressed(self, finding: Finding) -> Suppression | None:
+        """The suppression waiving ``finding`` in this file, if any.
+
+        A suppression applies on the finding's own line (or any anchor
+        line, e.g. the enclosing ``def`` for whole-function rules), or in
+        the contiguous comment block directly above it -- so a disable
+        comment may carry continuation comment lines below it.
+        """
+        for suppression in self.file_suppressions:
+            if suppression.matches(finding.rule):
+                return suppression
+        lines = self.lines
+        candidates: set[int] = set()
+        for anchor in (finding.line, *finding.anchor_lines):
+            candidates.add(anchor)
+            cursor = anchor - 1
+            while (cursor >= 1 and cursor - 1 < len(lines)
+                   and lines[cursor - 1].lstrip().startswith("#")):
+                candidates.add(cursor)
+                cursor -= 1
+        for lineno in candidates:
+            for suppression in self.suppressions.get(lineno, ()):
+                if suppression.matches(finding.rule):
+                    return suppression
+        return None
+
+    # -- AST helpers ----------------------------------------------------------
+
+    def functions(self) -> list[tuple[str, ast.FunctionDef]]:
+        """Every (qualified name, def) in the file, methods included."""
+        found: list[tuple[str, ast.FunctionDef]] = []
+
+        def walk(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    name = f"{prefix}{child.name}"
+                    found.append((name, child))
+                    walk(child, f"{name}.")
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, f"{prefix}{child.name}.")
+                else:
+                    walk(child, prefix)
+
+        walk(self.tree, "")
+        return found
+
+
+@dataclass(frozen=True)
+class ConfigField:
+    """One annotated field of a config dataclass."""
+
+    cls_name: str
+    name: str
+    annotation: str
+    line: int
+    file: str
+    doc_comment: str
+
+    @property
+    def is_bool(self) -> bool:
+        return self.annotation == "bool"
+
+    @property
+    def declared_value_preserving(self) -> bool:
+        lowered = self.doc_comment.lower()
+        return any(marker in lowered for marker in VALUE_PRESERVING_MARKERS)
+
+
+def extract_config_fields(source_file: SourceFile,
+                          class_names: tuple[str, ...]) -> list[ConfigField]:
+    """Annotated fields of the named dataclasses, with their ``#:`` docs.
+
+    The doc comment is the contiguous comment block directly above the
+    field (the ``#:`` convention the configs use); rules match
+    value-preservation markers against it.
+    """
+    lines = source_file.lines
+    fields: list[ConfigField] = []
+    for node in ast.walk(source_file.tree):
+        if not isinstance(node, ast.ClassDef) or node.name not in class_names:
+            continue
+        for stmt in node.body:
+            if not (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                continue
+            comment_parts: list[str] = []
+            cursor = stmt.lineno - 2  # 0-based line above the field
+            while cursor >= 0 and lines[cursor].lstrip().startswith("#"):
+                comment_parts.append(lines[cursor].lstrip().lstrip("#:").strip())
+                cursor -= 1
+            fields.append(ConfigField(
+                cls_name=node.name, name=stmt.target.id,
+                annotation=ast.unparse(stmt.annotation),
+                line=stmt.lineno, file=source_file.rel,
+                doc_comment=" ".join(reversed(comment_parts))))
+    return fields
+
+
+@dataclass
+class ProjectIndex:
+    """Parsed source + test corpora handed to every rule.
+
+    ``src_files`` is what the rules lint; ``test_files`` is consulted as a
+    reference corpus only (which toggles/bounds the test suite mentions),
+    never linted itself.
+    """
+
+    root: Path
+    src_files: list[SourceFile]
+    test_files: list[SourceFile]
+    _test_corpus: set[str] | None = field(default=None, repr=False)
+
+    @classmethod
+    def build(cls, root: Path, src_paths: list[Path],
+              test_paths: list[Path]) -> "ProjectIndex":
+        return cls(root=root,
+                   src_files=[SourceFile.load(p, root) for p in sorted(src_paths)],
+                   test_files=[SourceFile.load(p, root) for p in sorted(test_paths)])
+
+    def by_basename(self, *names: str) -> list[SourceFile]:
+        return [f for f in self.src_files if f.path.name in names]
+
+    def test_corpus(self) -> set[str]:
+        """Every identifier, attribute and string literal in the tests.
+
+        AST-gated on purpose: a toggle named only in a *comment* does not
+        count as covered -- it must appear as a keyword argument, an
+        attribute, a name or a string (e.g. a parametrize id).
+        """
+        if self._test_corpus is None:
+            corpus: set[str] = set()
+            for source_file in self.test_files:
+                for node in ast.walk(source_file.tree):
+                    if isinstance(node, ast.Name):
+                        corpus.add(node.id)
+                    elif isinstance(node, ast.Attribute):
+                        corpus.add(node.attr)
+                    elif isinstance(node, ast.keyword) and node.arg:
+                        corpus.add(node.arg)
+                    elif (isinstance(node, ast.Constant)
+                          and isinstance(node.value, str)):
+                        corpus.update(
+                            re.findall(r"[A-Za-z_][A-Za-z0-9_]*", node.value))
+                    elif isinstance(node, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef, ast.ClassDef)):
+                        corpus.add(node.name)
+            self._test_corpus = corpus
+        return self._test_corpus
+
+
+def attribute_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name-rooted chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The terminal name of a call's callee (``a.b.f(...)`` -> ``f``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None

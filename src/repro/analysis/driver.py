@@ -1,0 +1,168 @@
+"""Lint driver: file discovery, rule execution, suppression filtering, CLI.
+
+``run_lint`` is the library entry point (the meta-tests call it on both
+the live tree and the seeded-violation fixtures); ``main`` backs both
+``python -m repro.analysis`` and the ``sailor-repro lint`` subcommand.
+
+Exit-code contract
+------------------
+* 0 -- no findings (suppressed findings do not count).
+* 1 -- at least one finding, including malformed suppressions
+  (``bad-suppression``): a waiver without a justification fails the lint
+  rather than silently waiving.
+* 2 -- usage error (unknown rule, missing path) or a rule crash; a
+  crashing rule must never masquerade as a clean run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding, ProjectIndex, SourceFile
+from repro.analysis.registry import all_rules
+from repro.analysis.report import format_json, format_text
+
+#: Directories under the repo root whose python files are linted.
+DEFAULT_SRC_DIRS = ("src/repro",)
+#: Directories consulted as the test-reference corpus (never linted).
+DEFAULT_TEST_DIRS = ("tests", "benchmarks")
+#: The linter's own package is exempt from linting: its rule sources
+#: necessarily *name* the forbidden patterns they search for.
+EXEMPT_PARTS = ("analysis",)
+#: Seeded-violation fixture trees are excluded from the *corpus* scan:
+#: their contents must not satisfy coverage rules for the live tree.  (A
+#: fixture linted as its own root keeps its own ``tests/`` corpus.)
+CORPUS_EXEMPT_PARTS = ("analysis_fixtures",)
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding]
+    suppressed: list[Finding]
+    rule_times: dict[str, float]
+    files_scanned: int
+    total_time_s: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def _discover(root: Path, dirs: tuple[str, ...],
+              exempt: tuple[str, ...]) -> list[Path]:
+    paths: list[Path] = []
+    for rel in dirs:
+        base = root / rel
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel_parts = path.relative_to(root).parts
+            if any(part in exempt for part in rel_parts):
+                continue
+            paths.append(path)
+    return paths
+
+
+def build_index(root: Path,
+                src_dirs: tuple[str, ...] = DEFAULT_SRC_DIRS,
+                test_dirs: tuple[str, ...] = DEFAULT_TEST_DIRS) -> ProjectIndex:
+    return ProjectIndex.build(
+        root,
+        _discover(root, src_dirs, exempt=EXEMPT_PARTS),
+        _discover(root, test_dirs, exempt=CORPUS_EXEMPT_PARTS))
+
+
+def run_lint(root: Path | str,
+             rule_names: list[str] | None = None,
+             index: ProjectIndex | None = None) -> LintResult:
+    """Run the (selected) rules over the tree rooted at ``root``."""
+    started = time.perf_counter()
+    root = Path(root)
+    if index is None:
+        index = build_index(root)
+    registry = all_rules()
+    if rule_names:
+        unknown = sorted(set(rule_names) - set(registry))
+        if unknown:
+            return LintResult(
+                findings=[], suppressed=[], rule_times={}, files_scanned=0,
+                errors=[f"unknown rule(s): {', '.join(unknown)} "
+                        f"(known: {', '.join(sorted(registry))})"])
+        registry = {name: registry[name] for name in rule_names}
+
+    by_rel: dict[str, SourceFile] = {f.rel: f for f in index.src_files}
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    errors: list[str] = []
+    rule_times: dict[str, float] = {}
+    for name in sorted(registry):
+        rule_started = time.perf_counter()
+        try:
+            raw = registry[name]().run(index)
+        except Exception as exc:  # a crashing rule must not pass as clean
+            errors.append(f"rule {name} crashed: {exc!r}")
+            raw = []
+        rule_times[name] = time.perf_counter() - rule_started
+        for finding in raw:
+            source_file = by_rel.get(finding.path)
+            if source_file is not None and source_file.is_suppressed(finding):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    # Malformed suppressions are findings regardless of which rules ran.
+    for source_file in index.src_files:
+        findings.extend(source_file.malformed)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintResult(findings=findings, suppressed=suppressed,
+                      rule_times=rule_times,
+                      files_scanned=len(index.src_files),
+                      total_time_s=time.perf_counter() - started,
+                      errors=errors)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sailor-repro lint",
+        description="Run the project-invariant static analysis "
+                    "(see CONTRACTS.md for the enforced rules)")
+    parser.add_argument("--root", default=".",
+                        help="repo root to lint (default: cwd)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rule ids to run")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable JSON report")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for name, cls in sorted(all_rules().items()):
+            print(f"{name}: {cls.description}")
+        return 0
+    root = Path(args.root)
+    if not root.exists():
+        print(f"error: no such root: {root}", file=sys.stderr)
+        return 2
+    rule_names = ([part.strip() for part in args.rules.split(",") if part.strip()]
+                  if args.rules else None)
+    result = run_lint(root, rule_names=rule_names)
+    print(format_json(result) if args.as_json else format_text(result))
+    for error in result.errors:
+        print(f"error: {error}", file=sys.stderr)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

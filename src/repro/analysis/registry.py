@@ -1,0 +1,43 @@
+"""Rule registry of the invariant linter.
+
+A rule is a class with a unique ``name``, a one-line ``description`` and a
+``run(index) -> list[Finding]`` method.  Registration is by decorator so
+``repro.analysis.rules`` only has to be imported for the full set to be
+available; the driver instantiates each rule once per lint run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Finding, ProjectIndex
+
+#: name -> rule class; populated by :func:`register_rule`.
+RULES: dict[str, type["Rule"]] = {}
+
+
+class Rule:
+    """Base class; subclasses override :meth:`run`."""
+
+    #: Unique rule id, used in reports and ``# lint: disable=<name>``.
+    name: str = ""
+    #: One-line statement of the enforced invariant.
+    description: str = ""
+
+    def run(self, index: ProjectIndex) -> list[Finding]:
+        raise NotImplementedError
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in RULES:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    RULES[cls.name] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The full registry, importing the project rules on first use."""
+    # Imported lazily so `from repro.analysis.core import ...` never pays
+    # for (or cycles through) the rule modules.
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+    return dict(RULES)

@@ -1,0 +1,66 @@
+"""Text and JSON reporters for lint results.
+
+The JSON schema (``version`` 1) round-trips through
+:func:`result_from_json` -- the tests assert schema stability so CI
+tooling can consume ``sailor-repro lint --json`` without chasing format
+drift:
+
+.. code-block:: json
+
+    {"version": 1,
+     "clean": false,
+     "files_scanned": 123,
+     "rules": {"determinism": {"findings": 2, "time_s": 0.01}, ...},
+     "findings": [{"rule": "...", "path": "...", "line": 1, "col": 0,
+                   "message": "..."}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.analysis.core import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.driver import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def format_text(result: "LintResult") -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f"{f.location()}: [{f.rule}] {f.message}"
+             for f in result.findings]
+    timing = ", ".join(f"{name} {seconds * 1000:.0f}ms"
+                       for name, seconds in sorted(result.rule_times.items()))
+    lines.append(f"lint: {len(result.findings)} finding(s) over "
+                 f"{result.files_scanned} file(s) in "
+                 f"{result.total_time_s:.2f}s ({timing})")
+    return "\n".join(lines)
+
+
+def format_json(result: "LintResult") -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "clean": not result.findings,
+        "files_scanned": result.files_scanned,
+        "rules": {
+            name: {"findings": sum(1 for f in result.findings
+                                   if f.rule == name),
+                   "time_s": result.rule_times.get(name, 0.0)}
+            for name in sorted(set(result.rule_times)
+                               | {f.rule for f in result.findings})
+        },
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def result_from_json(text: str) -> tuple[list[Finding], dict]:
+    """Parse a reporter payload back into findings (schema round-trip)."""
+    payload = json.loads(text)
+    if payload.get("version") != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint report version {payload.get('version')!r}")
+    return [Finding.from_dict(item) for item in payload["findings"]], payload

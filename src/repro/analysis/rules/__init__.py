@@ -1,0 +1,10 @@
+"""Project-invariant rules.  Importing this package registers them all."""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    admissibility,
+    cache_keys,
+    determinism,
+    exceptions,
+    hot_loop,
+    toggles,
+)

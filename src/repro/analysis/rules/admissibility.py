@@ -1,0 +1,73 @@
+"""Rule ``admissibility``: every claimed bound has a test that knows it.
+
+The pruning/certificate machinery is only sound while its lower bounds
+stay admissible -- a bound that creeps above the true optimum silently
+*changes plans* (candidates are killed that should have won).  The
+project's defence is property tests comparing each bound against
+exhaustive evaluation; this rule makes that defence structural: any
+function in ``core/`` whose **name** claims a bound (ends in ``_lb``, or
+contains ``floor``) or whose **docstring** claims admissibility (contains
+"admissible") must be referenced by name somewhere in the test corpus, or
+carry a justified suppression on its ``def`` line.
+
+A name reference is an AST-level occurrence in ``tests/`` /
+``benchmarks/`` (identifier, attribute, keyword or string) -- renaming the
+function without moving its property test breaks the lint, which is the
+point.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, ProjectIndex
+from repro.analysis.registry import Rule, register_rule
+
+#: Dunder/property plumbing that merely *stores* bounds doesn't claim one.
+_EXEMPT_NAMES = {"__post_init__", "__init__"}
+
+
+def _claims_bound(name: str, node: ast.FunctionDef) -> str | None:
+    """Why this function claims a bound, or None."""
+    terminal = name.rsplit(".", 1)[-1]
+    if terminal in _EXEMPT_NAMES:
+        return None
+    if terminal.endswith("_lb"):
+        return "its name ends in _lb"
+    if "floor" in terminal:
+        return "its name claims a floor"
+    docstring = ast.get_docstring(node) or ""
+    if "admissible" in docstring.lower():
+        return "its docstring claims admissibility"
+    return None
+
+
+@register_rule
+class AdmissibilityRule(Rule):
+    name = "admissibility"
+    description = ("functions claiming a bound (*_lb / *floor* names, "
+                   "'admissible' docstrings) must be referenced by a test "
+                   "(admissibility property suites)")
+
+    def run(self, index: ProjectIndex) -> list[Finding]:
+        corpus = index.test_corpus()
+        findings: list[Finding] = []
+        for source_file in index.src_files:
+            if "core" not in source_file.path.parts:
+                continue
+            for qualname, node in source_file.functions():
+                reason = _claims_bound(qualname, node)
+                if reason is None:
+                    continue
+                terminal = qualname.rsplit(".", 1)[-1]
+                if terminal in corpus:
+                    continue
+                findings.append(Finding(
+                    rule=self.name, path=source_file.rel, line=node.lineno,
+                    col=node.col_offset,
+                    message=(f"{qualname} claims a bound ({reason}) but no "
+                             "test references it by name; add a property "
+                             "test checking the bound against exhaustive "
+                             "evaluation (or suppress with a "
+                             "justification)")))
+        return findings

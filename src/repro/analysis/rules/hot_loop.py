@@ -1,0 +1,88 @@
+"""Rule ``hot-loop-alloc``: no fresh full-size temporaries in ``@hot_path``
+functions.
+
+PR 8's backward-wall work established the discipline: in the functions
+that dominate planner wall time, full-size ``np.where`` select passes,
+``.astype`` conversions and ``.copy()`` materialisations are replaced by
+in-place fused kernels (``out=`` accumulation, boolean-gate reuse).  The
+:func:`repro.core.hotpath.hot_path` marker (zero runtime cost) anchors
+that discipline; inside any function it decorates, this rule flags
+
+* three-argument ``np.where(cond, a, b)`` -- a fresh full-size select
+  (single-argument ``np.where(cond)`` is an index find and passes);
+* ``.astype(...)`` method calls -- a fresh converted copy;
+* ``.copy()`` method calls and ``np.copy(...)`` -- a fresh materialised
+  copy.
+
+Row-sized gathers (per-layer outputs, not per-``(rows, combos)``
+temporaries) are legitimate and carry justified suppressions -- either on
+the line, or on the ``def`` for functions whose *entire* output contract
+is row-sized (findings are anchored to the ``def`` line too, so one
+justified comment covers the function).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, ProjectIndex, attribute_chain
+from repro.analysis.registry import Rule, register_rule
+
+HOT_PATH_DECORATOR = "hot_path"
+
+
+def _is_hot(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        chain = attribute_chain(decorator)
+        if chain and chain[-1] == HOT_PATH_DECORATOR:
+            return True
+    return False
+
+
+@register_rule
+class HotLoopAllocRule(Rule):
+    name = "hot-loop-alloc"
+    description = ("@hot_path functions must not allocate fresh full-size "
+                   "temporaries (3-arg np.where / .astype / .copy); fuse "
+                   "in place or justify the allocation")
+
+    def run(self, index: ProjectIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        for source_file in index.src_files:
+            for qualname, node in source_file.functions():
+                if not _is_hot(node):
+                    continue
+                anchors = (node.lineno,
+                           *(d.lineno for d in node.decorator_list))
+                for sub in ast.walk(node):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    message = self._alloc_message(sub, qualname)
+                    if message:
+                        findings.append(Finding(
+                            rule=self.name, path=source_file.rel,
+                            line=sub.lineno, col=sub.col_offset,
+                            message=message, anchor_lines=anchors))
+        return findings
+
+    @staticmethod
+    def _alloc_message(node: ast.Call, qualname: str) -> str | None:
+        chain = attribute_chain(node.func)
+        terminal = chain[-1] if chain else None
+        if terminal == "where" and len(node.args) == 3:
+            return (f"3-arg np.where in @hot_path {qualname} allocates a "
+                    "fresh full-size select; fuse in place (out=, boolean "
+                    "gates) or justify with a suppression")
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "astype":
+                return (f".astype in @hot_path {qualname} allocates a "
+                        "fresh converted copy; hoist the conversion out of "
+                        "the hot loop or justify with a suppression")
+            if node.func.attr == "copy" and not node.args:
+                return (f".copy() in @hot_path {qualname} materialises a "
+                        "fresh array; reuse a buffer or justify with a "
+                        "suppression")
+        if chain == ["np", "copy"] or chain == ["numpy", "copy"]:
+            return (f"np.copy in @hot_path {qualname} materialises a fresh "
+                    "array; reuse a buffer or justify with a suppression")
+        return None

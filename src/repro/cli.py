@@ -8,7 +8,10 @@ Installs as ``sailor-repro`` and exposes the library's main workflows:
 * ``sailor-repro simulate``    -- evaluate a saved plan (memory, time, cost);
 * ``sailor-repro experiment``  -- regenerate one of the paper's tables/figures;
 * ``sailor-repro churn``       -- replay a seeded fault trace against the
-  replanning controller loop and report degradation/reuse statistics.
+  replanning controller loop and report degradation/reuse statistics;
+* ``sailor-repro lint``        -- run the project-invariant static analysis
+  (cache-key completeness, determinism, bound admissibility hygiene, ...;
+  see CONTRACTS.md).
 
 Examples::
 
@@ -136,6 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--trace-out", default=None,
                        help="write the (generated or loaded) fault trace "
                             "to this JSON file")
+
+    lint = subparsers.add_parser(
+        "lint", help="run the project-invariant static analysis "
+                     "(see CONTRACTS.md)")
+    lint.add_argument("--root", default=".",
+                      help="repo root to lint (default: cwd)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated subset of rule ids to run")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the machine-readable JSON report")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
     return parser
 
 
@@ -330,6 +345,30 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 0 if report.events_dropped == 0 else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.driver import run_lint
+    from repro.analysis.registry import all_rules
+    from repro.analysis.report import format_json, format_text
+
+    if args.list_rules:
+        for name, cls in sorted(all_rules().items()):
+            print(f"{name}: {cls.description}")
+        return 0
+    root = Path(args.root)
+    if not root.exists():
+        print(f"error: no such root: {root}", file=sys.stderr)
+        return 2
+    rule_names = ([part.strip() for part in args.rules.split(",")
+                   if part.strip()] if args.rules else None)
+    result = run_lint(root, rule_names=rule_names)
+    print(format_json(result) if args.as_json else format_text(result))
+    for error in result.errors:
+        print(f"error: {error}", file=sys.stderr)
+    return result.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -340,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
         "churn": cmd_churn,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

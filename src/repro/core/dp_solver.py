@@ -113,6 +113,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.budget import SearchBudget, SearchBudgetExhausted
+from repro.core.hotpath import hot_path
 from repro.core.objectives import OptimizationGoal
 from repro.core.resource_state import (
     SHARED_ARGMIN_MAX_DENSITY,
@@ -189,6 +190,13 @@ class DPSolverConfig:
     max_combos_per_stage: int = 16
     max_mixed_types_per_stage: int = 2
     split_fractions: tuple[float, ...] = (0.25, 0.5, 0.75)
+    #: Cap on the budget-split refinement loop of the budget-constrained
+    #: search (an approximation knob: more iterations can only refine the
+    #: split, never invalidate one).
+    # lint: disable=cache-key -- consumed only inside one DPSolver instance,
+    # whose interval memo dies with it; the cross-candidate budget-bound
+    # tables are admissible floors independent of the refinement depth, so
+    # no signature-keyed artifact can fork on this value.
     max_budget_iterations: int = 4
     #: Branch-and-bound pruning of DP branches that provably cannot beat the
     #: incumbent.  Value-preserving; off only for equivalence testing.
@@ -1380,6 +1388,7 @@ class DPSolver:
         self._budget_row_cache[(stage_index, row)] = entry
         return entry
 
+    @hot_path
     def _solve_budget_batched(self, stage_index: int, key: bytes, row: int,
                               budget: float,
                               upper_bound: float) -> DPSolution | None:

@@ -1,0 +1,26 @@
+"""The ``@hot_path`` marker: a zero-cost anchor for the hot-loop lint.
+
+Profiling (``profile_planner.py --phases``) puts essentially all planner
+wall time inside a handful of functions -- the forward reachability pass,
+the backward scoring kernels, the batched budget threading and the fused
+evaluation kernels.  PR 8 taught those functions an allocation
+discipline (no fresh full-size ``np.where``/``astype``/``copy``
+temporaries; fuse in place); the marker makes the discipline enforceable:
+``repro.analysis`` rule ``hot-loop-alloc`` flags fresh full-size
+temporaries inside any function carrying it.
+
+The decorator does nothing at runtime beyond tagging the function object
+at import time -- no wrapper, no indirection, no per-call cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def hot_path(fn: F) -> F:
+    """Mark ``fn`` as planner-hot (lint anchor; zero runtime cost)."""
+    fn.__hot_path__ = True
+    return fn

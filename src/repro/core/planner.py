@@ -72,10 +72,19 @@ _GAP_BOUND_SLACK = 1.0 - 1e-9
 class PlannerConfig:
     """Configuration of the Sailor planner search."""
 
+    # lint: disable=cache-key -- composite: shapes candidate *enumeration*
+    # only; every cached artifact is keyed by the full (partition, mbs,
+    # node type, TP, resources) tuple it describes, so changing the
+    # heuristics reroutes lookups rather than forking cached values.
     heuristics: HeuristicConfig = field(default_factory=HeuristicConfig)
+    # lint: disable=cache-key -- composite handed to DPSolver; its leaf
+    # fields are linted individually against the solver's keys in
+    # dp_solver.py, and the composite itself is never hashed.
     dp_config: DPSolverConfig = field(default_factory=DPSolverConfig)
     #: Stop exploring further data-parallel degrees after this many
     #: consecutive non-improving candidates (H3/H4 early stop).
+    # lint: disable=cache-key -- early-stop knob: changes which candidates
+    # are explored, never the value any (partition, mbs, ...) key maps to.
     dp_patience: int = 1
     #: Optional wall-clock limit for one planning call, in seconds.  With
     #: the cooperative cancellation budget threaded through the DP hot
@@ -83,20 +92,32 @@ class PlannerConfig:
     #: of the deadline (plus a bounded salvage epilogue that prices the
     #: unexplored branches for the optimality-gap certificate) and returns
     #: the best incumbent found, marked ``complete=False``.
+    # lint: disable=cache-key -- anytime budget consumed only by
+    # SearchBudget; exhaustion raises *before* any cache write, so a
+    # truncated solve never stores a partial artifact under an exact key
+    # (pinned by the anytime/churn suites).
     time_limit_s: float | None = None
     #: Optional deterministic node budget: the search halts after this many
     #: cooperative cancellation ticks (DP nodes, engine layers, forward
     #: chunks...).  Gives tests a wall-clock-free way to exercise the
     #: anytime path; each parallel worker counts its own ticks.
+    # lint: disable=cache-key -- same contract as time_limit_s: enters the
+    # search only through SearchBudget, which unwinds before cache writes.
     max_search_nodes: int | None = None
     #: Parallel driver only: extra wall-clock grace (beyond ``time_limit_s``)
     #: a branch task may take before its worker is declared wedged and the
     #: branch is salvaged via retry + inline re-run.  ``None`` disables
     #: wedge detection (a crashed worker is still recovered through
     #: ``BrokenProcessPool``).
+    # lint: disable=cache-key -- driver-only fault-tolerance knob, never
+    # read inside a solve; a salvaged branch re-runs the same deterministic
+    # search, so no cached value can depend on it.
     branch_timeout_s: float | None = None
     #: When > 1, ``SailorPlanner.plan`` fans the (P, mbs) branches out over
     #: this many worker processes (see :class:`ParallelPlanner`).
+    # lint: disable=cache-key -- dispatch-only: selects the driver; each
+    # worker builds its own context and the merged plan is pinned identical
+    # to the serial search by the parallel-equivalence suite.
     parallel_workers: int | None = None
     #: Candidate-level incumbent gate: skip the full simulator evaluation of
     #: a candidate whose conservative floor -- iteration time (pipeline +
@@ -192,6 +213,9 @@ class SailorPlanner:
             return ParallelPlanner(self.env, config=self.config,
                                    max_workers=workers).plan(job, topology,
                                                              objective)
+        # lint: disable=determinism -- observability (search_time_s) plus
+        # the anytime deadline, which reaches the search only through
+        # SearchBudget; neither branches the search directly.
         start = time.perf_counter()
         heuristics = self.config.heuristics
         deadline = (None if self.config.time_limit_s is None
@@ -226,6 +250,7 @@ class SailorPlanner:
         return PlannerResult(
             plan=best_plan,
             evaluation=best_eval,
+            # lint: disable=determinism -- reporting only, not plan-affecting.
             search_time_s=time.perf_counter() - start,
             planner_name=self.name,
             candidates_evaluated=candidates,
@@ -805,6 +830,9 @@ def _plan_branch_task(payload: tuple,
     objective = state["objective"]
     context = state["context"]
     before = context.stats.copy()
+    # lint: disable=determinism -- rebases the shared wall-clock deadline
+    # onto this worker's perf_counter epoch; the clock reaches the search
+    # only through the SearchBudget built from it.
     deadline = (None if wall_deadline is None
                 else time.perf_counter() + (wall_deadline - time.time()))
     search_budget = SearchBudget.maybe(deadline,
@@ -852,6 +880,7 @@ class ParallelPlanner:
              objective: Objective | None = None) -> PlannerResult:
         """Search for the best plan, fanning branches out over processes."""
         objective = objective or Objective.max_throughput()
+        # lint: disable=determinism -- observability (search_time_s) only.
         start = time.perf_counter()
         heuristics = self.config.heuristics
 
@@ -864,6 +893,9 @@ class ParallelPlanner:
         worker_config = replace(self.config, parallel_workers=None)
         # One absolute deadline for the whole call, on the wall clock so it
         # is meaningful in every worker process.
+        # lint: disable=determinism -- the cross-process anytime deadline;
+        # each worker rebases it into a SearchBudget, the sole gate through
+        # which it can truncate (never reorder) the search.
         wall_deadline = (None if self.config.time_limit_s is None
                          else time.time() + self.config.time_limit_s)
         invariants = (self.env, job, objective, worker_config, consolidated,
@@ -960,6 +992,7 @@ class ParallelPlanner:
         return PlannerResult(
             plan=best_plan,
             evaluation=best_eval,
+            # lint: disable=determinism -- reporting only, not plan-affecting.
             search_time_s=time.perf_counter() - start,
             planner_name=self.name,
             candidates_evaluated=candidates,
@@ -986,6 +1019,10 @@ class ParallelPlanner:
         grace = self.config.branch_timeout_s
         gather_deadline = None
         if grace is not None:
+            # lint: disable=determinism -- wedge detection in the
+            # fault-tolerant gather: decides when to *salvage* a branch,
+            # and a salvaged branch re-runs the same deterministic search,
+            # so the chosen plan cannot depend on this clock.
             gather_deadline = (time.monotonic() + grace
                                + (self.config.time_limit_s or 0.0))
         results: list = [None] * len(payloads)
@@ -1004,6 +1041,8 @@ class ParallelPlanner:
                 if future is None:
                     dead.append(index)
                     continue
+                # lint: disable=determinism -- same wedge-detection clock as
+                # gather_deadline above; affects recovery timing only.
                 timeout = (None if gather_deadline is None
                            else max(0.0, gather_deadline - time.monotonic()))
                 try:
@@ -1020,6 +1059,9 @@ class ParallelPlanner:
                 for process in processes.values():
                     try:
                         process.kill()
-                    except Exception:  # racing a normal exit is fine
+                    # lint: disable=swallowed-exceptions -- racing a normal
+                    # exit of a process we are killing anyway; there is
+                    # nothing to recover and nothing worth reporting.
+                    except Exception:
                         pass
         return results, dead

@@ -64,6 +64,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.hotpath import hot_path
+
 #: Canonical resource state: sorted ``(((zone, node_type), count), ...)``
 #: (re-exported by :mod:`repro.core.search_cache`; duplicated here to avoid
 #: an import cycle).
@@ -445,6 +447,7 @@ class ForwardLayers:
         return cached, False
 
 
+@hot_path
 def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
                            clamp_active: list[bool], limit: int,
                            root_state: np.ndarray,
@@ -835,6 +838,7 @@ class ResourceStateEngine:
 
     # -- passes --------------------------------------------------------------
 
+    @hot_path
     def run_backward(self) -> None:
         """Backward optimisation over the (possibly shared) forward layers.
 
@@ -879,6 +883,11 @@ class ResourceStateEngine:
         self.sync_t[j] = np.zeros(rows)
         self.rate[j] = np.zeros(rows)
 
+    # lint: disable=hot-loop-alloc -- every where/copy here is a row-sized
+    # (|layer|) gather or output, not a (rows, combos) temporary; the
+    # full-size passes were eliminated in PR 8 (in-place fused scoring) and
+    # the equivalence suites pin the kernel bit-for-bit.
+    @hot_path
     def _solve_layer(self, j: int) -> None:
         """Score every (state, combo) candidate of one layer and reduce.
 
@@ -970,6 +979,10 @@ class ResourceStateEngine:
         self.sync_t[j] = np.where(feasible, sync_c[take, arg], 0.0)
         self.rate[j] = np.where(feasible, rate_c[take, arg], 0.0)
 
+    # lint: disable=hot-loop-alloc -- operates on nnz-sized CSR entry
+    # vectors (already density-gated far below the dense product) and
+    # row-sized outputs; no (rows, combos) temporary exists on this path.
+    @hot_path
     def _solve_layer_shared(self, j: int) -> None:
         """Score one layer through the shared CSR skeleton.
 

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.hotpath import hot_path
 from repro.core.plan import ParallelizationPlan
 from repro.core.simulator.environment import SimulationEnvironment
 from repro.core.simulator.memory import (
@@ -236,6 +237,7 @@ class EvaluationContext:
         self._arrays[signature] = arrays
         return arrays
 
+    @hot_path
     def _build(self, plan: ParallelizationPlan) -> PlanArrays:
         job = plan.job
         model = job.model
@@ -306,10 +308,14 @@ class EvaluationContext:
         # 1F1B closed form per pipeline.  The warm-up/cool-down sums are
         # explicit left-to-right accumulations: np.sum's pairwise summation
         # would reassociate and break bit-equivalence with the scalar path.
+        # lint: disable=hot-loop-alloc -- dp-sized accumulator seed, copied
+        # once per plan build so the += chain cannot alias row 0
         warmup = compute[0].copy()
         for s in range(1, num_stages):
             warmup += compute[s]
         if num_stages > 1:
+            # lint: disable=hot-loop-alloc -- dp-sized accumulator seed (as
+            # above); the arrays here are (stages, dp), never (rows, combos)
             p2p_sum = p2p[0].copy()
             for i in range(1, num_stages - 1):
                 p2p_sum += p2p[i]
@@ -348,6 +354,7 @@ class EvaluationContext:
 
     # -- scalar-compatible views --------------------------------------------
 
+    @hot_path
     def timing_breakdown(self, plan: ParallelizationPlan) -> TimingBreakdown:
         """Vectorized :meth:`TimingEstimator.breakdown` (bit-identical)."""
         arrays = self.plan_arrays(plan)

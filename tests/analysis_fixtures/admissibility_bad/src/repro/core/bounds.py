@@ -1,0 +1,11 @@
+"""Seeded violations for rule ``admissibility``: claimed bounds that no
+test references by name."""
+
+
+def route_cost_lb(weights) -> float:
+    """Admissible lower bound on any route's total cost."""
+    return 0.0
+
+
+def egress_floor(bytes_out: int) -> float:
+    return 0.0

@@ -1,0 +1,11 @@
+"""Clean twin of ``admissibility_bad``: both bounds are referenced by
+this fixture's own corpus (``tests/corpus.py``)."""
+
+
+def route_cost_lb(weights) -> float:
+    """Admissible lower bound on any route's total cost."""
+    return 0.0
+
+
+def egress_floor(bytes_out: int) -> float:
+    return 0.0

@@ -1,0 +1,6 @@
+"""Corpus stub: the admissibility property suite of this fixture.
+
+Named ``corpus.py`` (not ``test_*.py``) so pytest never collects it.
+"""
+
+PROPERTY_SUITE = ("route_cost_lb", "egress_floor")

@@ -1,0 +1,32 @@
+"""Seeded violations for rule ``cache-key``.
+
+``mystery_knob`` is read by the solve but folded into no key;
+``unused_knob`` is never read at all (dead field).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DPSolverConfig:
+    #: Folded into the signature below (via the ``limit`` alias).
+    max_states: int = 8
+    #: Read by solve() but missing from the signature -- the violation.
+    mystery_knob: int = 3
+    #: Never read anywhere -- the dead-field violation.
+    unused_knob: int = 0
+
+
+class DPSolver:
+    def __init__(self, config: DPSolverConfig) -> None:
+        self.config = config
+
+    def solve(self, root):
+        limit = self.config.max_states
+        signature = (root, limit)
+        depth = self.config.mystery_knob
+        return self._expand(signature, depth)
+
+    @staticmethod
+    def _expand(signature, depth):
+        return signature, depth

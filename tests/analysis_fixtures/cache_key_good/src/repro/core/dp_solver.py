@@ -1,0 +1,34 @@
+"""Clean twin of ``cache_key_bad``: every field keyed, marked or removed.
+
+``mystery_knob`` now reaches the signature; ``engine_threshold`` is
+exempt through its value-preservation marker; the dead field is gone.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DPSolverConfig:
+    #: Folded into the signature below (via the ``limit`` alias).
+    max_states: int = 8
+    #: Folded into the signature directly.
+    mystery_knob: int = 3
+    #: Dispatch threshold; results are bit-identical on either route
+    #: (equivalence test), so no cached artifact can depend on it.
+    engine_threshold: int = 64
+
+
+class DPSolver:
+    def __init__(self, config: DPSolverConfig) -> None:
+        self.config = config
+
+    def solve(self, root):
+        limit = self.config.max_states
+        signature = (root, limit, self.config.mystery_knob)
+        if root and len(root) > self.config.engine_threshold:
+            return self._expand(signature, batched=True)
+        return self._expand(signature, batched=False)
+
+    @staticmethod
+    def _expand(signature, batched):
+        return signature, batched

@@ -1,0 +1,27 @@
+"""Seeded violations for rule ``determinism``: clocks, unseeded RNG and
+hash-order set iteration in a plan-affecting core module."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter() -> float:
+    return time.time() + random.random()
+
+
+def stamp() -> float:
+    return time.perf_counter()
+
+
+def draw(n: int):
+    return np.random.rand(n)
+
+
+def order(values):
+    return [value for value in {v for v in values}]
+
+
+def pick(values):
+    return list({1, 2, 3})

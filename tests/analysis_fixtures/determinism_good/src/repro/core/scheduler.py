@@ -1,0 +1,20 @@
+"""Clean twin of ``determinism_bad``: sorted sets, seeded RNG, and the
+one sanctioned clock read carries its justification."""
+
+import time
+
+import numpy as np
+
+
+def seeded_draw(n: int, seed: int):
+    return np.random.default_rng(seed).random(n)
+
+
+def order(values):
+    return sorted(set(values))
+
+
+def stamp() -> float:
+    # lint: disable=determinism -- observability stamp only; the value is
+    # reported, never compared against anything that branches the search.
+    return time.perf_counter()

@@ -1,0 +1,23 @@
+"""Seeded violations for rule ``swallowed-exceptions``: the controller
+eats the anytime truncation signal, a broad exception, and everything."""
+
+
+def drain(tasks):
+    done = 0
+    for task in tasks:
+        try:
+            task()
+        except SearchBudgetExhausted:
+            continue
+        except Exception:
+            pass
+        else:
+            done += 1
+    return done
+
+
+def probe(fn):
+    try:
+        return fn()
+    except:
+        return None

@@ -1,0 +1,24 @@
+"""Clean twin of ``exceptions_bad``: every degradation is a recorded
+decision, and the handlers name what they catch."""
+
+
+def drain(tasks, log):
+    done = 0
+    for task in tasks:
+        try:
+            task()
+        except SearchBudgetExhausted as exc:
+            log.append(("truncated", exc))
+        except Exception as exc:
+            log.append(("failed", exc))
+        else:
+            done += 1
+    return done
+
+
+def probe(fn, log):
+    try:
+        return fn()
+    except ValueError as exc:
+        log.append(("rejected", exc))
+        return None

@@ -1,0 +1,13 @@
+"""Seeded violations for rule ``hot-loop-alloc``: fresh full-size
+temporaries inside a ``@hot_path`` kernel."""
+
+import numpy as np
+
+from repro.core.hotpath import hot_path
+
+
+@hot_path
+def fuse_scores(scores, gate, fallback):
+    selected = np.where(gate, scores, fallback)
+    widened = selected.astype(np.float64)
+    return widened.copy()

@@ -1,0 +1,16 @@
+"""Clean twin of ``hot_loop_bad``: in-place fused kernel, with the one
+legitimate (row-sized) copy carrying its justification."""
+
+import numpy as np
+
+from repro.core.hotpath import hot_path
+
+
+@hot_path
+def fuse_scores(scores, gate, fallback, out):
+    np.multiply(scores, gate, out=out)
+    np.add(out, fallback, out=out)
+    # lint: disable=hot-loop-alloc -- row-sized gather (one row, not a
+    # (rows, combos) temporary); the output contract requires a snapshot.
+    head = fallback[:1].copy()
+    return out, head

@@ -1,0 +1,12 @@
+"""Seeded violation for the ``bad-suppression`` contract: a waiver with
+no ``-- justification`` tail is itself a finding and suppresses nothing,
+so the swallowed-exceptions finding below must still fire."""
+
+
+def shutdown(workers):
+    for worker in workers:
+        try:
+            worker.kill()
+        # lint: disable=swallowed-exceptions
+        except Exception:
+            pass

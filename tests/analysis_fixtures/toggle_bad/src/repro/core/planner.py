@@ -1,0 +1,11 @@
+"""Seeded violation for rule ``toggle-coverage``: a boolean toggle the
+test corpus never mentions (this fixture root has no tests/ at all)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PlannerConfig:
+    #: Merge strategy switch; byte-identical plans either way -- but no
+    #: equivalence matrix exercises it, which is the violation.
+    use_fast_merge: bool = True

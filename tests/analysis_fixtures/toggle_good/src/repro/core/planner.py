@@ -1,0 +1,11 @@
+"""Clean twin of ``toggle_bad``: the toggle appears in this fixture's own
+test corpus (``tests/corpus.py``)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PlannerConfig:
+    #: Merge strategy switch; byte-identical plans either way (the
+    #: fixture corpus's equivalence matrix exercises both settings).
+    use_fast_merge: bool = True

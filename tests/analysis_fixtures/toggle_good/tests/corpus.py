@@ -1,0 +1,7 @@
+"""Corpus stub: the equivalence matrix this fixture's toggles live in.
+
+Named ``corpus.py`` (not ``test_*.py``) so pytest never collects it; the
+linter's corpus scan reads it regardless of name.
+"""
+
+TOGGLE_MATRIX = {"use_fast_merge": (True, False)}
