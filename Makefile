@@ -9,11 +9,14 @@
 #   make bench                      planner/core micro-benchmarks + churn
 #                                   replay benches -> $(BENCH_OUT)
 #                                   (BENCH_SCALE=full by default, which
-#                                   includes the 1024/2048/4096-GPU scale
-#                                   points; BENCH_SCALE=smoke skips them),
-#                                   then appends a one-line run summary
-#                                   (git rev + per-bench medians) to
-#                                   $(BENCH_HISTORY)
+#                                   includes the 1024/2048/4096/8192-GPU
+#                                   scale points; BENCH_SCALE=smoke skips
+#                                   them), then runs the compare_bench.py
+#                                   regression gate against
+#                                   $(BENCH_BASELINE) and -- only on a
+#                                   clean gate -- appends a one-line run
+#                                   summary (git rev + BENCH_SCALE +
+#                                   per-bench medians) to $(BENCH_HISTORY)
 #   make bench-compare              diff $(BENCH_BASELINE) vs $(BENCH_OUT) on
 #                                   median-of-rounds; fails on >20%
 #                                   planner/simulator regression
@@ -30,7 +33,16 @@
 #                                   the candidate-ordering tail kills fire
 #                                   (nonzero candidates_killed_unevaluated,
 #                                   so a disarmed ordering path fails CI);
-#                                   and the
+#                                   the 256-GPU min-cost point asserts the
+#                                   dominated-family interval memo skips
+#                                   whole families (nonzero
+#                                   families_skipped), and tier-1 carries
+#                                   the forced fused-combine on/off
+#                                   equivalence smoke
+#                                   (test_fused_combine_preserves_plans_
+#                                   when_forced), so a disarmed family
+#                                   gate or a drifting fused kernel fails
+#                                   CI; and the
 #                                   deadline/crash smokes assert the anytime
 #                                   salvage path works (a 256-GPU plan at a
 #                                   50 ms deadline returns a feasible plan
@@ -44,7 +56,8 @@
 #                                   counters as JSON next to the profile,
 #                                   --phases to split the wall time into
 #                                   forward-build / backward-scoring /
-#                                   suffix-solve / evaluation buckets)
+#                                   suffix-solve / evaluation /
+#                                   candidate-enumeration buckets)
 
 PYTHON ?= python
 BENCH_OUT ?= BENCH_new.json
@@ -52,7 +65,7 @@ BENCH_BASELINE ?= BENCH_seed.json
 BENCH_CI_OUT ?= BENCH_ci.json
 BENCH_HISTORY ?= BENCH_history.jsonl
 # Scale toggle consumed by benchmarks/test_bench_core_micro.py: the
-# 1024/2048/4096-GPU planner points only run under BENCH_SCALE=full.
+# 1024/2048/4096/8192-GPU planner points only run under BENCH_SCALE=full.
 # `make bench` (the recorded set) defaults to full; `make ci`'s smoke
 # subset to smoke.
 BENCH_SCALE ?= full
@@ -63,10 +76,11 @@ BENCH_SCALE ?= full
 # still run *once* as correctness tests inside the tier-1 phase (ROADMAP
 # defines tier-1 as the whole tree); the filter only skips their slower
 # timed re-measurement and the 1000-event churn point (run `make bench`
-# for the full recorded set).  The 1024/2048/4096 points are additionally
-# BENCH_SCALE-gated (skipped under smoke even without the filter).
+# for the full recorded set).  The 1024/2048/4096/8192 points are
+# additionally BENCH_SCALE-gated (skipped under smoke even without the
+# filter).
 CI_BENCH_FILTER ?= not 128 and not 256 and not 512 and not 1024 \
-	and not 2048 and not 4096 and not 1000
+	and not 2048 and not 4096 and not 8192 and not 1000
 PROFILE_ARGS ?=
 
 .PHONY: test lint bench bench-compare ci profile
@@ -77,14 +91,20 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis
 
+# The history line is appended only after the compare gate passes (each
+# recipe line is its own gate under `set -e` semantics: a failing compare
+# stops make before the append), and it is stamped with BENCH_SCALE so
+# full-scale points are never read against smoke runs.
 bench:
 	BENCH_SCALE=$(BENCH_SCALE) PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_core_micro.py \
 		benchmarks/test_bench_deadline.py \
 		benchmarks/test_bench_reconfiguration.py \
 		--benchmark-only -q --benchmark-json=$(BENCH_OUT)
+	PYTHONPATH=src $(PYTHON) benchmarks/compare_bench.py \
+		$(BENCH_BASELINE) $(BENCH_OUT)
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_history.py $(BENCH_OUT) \
-		--history $(BENCH_HISTORY)
+		--history $(BENCH_HISTORY) --scale $(BENCH_SCALE)
 
 bench-compare:
 	PYTHONPATH=src $(PYTHON) benchmarks/compare_bench.py \

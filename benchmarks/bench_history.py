@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -40,8 +41,13 @@ def git_revision() -> str:
         return "unknown"
 
 
-def summarize(bench_path: str) -> dict:
-    """One history record: revision, UTC timestamp, per-bench medians."""
+def summarize(bench_path: str, scale: str = "unknown") -> dict:
+    """One history record: revision, UTC timestamp, scale, medians.
+
+    ``scale`` records the ``BENCH_SCALE`` the run was recorded under, so a
+    full-scale trajectory (with the 1024..8192-GPU points) is never read
+    side by side with a smoke run of the same benches.
+    """
     benches = {
         name: {
             "median_s": round(stats["median"], 6),
@@ -55,6 +61,7 @@ def summarize(bench_path: str) -> dict:
         "recorded_at": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
         "source": bench_path,
+        "scale": scale,
         "benches": benches,
     }
 
@@ -67,9 +74,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--history", default="BENCH_history.jsonl",
                         help="newline-delimited JSON history file to append "
                              "to (default: BENCH_history.jsonl)")
+    parser.add_argument("--scale",
+                        default=os.environ.get("BENCH_SCALE", "unknown"),
+                        help="BENCH_SCALE the run was recorded under "
+                             "(default: $BENCH_SCALE, else 'unknown'); "
+                             "stamped on the record so full-scale and "
+                             "smoke trajectories never mix")
     args = parser.parse_args(argv)
 
-    record = summarize(args.bench_json)
+    record = summarize(args.bench_json, scale=args.scale)
     if not record["benches"]:
         print(f"no benchmarks found in {args.bench_json}", file=sys.stderr)
         return 1

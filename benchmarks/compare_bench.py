@@ -58,7 +58,7 @@ def load_stats(path: str) -> dict[str, dict[str, float]]:
 #: Scale points gated behind ``BENCH_SCALE=full`` (``make bench``); the
 #: smoke subset never runs them, so their absence from one side of a
 #: comparison is a scale difference, not a dropped/added benchmark.
-FULL_SCALE_MARKERS = ("_1024_", "_2048_", "_4096_")
+FULL_SCALE_MARKERS = ("_1024_", "_2048_", "_4096_", "_8192_")
 
 
 def is_full_scale_only(name: str) -> bool:

@@ -17,10 +17,11 @@ into the DP engine (``--limit`` is kept as an alias of ``--top``).
 counters as JSON next to the cProfile rows -- the straggler-certificate
 counters (``suffix_iterations`` / ``suffix_certified``) live there, so a
 profile and its iteration counts come from the same call.
-``--phases`` splits the profiled call's wall time into the planner's four
+``--phases`` splits the profiled call's wall time into the planner's five
 coarse phases (forward-layer build / backward scoring / suffix solves /
-plan evaluation, derived from the same cProfile capture), so the next
-scale wall is visible without spelunking the row listing.
+plan evaluation / candidate enumeration + floor computation, derived from
+the same cProfile capture), so the next scale wall is visible without
+spelunking the row listing.
 """
 
 from __future__ import annotations
@@ -51,6 +52,23 @@ _PHASES = {
     "suffix_solves": (("dp_solver.py", "_solve_suffix"),
                       ("dp_solver.py", "_solve_budget_batched")),
     "evaluation": (("evaluator.py", "evaluate"),),
+    # Candidate enumeration + bound computation: the (P, mbs, D) candidate
+    # generators, the stage-combo master tables, and every admissible-floor
+    # routine (family interval memo, availability-aware tail floors).  This
+    # is the branch-and-bound overhead that the kernels above don't see --
+    # when its share grows with the pool, the next wall is enumeration, not
+    # scoring.
+    "enumeration": (("heuristics.py", "min_tp_per_stage"),
+                    ("heuristics.py", "data_parallel_candidates"),
+                    ("heuristics.py", "pipeline_parallel_candidates"),
+                    ("heuristics.py", "microbatch_candidates"),
+                    ("search_cache.py", "stage_master_combos"),
+                    ("planner.py", "_branch_specs"),
+                    ("planner.py", "_stage_floors"),
+                    ("planner.py", "_candidate_floor"),
+                    ("planner.py", "_family_floor"),
+                    ("planner.py", "_availability_tables"),
+                    ("planner.py", "_candidate_floor_available")),
 }
 
 
@@ -109,8 +127,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--phases", action="store_true",
                         help="split the profiled call's wall time into "
                              "forward-layer build / backward scoring / "
-                             "suffix solves / evaluation (JSON, from the "
-                             "same cProfile capture)")
+                             "suffix solves / evaluation / candidate "
+                             "enumeration (JSON, from the same cProfile "
+                             "capture)")
     args = parser.parse_args(argv)
 
     if args.gpus < 8 or args.gpus % 8:

@@ -182,6 +182,30 @@ def test_bench_planner_heterogeneous_256_gpus(benchmark, job):
     assert result.search_stats.candidates_killed_unevaluated > 0
 
 
+def test_bench_planner_heterogeneous_256_gpus_min_cost(benchmark, job):
+    """Min-cost search on the 256-GPU mixed pool.
+
+    The cost objective is where the dominated-family interval memo bites:
+    family cost floors (D x rate x time) discriminate much harder than
+    time floors, so whole (P, mbs) families are skipped before any
+    forward build.  Three rounds for a stable median.
+    """
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": 32, "n1-standard-v100-4": 32})
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, Objective.min_cost()),
+        rounds=3, iterations=1)
+    assert result.found
+    # `make ci` acceptance bar (checked in the tier-1 phase, like the
+    # 256-GPU tail-kill gate above): the dominated-family interval memo
+    # must actually skip whole (P, mbs) families at this scale -- a
+    # silently-disarmed family gate (floors inf, memo keyed wrong) fails
+    # here rather than showing up only as a latency drift.
+    assert result.search_stats.families_skipped > 0
+
+
 def test_bench_planner_heterogeneous_512_gpus(benchmark, job):
     """Sailor planner on 256 A100 + 256 V100 (Figure 8 max point, 512 GPUs).
 
@@ -252,6 +276,27 @@ def test_bench_planner_heterogeneous_4096_gpus(benchmark, job):
     like every full-scale-only point."""
     topology = ClusterTopology.single_zone("us-central1-a", {
         "a2-highgpu-4g": 512, "n1-standard-v100-4": 512})
+    env = build_environment(job, topology)
+    planner = SailorPlanner(env)
+    result = benchmark.pedantic(
+        lambda: planner.plan(job, topology, Objective.max_throughput()),
+        rounds=1, iterations=1)
+    assert result.found
+    assert result.search_stats.candidates_killed_unevaluated > 0
+
+
+@pytest.mark.skipif(os.environ.get("BENCH_SCALE", "smoke") != "full",
+                    reason="8192-GPU point runs only under BENCH_SCALE=full")
+def test_bench_planner_heterogeneous_8192_gpus(benchmark, job):
+    """Sailor planner on 4096 A100 + 4096 V100 -- 8x beyond the paper.
+
+    The first point past the enumeration wall: it is reachable because
+    the fused combine kernel takes the inner elementwise pass off the
+    backward profile and the candidate tail kills run on
+    availability-aware floors.  Single round, like every full-scale-only
+    point."""
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": 1024, "n1-standard-v100-4": 1024})
     env = build_environment(job, topology)
     planner = SailorPlanner(env)
     result = benchmark.pedantic(

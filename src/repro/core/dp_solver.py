@@ -295,6 +295,18 @@ class DPSolverConfig:
     #: 1.0 forces the shared kernel everywhere (the equivalence suites do).
     #: A pure latency policy -- both routes are bit-identical.
     shared_backward_density: float = SHARED_ARGMIN_MAX_DENSITY
+    #: Run the backward elementwise combine through the fused workspace
+    #: kernel: ``np.take`` gathers into preallocated per-footprint scratch
+    #: buffers hung off the shared forward layers plus a cached-signature
+    #: ``np.einsum`` for the cost product, so a big layer allocates no
+    #: (rows, combos)- or nnz-sized temporaries at all
+    #: (``SearchStats.combine_fused_hits`` counts the layers served).
+    #: Bit-identical by construction -- same operand order and the same
+    #: IEEE op chain as the reference blocks, which stay in place both as
+    #: the small-layer fast path (dispatch by measured block size,
+    #: ``resource_state.FUSED_COMBINE_MIN_ELEMS``) and for the equivalence
+    #: suites; off only for equivalence testing.
+    fused_combine: bool = True
 
     def __post_init__(self) -> None:
         if self.max_combos_per_stage < 1:
@@ -608,9 +620,11 @@ class DPSolver:
             self.goal is OptimizationGoal.MIN_COST,
             search_budget=self.search_budget,
             shared_argmin=self.config.shared_backward_argmin,
-            shared_argmin_max_density=self.config.shared_backward_density)
+            shared_argmin_max_density=self.config.shared_backward_density,
+            fused_combine=self.config.fused_combine)
         engine.run_backward()
         self.stats.backward_shared_hits += engine.shared_skeleton_hits
+        self.stats.combine_fused_hits += engine.combine_fused_hits
         return engine
 
     def _materialize(self, stage_index: int, row: int) -> DPSolution:

@@ -376,6 +376,21 @@ class SearchStats:
     #: candidate of the branch cannot beat the incumbent, so none of them
     #: was solved, built or evaluated (see ``SailorPlanner._plan_branch``).
     candidates_killed_unevaluated: int = 0
+    #: Whole (P, mbs) families skipped before any forward build: the
+    #: family's interval-memoised floor (min over its data-parallel
+    #: members) already loses to the cross-branch incumbent, so every
+    #: member was dropped wholesale (``PlannerConfig.family_interval_memo``).
+    families_skipped: int = 0
+    #: Backward layer combines served by the fused workspace kernel
+    #: (preallocated per-footprint buffers + cached-signature einsum)
+    #: instead of fresh full-size temporaries
+    #: (``DPSolverConfig.fused_combine``).
+    combine_fused_hits: int = 0
+    #: Availability-aware tail-kill floor tables served warm from the
+    #: per-availability-signature cache instead of being rebuilt
+    #: (``PlannerConfig.availability_aware_floors``); churn replans against
+    #: an unchanged pool hit this on every branch.
+    availability_floor_hits: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats block into this one (parallel driver)."""
@@ -416,6 +431,9 @@ class SearchStats:
                 f"suffix_certified={self.suffix_certified} "
                 f"shared_backward={self.backward_shared_hits} "
                 f"killed_unevaluated={self.candidates_killed_unevaluated} "
+                f"families_skipped={self.families_skipped} "
+                f"fused_combines={self.combine_fused_hits} "
+                f"avail_floor_hits={self.availability_floor_hits} "
                 f"branches={self.branches_complete}+"
                 f"{self.branches_incomplete}cut "
                 f"interrupts={self.budget_interrupts}")

@@ -21,6 +21,7 @@ deterministically (same result as the serial search).
 
 from __future__ import annotations
 
+import bisect
 import math
 import multiprocessing
 import os
@@ -54,7 +55,7 @@ from repro.core.plan import (
     StageConfig,
     StageReplica,
 )
-from repro.core.search_cache import PlannerSearchContext
+from repro.core.search_cache import PlannerSearchContext, tp_options_key
 from repro.core.simulator import SailorSimulator, SimulationEnvironment
 from repro.hardware.nodes import get_node_type
 from repro.hardware.topology import ClusterTopology
@@ -155,6 +156,46 @@ class PlannerConfig:
     #: Armed only together with ``dp_config.enable_pruning``; ``False``
     #: restores the exhaustive per-candidate loop.
     candidate_ordering: bool = True
+    #: Dominated-family interval memo: before any forward build, price a
+    #: whole (P, mbs) family with an admissible availability-free floor --
+    #: the minimum of ``_candidate_floor`` over the family's data-parallel
+    #: members, with the stage minima and per-member floors
+    #: interval-memoised in the search context (the budget memo's
+    #: validity-range idea one level up: an entry, once computed, answers
+    #: every availability snapshot whose candidate interval contains that
+    #: member) -- and skip the family *wholesale* when the floor already
+    #: loses to the cross-branch incumbent
+    #: (``SearchStats.families_skipped``).  Value-preserving for the same
+    #: reason as the tail kill: ``Objective.better`` is strict, so no
+    #: skipped member could have replaced the incumbent, and a skip
+    #: removes an entire family (a within-enumeration-order cut), so no
+    #: surviving branch sees different H3/H4 or tie-break state.  The
+    #: parallel driver replays the serial skip decisions in branch order
+    #: from the workers' reported floors (``_family_dominated`` is the
+    #: single shared predicate), so both drivers skip identical families.
+    #: Armed only together with ``dp_config.enable_pruning``; ``False``
+    #: restores the unconditional per-branch search for the equivalence
+    #: suites.
+    family_interval_memo: bool = True
+    #: Availability-aware tail-kill floors: tighten the candidate-ordering
+    #: tail kill from availability-free stage minima to minima over the
+    #: (zone, node type, TP) options actually present in the pool, with a
+    #: per-stage replica-capacity threshold -- a stage hosting D replicas
+    #: over at most ``max_mixed_types_per_stage`` options must place
+    #: ``ceil(D / min(2, max_mixed))`` of them on one option, so only
+    #: options with at least that root-pool capacity can set the stage's
+    #: time.  Still admissible (the root pool is a superset of every DP
+    #: sub-state's pool, so the threshold only ever *widens* the option
+    #: set vs. reality), hence value-preserving exactly like
+    #: ``candidate_ordering`` itself, and still used only for
+    #: within-order tail kills;
+    #: ``_unexplored_bound`` keeps the availability-free floors, so the
+    #: optimality-gap certificates are unchanged.  The per-(branch, pool)
+    #: tables are cached in the search context
+    #: (``SearchStats.availability_floor_hits``), so churn replans against
+    #: an unchanged pool reuse them warm.  ``False`` falls back to the
+    #: availability-free tail floors.
+    availability_aware_floors: bool = True
 
 
 @dataclass
@@ -174,6 +215,12 @@ class _BranchOutcome:
     #: Admissible lower bound on the objective's minimised scalar over the
     #: branch's *unexplored* candidates; +inf when none could win.
     unexplored_lb: float = math.inf
+    #: Admissible availability-free floor of the whole family's minimised
+    #: scalar (``PlannerConfig.family_interval_memo``); ``None`` when the
+    #: family gate was not armed for this branch (no TP options, no DP
+    #: candidates, pruning off), so the parallel driver's replay never
+    #: drops an unpriced branch.
+    family_floor: float | None = None
 
 
 class SailorPlanner:
@@ -237,11 +284,21 @@ class SailorPlanner:
         # branch skips its DP solves and only prices its unexplored
         # candidates (a bounded epilogue), which is what makes the reported
         # optimality gap admissible over the *whole* candidate space.
+        # The running cross-branch incumbent exists solely to arm the
+        # dominated-family gate; the final winner is still picked by
+        # ``_merge_outcomes`` with the identical comparison, so threading
+        # it cannot change the chosen plan.
         outcomes: list[_BranchOutcome] = []
+        incumbent_eval: PlanEvaluation | None = None
         for pp, mbs in self._branch_specs(job, total_nodes, heuristics):
-            outcomes.append(self._plan_branch(job, objective, consolidated,
-                                              resources, pp, mbs, context,
-                                              search_budget))
+            outcome = self._plan_branch(job, objective, consolidated,
+                                        resources, pp, mbs, context,
+                                        search_budget,
+                                        incumbent=incumbent_eval)
+            outcomes.append(outcome)
+            if (outcome.evaluation is not None
+                    and objective.better(outcome.evaluation, incumbent_eval)):
+                incumbent_eval = outcome.evaluation
         best_plan, best_eval, candidates, ooms = self._merge_outcomes(
             objective, outcomes)
         complete, gap, incomplete = self._anytime_summary(
@@ -332,6 +389,7 @@ class SailorPlanner:
                      resources: dict[tuple[str, str], int],
                      pp: int, mbs: int, context: PlannerSearchContext,
                      search_budget: SearchBudget | None = None,
+                     incumbent: PlanEvaluation | None = None,
                      ) -> _BranchOutcome:
         """Search every data-parallel candidate of one (P, mbs) branch.
 
@@ -367,22 +425,59 @@ class SailorPlanner:
             job, mbs, max_dp, maximize_throughput=maximize_throughput,
             config=heuristics)
 
+        # Dominated-family interval memo (see PlannerConfig
+        # .family_interval_memo): price the whole family from the
+        # interval-memoised availability-free floors and skip it wholesale
+        # -- before any forward build or DP solve -- when it provably
+        # cannot *strictly* beat the cross-branch incumbent.  The floor is
+        # recorded on the outcome either way so the parallel driver can
+        # replay this exact decision from its workers' results.
+        if (self.config.family_interval_memo
+                and self.config.dp_config.enable_pruning and dp_candidates):
+            outcome.family_floor = self._family_floor(
+                job, context, partitions, tp_options, mbs, pp, dp_candidates,
+                not maximize_throughput)
+            if self._family_dominated(objective, outcome.family_floor,
+                                      incumbent):
+                context.stats.families_skipped += 1
+                self._count_branch(context, outcome)
+                return outcome
+
         # Cost-bound-driven candidate scheduling (see PlannerConfig
         # .candidate_ordering): suffix minima of the per-candidate
         # admissible floors, so one comparison at the top of the loop
         # prices the whole unexplored tail.  Branch-local state only --
         # serial and parallel workers take identical kill decisions, and
         # the incumbent gate on/off does not perturb them (the gate never
-        # changes the branch incumbent's evolution).
+        # changes the branch incumbent's evolution).  With
+        # ``availability_aware_floors`` the per-candidate floors come from
+        # the pool-aware tables instead of the availability-free minima;
+        # both are admissible, so either way only provably-losing tails
+        # are killed.
         tail_floor: list[float] | None = None
         if (self.config.candidate_ordering
                 and self.config.dp_config.enable_pruning and dp_candidates):
-            floors = self._stage_floors(context, partitions, tp_options, mbs)
-            if floors is not None:
+            avail_tables = None
+            if self.config.availability_aware_floors:
+                avail_tables = self._availability_tables(
+                    context, partitions, tp_options, mbs, pp, resources)
+            if avail_tables is not None:
+                max_mixed = self.config.dp_config.max_mixed_types_per_stage
                 tail_floor = [
-                    self._candidate_floor(job, floors, mbs, dp,
-                                          not maximize_throughput)
+                    self._candidate_floor_available(job, avail_tables, mbs,
+                                                    dp,
+                                                    not maximize_throughput,
+                                                    max_mixed)
                     for dp in dp_candidates]
+            else:
+                floors = self._stage_floors(context, partitions, tp_options,
+                                            mbs)
+                if floors is not None:
+                    tail_floor = [
+                        self._candidate_floor(job, floors, mbs, dp,
+                                              not maximize_throughput)
+                        for dp in dp_candidates]
+            if tail_floor is not None:
                 for i in range(len(tail_floor) - 2, -1, -1):
                     if tail_floor[i + 1] < tail_floor[i]:
                         tail_floor[i] = tail_floor[i + 1]
@@ -609,6 +704,155 @@ class SailorPlanner:
         certificates are bit-identical to the pre-refactor arithmetic.
         """
         sum_t, max_t, rate_sum = floors
+        nb = job.num_microbatches(dp, mbs)
+        time_lb = sum_t + (nb - 1) * max_t
+        value = (dp * rate_sum * time_lb if minimize_cost else time_lb)
+        return value * _GAP_BOUND_SLACK
+
+    def _family_floor(self, job: TrainingJobSpec,
+                      context: PlannerSearchContext, partitions,
+                      tp_options: list[dict[str, list[int]]], mbs: int,
+                      pp: int, dp_candidates: list[int],
+                      minimize_cost: bool) -> float:
+        """Admissible floor of one (P, mbs) family's minimised scalar.
+
+        ``min`` over the family's data-parallel members of the
+        availability-free ``_candidate_floor`` -- a floor of every member,
+        hence of the family's best.  Both levels are interval-memoised in
+        the search context: the stage minima are availability-independent
+        outright, and each member floor, once computed, stays valid for
+        every later availability snapshot whose candidate list contains
+        that member (a snapshot only decides *which* members exist, never
+        what a member's floor is), so churn replans price their families
+        from warm tables.
+        """
+        tp_key = tuple(tp_options_key(options) for options in tp_options)
+        floors = context.family_stage_floors(
+            pp, mbs, tp_key,
+            lambda: self._stage_floors(context, partitions, tp_options, mbs))
+        if floors is None:
+            return math.inf
+        members = context.family_member_floors(pp, mbs, tp_key)
+        best = math.inf
+        for dp in dp_candidates:
+            value = members.get(dp)
+            if value is None:
+                value = self._candidate_floor(job, floors, mbs, dp,
+                                              minimize_cost)
+                members[dp] = value
+            if value < best:
+                best = value
+        return best
+
+    @staticmethod
+    def _family_dominated(objective: Objective, family_floor: float | None,
+                          incumbent: PlanEvaluation | None) -> bool:
+        """The family-skip predicate, shared verbatim by the serial gate
+        and the parallel driver's replay so the two can never diverge.
+        ``None`` floor means the gate was not armed for the branch (never
+        skip); otherwise skip exactly when no member could *strictly* beat
+        the incumbent's minimised scalar."""
+        if family_floor is None or incumbent is None:
+            return False
+        value = SailorPlanner._incumbent_value(objective, incumbent)
+        return value > 0 and family_floor >= value
+
+    @staticmethod
+    def _availability_tables(context: PlannerSearchContext, partitions,
+                             tp_options: list[dict[str, list[int]]],
+                             mbs: int, pp: int,
+                             resources: dict[tuple[str, str], int],
+                             ) -> tuple | None:
+        """Per-stage availability-aware floor tables, cached per pool.
+
+        For each stage: every (zone, node type, TP) option the pool
+        actually offers, ordered by whole-pool replica capacity
+        descending, with a running prefix minimum of the stage compute
+        time -- so a capacity-threshold query is a single bisect -- plus
+        the minimum per-replica rate over the present options.  A ``None``
+        stage entry marks a stage the pool cannot host at all (every
+        candidate floor becomes +inf, vacuously admissible: the DP would
+        find nothing either).  Cached per (branch, pool) signature in the
+        search context, so churn replans against an unchanged pool reuse
+        the tables warm (``SearchStats.availability_floor_hits``).
+        """
+        resources_key = tuple(sorted(
+            (key, count) for key, count in resources.items() if count > 0))
+        stage_keys = tuple(tp_options_key(options) for options in tp_options)
+        signature = (pp, mbs, stage_keys, resources_key)
+
+        def build() -> tuple:
+            tables = []
+            for partition, options, tp_key in zip(partitions, tp_options,
+                                                  stage_keys):
+                entries = []
+                for option, max_replicas in context.stage_options(
+                        options, tp_key, resources_key):
+                    gpus = context.gpus_per_node(option.node_type)
+                    node_rate = gpus * context.gpu_price_per_second(
+                        option.node_type)
+                    rate = node_rate / max(1, gpus // option.tensor_parallel)
+                    compute = context.stage_compute_time(
+                        partition, mbs, option.node_type,
+                        option.tensor_parallel)
+                    entries.append((max_replicas, compute, rate))
+                if not entries:
+                    tables.append(None)
+                    continue
+                # Negated capacities ascending: the options with capacity
+                # >= k are exactly the prefix bisect_right(-k) selects.
+                entries.sort(key=lambda entry: -entry[0])
+                neg_caps = [-entry[0] for entry in entries]
+                pref_min_t: list[float] = []
+                best_t = math.inf
+                min_rate = math.inf
+                for _, compute, rate in entries:
+                    if compute < best_t:
+                        best_t = compute
+                    pref_min_t.append(best_t)
+                    if rate < min_rate:
+                        min_rate = rate
+                tables.append((neg_caps, pref_min_t, min_rate))
+            return tuple(tables)
+
+        return context.availability_floors(signature, build)
+
+    @staticmethod
+    def _candidate_floor_available(job: TrainingJobSpec, tables: tuple,
+                                   mbs: int, dp: int, minimize_cost: bool,
+                                   max_mixed: int) -> float:
+        """Availability-aware admissible floor of one (P, mbs, D) candidate.
+
+        A stage hosts its D replicas on at most ``min(2, max_mixed)``
+        options (``stage_master_combos`` never mixes more than two per
+        stage), so some option of any feasible combo carries at least
+        ``k = ceil(D / min(2, max_mixed))`` replicas -- and only options
+        whose *root-pool* capacity reaches ``k`` can be that carrier.  The
+        stage's time is the max over its combo's options, hence >= the
+        carrier's time >= the prefix minimum at the capacity threshold.
+        DP sub-states only ever shrink capacities, so thresholding on the
+        root pool keeps the admitted option set a superset of reality and
+        the bound admissible.  The rate floor uses presence only
+        (threshold 1): a combo option may carry a single replica.  Slack
+        as in ``_candidate_floor``.
+        """
+        mixing = min(2, max(1, max_mixed))
+        k = -(-dp // mixing)
+        sum_t = 0.0
+        max_t = 0.0
+        rate_sum = 0.0
+        for table in tables:
+            if table is None:
+                return math.inf
+            neg_caps, pref_min_t, min_rate = table
+            count = bisect.bisect_right(neg_caps, -k)
+            if count == 0:
+                return math.inf
+            stage_t = pref_min_t[count - 1]
+            sum_t += stage_t
+            if stage_t > max_t:
+                max_t = stage_t
+            rate_sum += min_rate
         nb = job.num_microbatches(dp, mbs)
         time_lb = sum_t + (nb - 1) * max_t
         value = (dp * rate_sum * time_lb if minimize_cost else time_lb)
@@ -968,6 +1212,33 @@ class ParallelPlanner:
                         segment.unlink()
                     except FileNotFoundError:
                         pass  # a worker's resource tracker beat us to it
+
+        # Replay the serial driver's dominated-family skips (see
+        # PlannerConfig.family_interval_memo): workers run with no
+        # cross-branch incumbent -- they only *price* their family -- so
+        # the driver re-takes the serial skip decisions in branch order
+        # from the reported floors, through the same shared predicate.  A
+        # dropped branch is replaced by exactly what a serial skip
+        # produces: an empty complete outcome plus a stats delta of one
+        # skipped family (zero DP solves, zero evaluations), which keeps
+        # the chosen plan, candidates_evaluated and nodes_explored
+        # byte-identical to the serial search.  A dropped branch cannot
+        # have carried the winner: its best evaluation is >= its family
+        # floor >= the incumbent's minimised scalar, and
+        # ``Objective.better`` is strict.
+        if self.config.family_interval_memo:
+            incumbent_eval = None
+            for index, (outcome, _) in enumerate(results):
+                if SailorPlanner._family_dominated(
+                        objective, outcome.family_floor, incumbent_eval):
+                    results[index] = (
+                        _BranchOutcome(label=outcome.label,
+                                       family_floor=outcome.family_floor),
+                        SearchStats(families_skipped=1, branches_complete=1))
+                elif (outcome.evaluation is not None
+                      and objective.better(outcome.evaluation,
+                                           incumbent_eval)):
+                    incumbent_eval = outcome.evaluation
 
         for _, branch_stats in results:
             stats.merge(branch_stats)

@@ -237,6 +237,35 @@ FORWARD_CHUNK_ELEMS = 1 << 25
 #: dispatch is a pure latency policy.
 SHARED_ARGMIN_MAX_DENSITY = 0.25
 
+#: Combine block sizes (dense ``rows * combos``, or CSR ``nnz``) routed
+#: through the fused workspace kernel (``DPSolverConfig.fused_combine``)
+#: -- a *band*, not a floor.  Below the minimum the reference expression
+#: chain wins: the fused path's gain is skipping full-size temporary
+#: allocations, which is noise for blocks that fit comfortably in cache,
+#: while its ``np.take``/workspace indirection has a fixed per-call
+#: overhead.  Above the maximum the reference wins again: once the
+#: workspace set (seven full-size buffers) blows far past the last-level
+#: cache, rewriting the same resident pages measures ~10-20% *slower* on
+#: this box than the allocator's fresh pages (isolated kernel bench,
+#: 2026-08; 16384x128 fused 1.98x faster, 16384x256 0.80x).  Measured
+#: crossovers: fused wins ~1.5-2x from ~16K up to and including 2M
+#: elements, loses at 4M+ -- re-measure both ends before porting to other
+#: hardware.  In situ the win hinges on gathering straight through
+#: ``child_row`` with ``mode="clip"``: an explicit clamped-index buffer
+#: cost more L2 traffic than every elementwise saving combined (per-op
+#: timing, 1024-GPU point).  Both paths are bit-identical (the
+#: equivalence suite pins them), so the dispatch is a pure latency
+#: policy.
+FUSED_COMBINE_MIN_ELEMS = 16384
+FUSED_COMBINE_MAX_ELEMS = 1 << 21
+
+#: Process-wide fused-combine scratch pool (see
+#: :meth:`ForwardLayers.combine_workspace` for the sharing/safety
+#: argument).  Grow-only per name; the dispatch band caps every buffer at
+#: ``FUSED_COMBINE_MAX_ELEMS`` elements, so the pool's resident ceiling
+#: is a few hundred MB at full scale and zero until the band first fires.
+_COMBINE_WS: dict[str, np.ndarray] = {}
+
 #: Packed-value ceiling below which :func:`dedup_states` uses the counting
 #: (bincount) dedup instead of the sort-based ``np.unique``.  The bound
 #: caps the side tables at a few MB; pools whose packed range exceeds it
@@ -322,7 +351,7 @@ class ForwardLayers:
 
     __slots__ = ("states", "child_row", "last_sel", "states_computed",
                  "dedup_hits", "row_of", "_row_cols", "_backward_csr",
-                 "_backward_nnz")
+                 "_backward_nnz", "_combine_ws")
 
     def __init__(self, states: list[np.ndarray],
                  child_row: list[np.ndarray | None],
@@ -359,6 +388,37 @@ class ForwardLayers:
         #: pre-fills it from counts it computes anyway; the lazy fallback
         #: covers hand-built layers.
         self._backward_nnz: dict[int, int] = dict(backward_nnz or {})
+        #: Named grow-only scratch buffers of the fused backward combine
+        #: (:meth:`combine_workspace`): hung off the shared forward layers
+        #: because every candidate on this footprint signature scores the
+        #: same layer shapes; the actual buffers live in the process-wide
+        #: pool (see :meth:`combine_workspace`).
+        self._combine_ws = _COMBINE_WS
+
+    def combine_workspace(self, name: str, count: int,
+                          dtype=np.float64) -> np.ndarray:
+        """Flat scratch buffer of at least ``count`` elements, by name.
+
+        Grow-only, and backed by one *process-wide* pool rather than a
+        per-instance dict: at the 1024-GPU bench point forward builds are
+        nearly 1:1 with candidates (~145 distinct footprints for ~412
+        fused combines), so per-footprint buffers were used ~3x each and
+        arrived cache-cold every time -- measured, that forfeited the
+        whole fused-kernel win.  One shared pool keeps the buffers hot
+        across every candidate and footprint of the process.  Sharing is
+        safe because the backward sweep runs serially per candidate
+        within a process (parallel workers are separate processes), the
+        workspace is write-before-read within one ``_solve_layer`` call,
+        and every *persisted* layer output is a fresh array (argmin
+        gathers / ``np.where`` results), so no workspace view is ever
+        live once :meth:`ResourceStateEngine._solve_layer` returns.
+        Returned sliced to exactly ``count`` (contiguous, reshapeable).
+        """
+        buf = self._combine_ws.get(name)
+        if buf is None or buf.shape[0] < count:
+            buf = np.empty(count, dtype=dtype)
+            self._combine_ws[name] = buf
+        return buf[:count]
 
     def row_for_key(self, stage_index: int, key: bytes) -> int | None:
         """Row index of an encoded state in one layer, if reachable."""
@@ -507,8 +567,12 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
             if (limit < num_combos
                     and int(fits.sum(axis=1).max(initial=0)) > limit):
                 # Only pay the cumsum when some state actually has more
-                # fitting combos than the truncation limit.
-                sel = fits & (np.cumsum(fits, axis=1) <= limit)
+                # fitting combos than the truncation limit.  int32 halves
+                # the running-count traffic (counts are bounded by the
+                # combo count, nowhere near 2**31) with identical <= limit
+                # comparisons.
+                sel = fits & (np.cumsum(fits, axis=1,
+                                        dtype=np.int32) <= limit)
             else:
                 sel = fits
             sel_full[start:start + chunk] = sel
@@ -531,7 +595,11 @@ def compute_forward_layers(reqs: list[np.ndarray], caps_vec: list[np.ndarray],
             children = np.zeros((0, num_slots), dtype=STATE_DTYPE)
         uniq, inverse = dedup_states(children, weights)
         dedup_hits += children.shape[0] - uniq.shape[0]
-        child_row = np.full((num_states, num_combos), -1, dtype=np.int64)
+        # int32: child rows index the next layer (~1e4-1e5 states, nowhere
+        # near 2**31), and this (N, M) map is the single biggest operand of
+        # both the masked assignment below and every backward gather --
+        # halving it halves that traffic with identical index semantics.
+        child_row = np.full((num_states, num_combos), -1, dtype=np.int32)
         # Row-major assignment order matches the chunk-concatenated children.
         child_row[sel_full] = inverse
         child_rows[j] = child_row
@@ -777,7 +845,8 @@ class ResourceStateEngine:
                  num_microbatches: int, minimize_cost: bool,
                  search_budget=None, shared_argmin: bool = True,
                  shared_argmin_max_density: float =
-                 SHARED_ARGMIN_MAX_DENSITY) -> None:
+                 SHARED_ARGMIN_MAX_DENSITY,
+                 fused_combine: bool = True) -> None:
         self.codec = codec
         #: Optional cooperative cancellation point (``tick()`` per layer in
         #: the backward sweep); None leaves the sweep uncancellable.
@@ -799,6 +868,14 @@ class ResourceStateEngine:
         #: Layers whose CSR skeleton was reused from the shared forward
         #: pass this backward sweep (-> SearchStats.backward_shared_hits).
         self.shared_skeleton_hits = 0
+        #: Route big combine blocks through the fused workspace kernel
+        #: (see :data:`FUSED_COMBINE_MIN_ELEMS`); bit-identical to the
+        #: reference chains, kept toggleable for the equivalence suites
+        #: (``DPSolverConfig.fused_combine``).
+        self.fused_combine = fused_combine
+        #: Layers whose combine was served by the fused workspace kernel
+        #: this backward sweep (-> SearchStats.combine_fused_hits).
+        self.combine_fused_hits = 0
         num_stages = len(tables)
         #: Backward results: per stage, the chosen combo per row and the
         #: optimum's (value, sum, max, sync, rate); value is +inf where the
@@ -913,6 +990,16 @@ class ResourceStateEngine:
         sync_a = table.sync[None, :]
         rate_a = table.rate[None, :]
         shape = (rows, table.req.shape[0])
+        # Fused-workspace dispatch (DPSolverConfig.fused_combine):
+        # mid-band non-last layers gather with np.take into preallocated
+        # per-footprint buffers instead of allocating fresh (rows, combos)
+        # temporaries.  Same operand order, same IEEE op chain -- the
+        # reference block below doubles as the out-of-band fast path and
+        # the equivalence reference.
+        elems = rows * table.req.shape[0]
+        fused = (self.fused_combine and not last
+                 and FUSED_COMBINE_MIN_ELEMS <= elems
+                 <= FUSED_COMBINE_MAX_ELEMS)
         if last:
             sum_c = np.broadcast_to(table.compute[None, :], shape)
             max_c = sum_c
@@ -921,6 +1008,11 @@ class ResourceStateEngine:
             time_v = table.compute + self.nb1 * table.compute + table.sync
             time_v = np.broadcast_to(time_v[None, :], shape)
             invalid = ~forward.last_sel
+        elif fused:
+            sum_c, max_c, sync_c, rate_c, time_v, invalid = (
+                self._combine_dense_fused(j, t_a, sync_a, rate_a,
+                                          forward.child_row[j]))
+            self.combine_fused_hits += 1
         else:
             child_row = forward.child_row[j]
             # Transient per-candidate gather: retaining these (rows,
@@ -950,7 +1042,17 @@ class ResourceStateEngine:
             invalid = np.isinf(self.value[j + 1])[safe]
             invalid |= base
         if self.minimize_cost:
-            scored = rate_c * time_v
+            if fused:
+                # Elementwise product through the cached-signature einsum
+                # path, straight into workspace: einsum caches its parsed
+                # contraction per signature string, and 'ij,ij->ij' is the
+                # same IEEE multiply as ``rate_c * time_v``.
+                scored = np.einsum(
+                    "ij,ij->ij", rate_c, time_v,
+                    out=self.forward.combine_workspace(
+                        "scored", time_v.size).reshape(shape))
+            else:
+                scored = rate_c * time_v
         elif last:
             scored = time_v.copy()  # time_v is a read-only broadcast view
         else:
@@ -978,6 +1080,59 @@ class ResourceStateEngine:
         self.max_t[j] = np.where(feasible, max_c[take, arg], 0.0)
         self.sync_t[j] = np.where(feasible, sync_c[take, arg], 0.0)
         self.rate[j] = np.where(feasible, rate_c[take, arg], 0.0)
+
+    # lint: disable=hot-loop-alloc -- the whole point: every gather lands
+    # in a named grow-only workspace buffer via np.take(..., out=); the
+    # only fresh allocation is the 1-D row-sized isinf input.
+    @hot_path
+    def _combine_dense_fused(self, j: int, t_a: np.ndarray,
+                             sync_a: np.ndarray, rate_a: np.ndarray,
+                             child_row: np.ndarray) -> tuple:
+        """Fused dense combine of one non-last layer, in workspace.
+
+        Replicates the reference block of :meth:`_solve_layer` bit for
+        bit: identical operand order and IEEE op chain, with the gathers
+        routed through ``np.take(..., mode="clip", out=)`` into the
+        per-footprint buffers of :meth:`ForwardLayers.combine_workspace`
+        instead of fancy-index allocations.  ``mode="clip"`` maps the -1
+        sentinel (the only negative value in ``child_row``) to index 0 --
+        exactly the ``np.where(child_row < 0, 0, child_row)`` the
+        reference gathers through, without ever materialising that
+        (rows, combos) int64 index matrix: per-op timing at the 1024-GPU
+        point showed the explicit ``safe`` buffer cost more in L2 traffic
+        (one streaming write plus five re-reads of a multi-MB matrix)
+        than every elementwise ``out=`` saving combined.  Gathering
+        ``isinf`` of the 1-D child values commutes with the gather
+        itself.
+        """
+        ws = self.forward.combine_workspace
+        shape = child_row.shape
+        n = child_row.size
+        sum_c = np.take(self.sum_t[j + 1], child_row, mode="clip",
+                        out=ws("sum", n).reshape(shape))
+        np.add(t_a, sum_c, out=sum_c)
+        max_c = np.take(self.max_t[j + 1], child_row, mode="clip",
+                        out=ws("max", n).reshape(shape))
+        np.maximum(t_a, max_c, out=max_c)
+        sync_c = np.take(self.sync_t[j + 1], child_row, mode="clip",
+                         out=ws("sync", n).reshape(shape))
+        np.maximum(sync_a, sync_c, out=sync_c)
+        rate_c = np.take(self.rate[j + 1], child_row, mode="clip",
+                         out=ws("rate", n).reshape(shape))
+        np.add(rate_a, rate_c, out=rate_c)
+        # time_v = sum_c + self.nb1 * max_c + sync_c, left-associated
+        # (scalar multiply commutes bitwise).
+        time_v = np.multiply(max_c, self.nb1,
+                             out=ws("time", n).reshape(shape))
+        np.add(sum_c, time_v, out=time_v)
+        np.add(time_v, sync_c, out=time_v)
+        invalid = np.take(np.isinf(self.value[j + 1]), child_row,
+                          mode="clip",
+                          out=ws("invalid", n, bool).reshape(shape))
+        base = np.less(child_row, 0,
+                       out=ws("base", n, bool).reshape(shape))
+        np.logical_or(invalid, base, out=invalid)
+        return sum_c, max_c, sync_c, rate_c, time_v, invalid
 
     # lint: disable=hot-loop-alloc -- operates on nnz-sized CSR entry
     # vectors (already density-gated far below the dense product) and
@@ -1011,29 +1166,75 @@ class ResourceStateEngine:
         if nnz == 0:
             self._mark_layer_infeasible(j, rows)
             return
-        t_a = table.compute[cols]
-        sync_a = table.sync[cols]
-        rate_a = table.rate[cols]
-        if last:
-            sum_e = t_a
-            max_e = t_a
-            sync_e = sync_a
-            rate_e = rate_a
-            time_e = t_a + self.nb1 * t_a + sync_a
-            invalid_e = None
+        # Fused-workspace dispatch, as in _solve_layer: mid-band non-last
+        # layers run the same per-entry chain through np.take gathers into
+        # the shared per-footprint buffers; the reference block stays as
+        # the out-of-band fast path and the equivalence reference.
+        fused = (self.fused_combine and not last
+                 and FUSED_COMBINE_MIN_ELEMS <= nnz
+                 <= FUSED_COMBINE_MAX_ELEMS)
+        if fused:
+            ws = forward.combine_workspace
+            t_a = np.take(table.compute, cols, out=ws("ta", nnz))
+            sync_a = np.take(table.sync, cols, out=ws("sync_a", nnz))
+            rate_a = np.take(table.rate, cols, out=ws("rate_a", nnz))
+            sum_e = np.take(self.sum_t[j + 1], child, out=ws("sum", nnz))
+            np.add(t_a, sum_e, out=sum_e)
+            max_e = np.take(self.max_t[j + 1], child, out=ws("max", nnz))
+            np.maximum(t_a, max_e, out=max_e)
+            sync_e = np.take(self.sync_t[j + 1], child,
+                             out=ws("sync", nnz))
+            np.maximum(sync_a, sync_e, out=sync_e)
+            rate_e = np.take(self.rate[j + 1], child, out=ws("rate", nnz))
+            np.add(rate_a, rate_e, out=rate_e)
+            # time_e = sum_e + self.nb1 * max_e + sync_e, left-associated
+            # (scalar multiply commutes bitwise).
+            time_e = np.multiply(max_e, self.nb1, out=ws("time", nnz))
+            np.add(sum_e, time_e, out=time_e)
+            np.add(time_e, sync_e, out=time_e)
+            # isinf of the 1-D child values gathered -- commutes with the
+            # gather, so value-identical to isinf(value[child]).
+            invalid_e = np.take(np.isinf(self.value[j + 1]), child,
+                                out=ws("invalid", nnz, bool))
+            self.combine_fused_hits += 1
         else:
-            sum_e = t_a + self.sum_t[j + 1][child]
-            max_e = np.maximum(t_a, self.max_t[j + 1][child])
-            sync_e = np.maximum(sync_a, self.sync_t[j + 1][child])
-            rate_e = rate_a + self.rate[j + 1][child]
-            time_e = sum_e + self.nb1 * max_e + sync_e
-            invalid_e = np.isinf(self.value[j + 1][child])
+            t_a = table.compute[cols]
+            sync_a = table.sync[cols]
+            rate_a = table.rate[cols]
+            if last:
+                sum_e = t_a
+                max_e = t_a
+                sync_e = sync_a
+                rate_e = rate_a
+                time_e = t_a + self.nb1 * t_a + sync_a
+                invalid_e = None
+            else:
+                sum_e = t_a + self.sum_t[j + 1][child]
+                max_e = np.maximum(t_a, self.max_t[j + 1][child])
+                sync_e = np.maximum(sync_a, self.sync_t[j + 1][child])
+                rate_e = rate_a + self.rate[j + 1][child]
+                time_e = sum_e + self.nb1 * max_e + sync_e
+                invalid_e = np.isinf(self.value[j + 1][child])
         if self.minimize_cost:
-            scored_e = rate_e * time_e
+            if fused:
+                # Cached-signature einsum product, straight into workspace
+                # (same IEEE multiply as ``rate_e * time_e``).
+                scored_e = np.einsum("i,i->i", rate_e, time_e,
+                                     out=ws("scored", nnz))
+            else:
+                scored_e = rate_e * time_e
         else:
             scored_e = time_e
         if invalid_e is not None:
-            scored_e = np.where(invalid_e, np.inf, scored_e)
+            if fused:
+                # In place: under the cost objective ``scored_e`` owns its
+                # buffer; under throughput it aliases ``time_e``, which is
+                # safe -- a feasible row's selected entry scored finite
+                # (never masked) and an infeasible row's time is pinned to
+                # +inf by the feasibility gate below either way.
+                scored_e[invalid_e] = np.inf
+            else:
+                scored_e = np.where(invalid_e, np.inf, scored_e)
         starts = row_ptr[:-1]
         counts = row_ptr[1:] - starts
         nonempty = counts > 0

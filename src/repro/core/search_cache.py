@@ -203,6 +203,30 @@ class PlannerSearchContext:
         #: forward layers.
         self._budget_bounds: dict[tuple, object] = {}
         self._budget_bounds_max = 256
+        #: Interval memo over partition counts (family floors): per
+        #: ``(pp, mbs, tp_key)`` family, the availability-free per-stage
+        #: minima triple of ``SailorPlanner._stage_floors``, plus the
+        #: per-member ``{dp: floor}`` table it induces.  The memo reuses
+        #: PR 3's interval-keyed validity-range idea one level up: each
+        #: entry is valid for *every* availability snapshot (the minima
+        #: range over every option the family admits, a superset of any
+        #: pool's), and each per-``dp`` member floor is valid for every
+        #: availability whose candidate interval contains ``dp`` -- so
+        #: churn replans reuse the whole table warm with zero
+        #: invalidation.  Unbounded by design: the key space is the
+        #: (pp, mbs) enumeration itself, a few hundred entries at most.
+        self._family_stage_floors: dict[tuple, tuple | None] = {}
+        self._family_member_floors: dict[tuple, dict[int, float]] = {}
+        #: Availability-aware tail-kill floor tables
+        #: (``SailorPlanner._availability_stage_tables``), keyed by the
+        #: full availability signature ``(pp, mbs, tp_key, resources)``.
+        #: Bounded FIFO like the forward layers: one entry per (branch,
+        #: pool) pair, so an online controller replanning across many
+        #: availability snapshots cannot accumulate tables without limit.
+        #: Hits are counted on ``stats.availability_floor_hits`` -- the
+        #: observable behind the churn-replans-reuse-them-warm claim.
+        self._availability_floors: dict[tuple, object] = {}
+        self._availability_floors_max = 256
         self._link_class: dict[tuple[str, str], LinkClass] = {}
         self._region: dict[str, str] = {}
         self._gpus_per_node: dict[str, int] = {}
@@ -419,6 +443,57 @@ class PlannerSearchContext:
             self._budget_bounds.pop(next(iter(self._budget_bounds)))
         self._budget_bounds[signature] = bounds
         return bounds
+
+    # -- enumeration-level floors -----------------------------------------------
+
+    def family_stage_floors(self, pp: int, mbs: int, tp_key: tuple, build):
+        """Availability-free stage-minima triple of one (P, mbs) family.
+
+        ``build`` runs ``SailorPlanner._stage_floors`` on a miss.  The
+        entry is availability-independent (see the attribute comment), so
+        it needs no pool in its key and survives churn untouched.
+        """
+        key = (pp, mbs, tp_key)
+        if key in self._family_stage_floors:
+            return self._family_stage_floors[key]
+        floors = build()
+        self._family_stage_floors[key] = floors
+        return floors
+
+    def family_member_floors(self, pp: int, mbs: int,
+                             tp_key: tuple) -> dict[int, float]:
+        """Mutable ``{dp: floor}`` member table of one (P, mbs) family.
+
+        Extended lazily by the planner as availability snapshots expose
+        new data-parallel members; an entry, once computed, answers every
+        later snapshot whose candidate interval contains that ``dp``
+        (the goal is context-bound, so it needs no place in the key).
+        """
+        key = (pp, mbs, tp_key)
+        table = self._family_member_floors.get(key)
+        if table is None:
+            table = {}
+            self._family_member_floors[key] = table
+        return table
+
+    def availability_floors(self, signature: tuple, build):
+        """Availability-aware floor tables for one (branch, pool) signature.
+
+        ``build`` assembles the per-stage threshold tables
+        (``SailorPlanner._availability_stage_tables``) on a miss; hits are
+        counted on ``stats.availability_floor_hits``.  Bounded FIFO, same
+        policy as the forward layers.
+        """
+        cached = self._availability_floors.get(signature)
+        if cached is not None:
+            self.stats.availability_floor_hits += 1
+            return cached
+        tables = build()
+        if len(self._availability_floors) >= self._availability_floors_max:
+            self._availability_floors.pop(
+                next(iter(self._availability_floors)))
+        self._availability_floors[signature] = tables
+        return tables
 
     # -- combo enumeration ------------------------------------------------------
 

@@ -91,12 +91,50 @@ def test_bench_history_appends_one_line_per_run(bench_history, tmp_path):
     lines = history.read_text().strip().splitlines()
     assert len(lines) == 2
     record = json.loads(lines[0])
-    assert set(record) == {"rev", "recorded_at", "source", "benches"}
+    assert set(record) == {"rev", "recorded_at", "source", "scale",
+                           "benches"}
     assert record["benches"]["bench_planner_budget"] == {
         "median_s": 2.5, "min_s": 2.25, "rounds": 3}
     assert record["benches"]["bench_planner_128"]["median_s"] == 0.8
     # The revision is the repo's short git rev (or "unknown" off-git).
     assert record["rev"]
+
+
+def test_bench_history_stamps_scale(bench_history, tmp_path, monkeypatch):
+    """The record carries the BENCH_SCALE it was measured under: --scale
+    wins, $BENCH_SCALE is the default, and off-env runs say 'unknown'."""
+    bench = _bench_file(tmp_path / "bench.json", {
+        "bench_planner_128": {"median": 0.8, "min": 0.75, "rounds": 1},
+    })
+    history = tmp_path / "history.jsonl"
+
+    monkeypatch.delenv("BENCH_SCALE", raising=False)
+    assert bench_history.main([bench, "--history", str(history)]) == 0
+    monkeypatch.setenv("BENCH_SCALE", "smoke")
+    assert bench_history.main([bench, "--history", str(history)]) == 0
+    assert bench_history.main([bench, "--history", str(history),
+                               "--scale", "full"]) == 0
+    scales = [json.loads(line)["scale"]
+              for line in history.read_text().strip().splitlines()]
+    assert scales == ["unknown", "smoke", "full"]
+
+
+def test_compare_treats_8192_point_as_full_scale_only(compare_bench,
+                                                      tmp_path, capsys):
+    """The 8192-GPU point is BENCH_SCALE=full-gated: its absence from a
+    smoke candidate is a scale difference, not a dropped benchmark."""
+    assert compare_bench.is_full_scale_only("bench_planner_8192_gpus")
+    baseline = _bench_file(tmp_path / "base.json", {
+        "bench_planner_x": {"median": 1.0, "min": 1.0},
+        "bench_planner_8192_gpus": {"median": 30.0, "min": 28.0},
+    })
+    candidate = _bench_file(tmp_path / "new.json", {
+        "bench_planner_x": {"median": 1.0, "min": 1.0},
+    })
+    assert compare_bench.main([baseline, candidate]) == 0
+    out = capsys.readouterr().out
+    assert "full-scale-only benches absent" in out
+    assert "not in current run" not in out
 
 
 def test_bench_history_rejects_empty_run(bench_history, tmp_path):

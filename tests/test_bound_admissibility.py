@@ -12,12 +12,17 @@ Covered here: ``DPSolver._prepare_bounds`` / ``DPSolver._suffix_lower_bound``
 (suffix bounds of the branch-and-bound DP), ``SailorPlanner._stage_floors``
 / ``SailorPlanner._candidate_floor`` / ``SailorPlanner._unexplored_bound``
 (availability-free candidate floors behind the anytime gap certificate and
-the ordering tail kill, priced inside ``SailorPlanner._plan_branch``), and
+the ordering tail kill, priced inside ``SailorPlanner._plan_branch``),
+``SailorPlanner._family_floor`` / ``SailorPlanner._availability_tables`` /
+``SailorPlanner._candidate_floor_available`` (the dominated-family interval
+memo and the availability-aware tail-kill floors, randomized against
+exhaustive member enumeration on small pools), and
 ``PlanArrays.iteration_time_floor_s`` via
 ``SailorSimulator.iteration_time_floor`` (the incumbent-gate floor).
 """
 
 import math
+import random
 
 import pytest
 
@@ -26,13 +31,15 @@ from repro.core.dp_solver import DPSolver
 from repro.core.heuristics import (
     HeuristicConfig,
     consolidate_zones,
+    data_parallel_candidates,
     min_tp_per_stage,
     tp_options_for_stage,
 )
 from repro.core.objectives import Objective, OptimizationGoal
 from repro.core.planner import PlannerConfig, SailorPlanner
-from repro.core.search_cache import PlannerSearchContext
+from repro.core.search_cache import PlannerSearchContext, tp_options_key
 from repro.core.simulator import SailorSimulator
+from repro.hardware.topology import ClusterTopology
 from repro.models.partition import uniform_partition
 
 
@@ -157,6 +164,151 @@ def test_unexplored_bound_certifies_the_branch_optimum(opt_env, opt_job,
         opt_job, objective, context, partitions, tp_options, mbs, [1, 2, 4])
     assert truncated.unexplored_lb <= best * (1 + 1e-9)
     assert bound <= best * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("objective", [Objective.max_throughput(),
+                                       Objective.min_cost()],
+                         ids=["throughput", "cost"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_family_and_availability_floors_vs_exhaustive_enumeration(
+        opt_env, opt_job, objective, seed):
+    """Randomized pools, exhaustively enumerated: on every (P, mbs) branch
+    of a small random cluster, the availability-aware candidate floor
+    (``_candidate_floor_available`` over ``_availability_tables``) and the
+    family floor (``_family_floor``) must bound the simulator value of
+    *every* member the full DP + evaluation pipeline produces, and the
+    pool-aware floor must be at least as tight as the availability-free
+    ``_candidate_floor`` it replaces."""
+    rng = random.Random(seed)
+    topology = ClusterTopology.single_zone("us-central1-a", {
+        "a2-highgpu-4g": rng.randint(1, 3),
+        "n1-standard-v100-4": rng.randint(1, 3),
+    })
+    planner = SailorPlanner(opt_env)
+    heuristics = planner.config.heuristics
+    consolidated = consolidate_zones(topology, heuristics)
+    resources = SailorPlanner._resource_map(consolidated.topology)
+    context = PlannerSearchContext(opt_env, opt_job, objective.goal)
+    minimize_cost = objective.goal is OptimizationGoal.MIN_COST
+    max_mixed = planner.config.dp_config.max_mixed_types_per_stage
+    members_checked = 0
+    for pp, mbs in SailorPlanner._branch_specs(
+            opt_job, sum(resources.values()), heuristics):
+        partitions = context.partitions(pp)
+        tp_req = min_tp_per_stage(opt_job, partitions,
+                                  consolidated.topology.node_types(), mbs,
+                                  num_microbatches_in_flight_cap=pp,
+                                  env=opt_env, config=heuristics)
+        if any(not per_stage for per_stage in tp_req):
+            continue
+        tp_options = [tp_options_for_stage(per_stage, heuristics)
+                      for per_stage in tp_req]
+        max_dp = planner._max_data_parallel(resources, tp_options, pp)
+        dp_candidates = data_parallel_candidates(
+            opt_job, mbs, max_dp, maximize_throughput=not minimize_cost,
+            config=heuristics)
+        if not dp_candidates:
+            continue
+
+        family = planner._family_floor(opt_job, context, partitions,
+                                       tp_options, mbs, pp, dp_candidates,
+                                       minimize_cost)
+        # The interval memo must be value-preserving: re-pricing the family
+        # from the now-warm tables agrees bitwise with the cold pass.
+        assert planner._family_floor(opt_job, context, partitions,
+                                     tp_options, mbs, pp, dp_candidates,
+                                     minimize_cost) == family
+        tables = SailorPlanner._availability_tables(
+            context, partitions, tp_options, mbs, pp, resources)
+        floors = SailorPlanner._stage_floors(context, partitions, tp_options,
+                                             mbs)
+
+        member_values = []
+        for dp in dp_candidates:
+            avail = SailorPlanner._candidate_floor_available(
+                opt_job, tables, mbs, dp, minimize_cost, max_mixed)
+            if floors is not None:
+                free = SailorPlanner._candidate_floor(opt_job, floors, mbs,
+                                                      dp, minimize_cost)
+                # Pool-aware floors restrict the per-stage minima to the
+                # options the pool actually offers at the capacity
+                # threshold: tighter-or-equal, never looser.
+                assert avail >= free
+                assert family <= free
+            solver = DPSolver(
+                env=opt_env, job=opt_job, partitions=partitions,
+                tp_options_per_stage=tp_options, microbatch_size=mbs,
+                data_parallel=dp,
+                num_microbatches=opt_job.num_microbatches(dp, mbs),
+                goal=objective.goal, config=planner.config.dp_config,
+                context=context)
+            solution = solver.solve(dict(resources))
+            if solution is None:
+                continue
+            plan = planner._build_plan(opt_job, partitions, mbs, solution,
+                                       consolidated)
+            if plan is None:
+                continue
+            evaluation = planner.simulator.evaluate(plan)
+            if not evaluation.is_valid:
+                continue
+            value = SailorPlanner._incumbent_value(objective, evaluation)
+            assert avail <= value * (1 + 1e-9), (
+                f"P{pp}/mbs{mbs}/D{dp}: availability-aware floor {avail} "
+                f"exceeds the simulator value {value}")
+            member_values.append(value)
+            members_checked += 1
+        if member_values:
+            assert family <= min(member_values) * (1 + 1e-9), (
+                f"P{pp}/mbs{mbs}: family floor {family} exceeds the best "
+                f"member value {min(member_values)}")
+    assert members_checked > 0  # the random pool really exercised the DP
+
+
+def test_floor_memo_accessors_reuse_warm_tables(opt_env, opt_job,
+                                                mixed_topology):
+    """The context accessors behind the interval memo: stage floors are
+    computed once per (P, mbs, TP-key) family (``family_stage_floors``),
+    member floors accumulate in a shared mutable table
+    (``family_member_floors``), and a repeated (branch, pool) signature
+    reuses the availability tables warm and counts the hit
+    (``availability_floors`` -> ``SearchStats.availability_floor_hits``)."""
+    objective = Objective.max_throughput()
+    pp, mbs = 2, 2
+    planner = SailorPlanner(opt_env)
+    _, resources, context, partitions, tp_options = _branch_inputs(
+        opt_env, opt_job, mixed_topology, objective.goal, pp, mbs)
+
+    tp_key = tuple(tp_options_key(options) for options in tp_options)
+    builds = []
+    build = lambda: builds.append(1) or SailorPlanner._stage_floors(  # noqa: E731
+        context, partitions, tp_options, mbs)
+    first = context.family_stage_floors(pp, mbs, tp_key, build)
+    assert context.family_stage_floors(pp, mbs, tp_key, build) == first
+    assert len(builds) == 1  # second lookup never re-runs the build
+
+    members = context.family_member_floors(pp, mbs, tp_key)
+    assert members == {}
+    floor = planner._family_floor(opt_job, context, partitions, tp_options,
+                                  mbs, pp, [1, 2], False)
+    assert set(members) == {1, 2}  # same mutable table, now warm
+    assert floor == min(members.values())
+    # A later snapshot admitting D=4 extends the table without touching
+    # the still-valid earlier members (the validity-interval property).
+    planner._family_floor(opt_job, context, partitions, tp_options,
+                          mbs, pp, [2, 4], False)
+    assert set(members) == {1, 2, 4}
+
+    assert context.stats.availability_floor_hits == 0
+    tables = SailorPlanner._availability_tables(context, partitions,
+                                                tp_options, mbs, pp,
+                                                resources)
+    assert context.stats.availability_floor_hits == 0  # cold build
+    again = SailorPlanner._availability_tables(context, partitions,
+                                               tp_options, mbs, pp,
+                                               resources)
+    assert again is tables  # warm reuse, not a rebuild
+    assert context.stats.availability_floor_hits == 1
 
 
 def test_iteration_time_floor_never_exceeds_full_evaluation(

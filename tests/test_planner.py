@@ -356,6 +356,7 @@ def test_layer_cache_and_batched_threading_do_not_change_the_chosen_plan(
                                shared_backward_density=1.0),  # force CSR
                 DPSolverConfig(engine_min_states=0,
                                batched_layer_resolve=False),
+                DPSolverConfig(engine_min_states=0, fused_combine=False),
                 DPSolverConfig(engine_min_states_budget=0),  # budget -> engine
                 DPSolverConfig(),  # adaptive dispatch (scalar certificates)
                 DPSolverConfig(enable_pruning=False),
@@ -472,6 +473,105 @@ def test_candidate_ordering_preserves_plans_and_bookkeeping(opt_env, opt_job,
         opt_job, mixed_topology, Objective.max_throughput())
     assert exhaustive.search_stats.candidates_killed_unevaluated == 0
     assert plan_to_json(exhaustive.plan) == plan_to_json(unconstrained.plan)
+
+
+def test_family_memo_and_availability_floors_preserve_plans(opt_env, opt_job,
+                                                            mixed_topology):
+    """The dominated-family interval memo and the availability-aware tail
+    floors must be latency-only: the chosen plan *and* its evaluation are
+    byte-identical with each toggle on/off (composed with each other),
+    across objectives; family skips actually fire when armed, the gate
+    disarms under ``enable_pruning=False``, and the parallel driver's
+    replay takes the exact skip decisions the serial loop takes."""
+    from repro.core.dp_solver import DPSolverConfig
+
+    unconstrained = SailorPlanner(opt_env).plan(opt_job, mixed_topology,
+                                                Objective.max_throughput())
+    budget = unconstrained.evaluation.cost_per_iteration_usd * 0.6
+    skipped_total = 0
+    for objective in (Objective.max_throughput(),
+                      Objective.min_cost(),
+                      Objective.max_throughput(
+                          max_cost_per_iteration_usd=budget)):
+        reference = None
+        for family in (True, False):
+            for avail in (True, False):
+                result = SailorPlanner(opt_env, config=PlannerConfig(
+                    family_interval_memo=family,
+                    availability_aware_floors=avail)).plan(
+                    opt_job, mixed_topology, objective)
+                assert result.found
+                snapshot = (plan_to_json(result.plan),
+                            result.evaluation.iteration_time_s,
+                            result.evaluation.cost_per_iteration_usd)
+                if reference is None:
+                    reference = snapshot
+                else:
+                    assert snapshot == reference
+                skipped = result.search_stats.families_skipped
+                if family:
+                    skipped_total += skipped
+                else:
+                    assert skipped == 0
+    assert skipped_total > 0
+    # Without the pruned DP there is no bound machinery to trust: the
+    # family gate must stay disarmed even with the toggle on.
+    exhaustive = SailorPlanner(opt_env, config=PlannerConfig(
+        family_interval_memo=True,
+        dp_config=DPSolverConfig(enable_pruning=False))).plan(
+        opt_job, mixed_topology, Objective.max_throughput())
+    assert exhaustive.search_stats.families_skipped == 0
+    assert plan_to_json(exhaustive.plan) == plan_to_json(unconstrained.plan)
+    # The parallel driver replays the serial skip decisions from worker
+    # outcomes (workers price families but never skip): same plan, same
+    # skip count.
+    serial = SailorPlanner(opt_env).plan(opt_job, mixed_topology,
+                                         Objective.min_cost())
+    parallel = ParallelPlanner(opt_env, max_workers=2).plan(
+        opt_job, mixed_topology, Objective.min_cost())
+    assert plan_to_json(parallel.plan) == plan_to_json(serial.plan)
+    assert parallel.search_stats.families_skipped == \
+        serial.search_stats.families_skipped
+
+
+def test_fused_combine_preserves_plans_when_forced(opt_env, opt_job,
+                                                   mixed_topology,
+                                                   monkeypatch):
+    """Force the fused combine onto every layer (dispatch threshold 1,
+    engine always on): plans, evaluations, and node counts are
+    bit-identical to the reference chain on both the dense and the CSR
+    argmin routes, and the fused kernel demonstrably runs."""
+    import repro.core.resource_state as rs
+    from repro.core.dp_solver import DPSolverConfig
+
+    monkeypatch.setattr(rs, "FUSED_COMBINE_MIN_ELEMS", 1)
+    fused_hits = 0
+    for objective in (Objective.max_throughput(), Objective.min_cost()):
+        reference = None
+        for dp_config in (
+                DPSolverConfig(engine_min_states=0, fused_combine=False),
+                DPSolverConfig(engine_min_states=0),
+                DPSolverConfig(engine_min_states=0,
+                               shared_backward_argmin=False),  # dense route
+                DPSolverConfig(engine_min_states=0,
+                               shared_backward_density=1.0),  # CSR route
+        ):
+            result = SailorPlanner(opt_env, config=PlannerConfig(
+                dp_config=dp_config)).plan(opt_job, mixed_topology, objective)
+            assert result.found
+            snapshot = (plan_to_json(result.plan),
+                        result.evaluation.iteration_time_s,
+                        result.evaluation.cost_per_iteration_usd,
+                        result.search_stats.nodes_explored)
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference
+            if dp_config.fused_combine:
+                fused_hits += result.search_stats.combine_fused_hits
+            else:
+                assert result.search_stats.combine_fused_hits == 0
+    assert fused_hits > 0
 
 
 def test_disabling_h2_can_generate_oom_candidates(neo_env, neo_job,

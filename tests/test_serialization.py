@@ -105,6 +105,36 @@ def test_planner_result_search_stats_roundtrip(opt_env, opt_job, a100_topology):
     assert restored.search_stats == result.search_stats
 
 
+def test_new_enumeration_counters_roundtrip(opt_env, opt_job,
+                                            mixed_topology):
+    """The PR 10 counters (families_skipped, combine_fused_hits,
+    availability_floor_hits) ride the same auto-derived as_dict/from_dict
+    path as every other SearchStats field: present in the JSON document,
+    exact after a round trip, and visible in ``describe()``."""
+    from repro.core.plan import SearchStats
+
+    result = SailorPlanner(opt_env).plan(opt_job, mixed_topology,
+                                         Objective.min_cost())
+    assert result.search_stats.families_skipped > 0
+    text = result_to_json(result)
+    document = json.loads(text)
+    restored = result_from_json(text)
+    for counter in ("families_skipped", "combine_fused_hits",
+                    "availability_floor_hits"):
+        assert counter in document["search_stats"]
+        assert getattr(restored.search_stats, counter) == \
+            getattr(result.search_stats, counter)
+    # Hand-written values survive the dict round trip exactly, including
+    # the CLI stats dump's source (as_dict is what --stats serializes).
+    stats = SearchStats(families_skipped=3, combine_fused_hits=7,
+                        availability_floor_hits=11)
+    assert SearchStats.from_dict(stats.as_dict()) == stats
+    described = stats.describe()
+    assert "families_skipped=3" in described
+    assert "fused_combines=7" in described
+    assert "avail_floor_hits=11" in described
+
+
 def test_result_without_search_stats_decodes_to_zeroes():
     """Documents written before the search_stats block decode cleanly."""
     import json
