@@ -1,0 +1,149 @@
+"""Capture/verify the 13-scenario plan matrix (byte-identity harness).
+
+Usage:
+    PYTHONPATH=src python .scratch/matrix.py capture OUT.json
+    PYTHONPATH=src python .scratch/matrix.py verify BASELINE.json
+
+capture: run the scenario matrix under the baseline config set and dump
+plan JSON per (scenario, config).
+verify: re-run, including every new-toggle off variant, and assert every
+plan is byte-identical to the baseline's default-config plan.
+"""
+import json
+import sys
+
+from repro.core.dp_solver import DPSolverConfig
+from repro.core.objectives import Objective
+from repro.core.planner import PlannerConfig, SailorPlanner
+from repro.core.serialization import plan_to_json
+from repro.core.simulator import build_environment
+from repro.hardware.topology import ClusterTopology
+from repro.models.catalog import get_model
+from repro.models.spec import TrainingJobSpec
+
+
+def build_scenarios():
+    opt_job = TrainingJobSpec(model=get_model("OPT-350M"),
+                              global_batch_size=256, sequence_length=2048)
+    neo_job = TrainingJobSpec(model=get_model("GPT-Neo-2.7B"),
+                              global_batch_size=256, sequence_length=2048)
+    mixed = ClusterTopology.single_zone(
+        "us-central1-a", {"a2-highgpu-4g": 4, "n1-standard-v100-4": 4})
+    big_mixed = ClusterTopology.single_zone(
+        "us-central1-a", {"a2-highgpu-4g": 8, "n1-standard-v100-4": 8})
+    geo = ClusterTopology(nodes={
+        "us-central1-a": {"a2-highgpu-4g": 2},
+        "us-central1-b": {"a2-highgpu-4g": 2},
+        "us-west1-a": {"a2-highgpu-4g": 2},
+    })
+    opt_env = build_environment(opt_job, mixed, seed=7)
+    geo_env = build_environment(opt_job, geo, seed=11)
+    neo_env = build_environment(neo_job, mixed, seed=13)
+    a100_only = mixed.restricted_to_gpu("A100-40")
+
+    # Budgets fixed so baseline and verify runs use identical objectives.
+    unc = SailorPlanner(opt_env).plan(opt_job, mixed,
+                                      Objective.max_throughput())
+    budget = unc.evaluation.cost_per_iteration_usd * 0.6
+    unc_geo = SailorPlanner(geo_env).plan(opt_job, geo,
+                                          Objective.max_throughput())
+    budget_geo = unc_geo.evaluation.cost_per_iteration_usd * 0.6
+
+    return [
+        ("mixed-maxthr", opt_env, opt_job, mixed, Objective.max_throughput(), {}),
+        ("mixed-mincost", opt_env, opt_job, mixed, Objective.min_cost(), {}),
+        ("mixed-budget", opt_env, opt_job, mixed,
+         Objective.max_throughput(max_cost_per_iteration_usd=budget), {}),
+        ("mixed-floor", opt_env, opt_job, mixed,
+         Objective.min_cost(min_throughput_iters_per_s=0.05), {}),
+        ("mixed-maxgpus", opt_env, opt_job, mixed,
+         Objective.max_throughput(max_gpus=8), {}),
+        ("a100-maxthr", opt_env, opt_job, a100_only,
+         Objective.max_throughput(), {}),
+        ("geo-maxthr", geo_env, opt_job, geo, Objective.max_throughput(), {}),
+        ("geo-mincost", geo_env, opt_job, geo, Objective.min_cost(), {}),
+        ("geo-budget", geo_env, opt_job, geo,
+         Objective.max_throughput(max_cost_per_iteration_usd=budget_geo), {}),
+        ("neo-maxthr", neo_env, neo_job, mixed, Objective.max_throughput(), {}),
+        ("mixed-parallel", opt_env, opt_job, mixed, Objective.max_throughput(),
+         {"parallel_workers": 2}),
+        ("mixed-engine", opt_env, opt_job, mixed, Objective.max_throughput(),
+         {"dp_config": DPSolverConfig(engine_min_states=0)}),
+        ("bigmixed-maxthr", opt_env, opt_job, big_mixed,
+         Objective.max_throughput(), {}),
+    ]
+
+
+BASE_CONFIGS = {
+    "default": {},
+    "no-ordering": {"candidate_ordering": False},
+    "no-gate": {"enable_candidate_gate": False},
+}
+
+# Built lazily: the new toggles only exist in the tree under test.
+def new_toggle_configs():
+    return {
+        "no-family-memo": {"family_interval_memo": False},
+        "no-avail-floors": {"availability_aware_floors": False},
+        "no-fused": {"dp_config": DPSolverConfig(fused_combine=False)},
+        "no-fused-engine": {"dp_config": DPSolverConfig(
+            engine_min_states=0, fused_combine=False)},
+        "all-new-off": {"family_interval_memo": False,
+                        "availability_aware_floors": False,
+                        "dp_config": DPSolverConfig(fused_combine=False)},
+        "exhaustive": {"dp_config": DPSolverConfig(enable_pruning=False)},
+    }
+
+
+def run_one(env, job, topology, objective, base_kwargs, extra):
+    kwargs = dict(base_kwargs)
+    kwargs.update(extra)
+    planner = SailorPlanner(env, config=PlannerConfig(**kwargs))
+    result = planner.plan(job, topology, objective)
+    return {
+        "found": result.found,
+        "plan": plan_to_json(result.plan) if result.found else None,
+        "time": result.evaluation.iteration_time_s if result.found else None,
+        "cost": (result.evaluation.cost_per_iteration_usd
+                 if result.found else None),
+    }
+
+
+def main():
+    mode, path = sys.argv[1], sys.argv[2]
+    scenarios = build_scenarios()
+    if mode == "capture":
+        out = {}
+        for name, env, job, topo, objective, extra in scenarios:
+            out[name] = {}
+            for label, kwargs in BASE_CONFIGS.items():
+                out[name][label] = run_one(env, job, topo, objective,
+                                           kwargs, extra)
+            print(f"captured {name}", flush=True)
+        with open(path, "w") as fh:
+            json.dump(out, fh, indent=1)
+        return 0
+    baseline = json.load(open(path))
+    failures = []
+    for name, env, job, topo, objective, extra in scenarios:
+        want = baseline[name]["default"]
+        for label, kwargs in {**BASE_CONFIGS, **new_toggle_configs()}.items():
+            if name == "bigmixed-maxthr" and label == "exhaustive":
+                continue  # exhaustive reference too slow on the big pool
+            got = run_one(env, job, topo, objective, kwargs, extra)
+            # Baseline non-default configs must also stay plan-identical to
+            # the baseline default (they were captured identical).
+            if got["plan"] != want["plan"] or got["found"] != want["found"]:
+                failures.append((name, label))
+                print(f"MISMATCH {name} {label}", flush=True)
+            else:
+                print(f"ok {name} {label}", flush=True)
+    if failures:
+        print(f"FAILED: {failures}")
+        return 1
+    print("all plans byte-identical to baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
